@@ -1,0 +1,94 @@
+// Command stsl-endsystem runs one end-system of the split-learning
+// protocol over real TCP: it holds the layers below the cut and its local
+// (synthetic) data shard, sends first-block activations to the server,
+// and applies the gradients that come back. Raw images never leave the
+// process.
+//
+// See cmd/stsl-server for a full invocation example.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/stsl/stsl/internal/core"
+	"github.com/stsl/stsl/internal/data"
+	"github.com/stsl/stsl/internal/expt"
+	"github.com/stsl/stsl/internal/mathx"
+	"github.com/stsl/stsl/internal/nn"
+	"github.com/stsl/stsl/internal/opt"
+	"github.com/stsl/stsl/internal/transport"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", "127.0.0.1:9000", "server address")
+		id    = flag.Int("id", 0, "end-system id (unique per client)")
+		cut   = flag.Int("cut", 1, "split point (must match the server)")
+		scale = flag.String("scale", "small", "model scale: tiny|small|paper")
+		seed  = flag.Uint64("seed", 1, "server weight seed")
+		local = flag.Uint64("local-seed", 0, "private lower-layer seed (0 = derive from id)")
+		steps = flag.Int("steps", 100, "batches to contribute")
+		batch = flag.Int("batch", 0, "batch size (0 = scale default)")
+		lr    = flag.Float64("lr", 0.05, "learning rate")
+	)
+	flag.Parse()
+
+	s, err := expt.ScaleByName(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	if *batch == 0 {
+		*batch = s.BatchSize
+	}
+	if *local == 0 {
+		*local = *seed + uint64(*id)*104729 + 7
+	}
+	cnn, err := nn.BuildPaperCNN(s.Model, mathx.NewRNG(*local))
+	if err != nil {
+		fatal(err)
+	}
+	lower, _, err := core.Split(cnn, *cut)
+	if err != nil {
+		fatal(err)
+	}
+	optim, err := opt.NewSGD(opt.Config{LR: *lr})
+	if err != nil {
+		fatal(err)
+	}
+	cfg := s.Model.Defaults()
+	gen := data.SynthCIFAR{Height: cfg.Height, Width: cfg.Width, Classes: cfg.Classes}
+	// Each end-system draws a private shard keyed by its id — disjoint
+	// local data, as in the paper's multi-hospital setting.
+	shard, err := gen.Generate(s.TrainPerClass*cfg.Classes/2, *seed+uint64(*id)*31+11)
+	if err != nil {
+		fatal(err)
+	}
+	shard.Normalize()
+	batcher, err := data.NewBatcher(shard, *batch, mathx.NewRNG(*local+1))
+	if err != nil {
+		fatal(err)
+	}
+	es, err := core.NewEndSystem(*id, lower, optim, batcher)
+	if err != nil {
+		fatal(err)
+	}
+
+	conn, err := transport.Dial(*addr)
+	if err != nil {
+		fatal(err)
+	}
+	defer conn.Close()
+	fmt.Printf("stsl-endsystem %d: connected to %s, cut=%d, %d steps\n", *id, *addr, *cut, *steps)
+	if err := core.RunClient(es, conn, *steps, nil); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("stsl-endsystem %d: done — %d batches over %d local epochs\n",
+		*id, es.Steps(), es.Epoch()+1)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "stsl-endsystem:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,106 @@
+// Command stsl-server runs the centralized server of the split-learning
+// protocol over real TCP. It owns the layers above the cut, the output
+// layer, and the parameter-scheduling queue; it accepts the configured
+// number of end-systems, trains until every client announces completion,
+// then writes the learned server weights.
+//
+// Usage (server plus two end-systems on one machine):
+//
+//	stsl-server   -addr :9000 -clients 2 -cut 1 &
+//	stsl-endsystem -addr 127.0.0.1:9000 -id 0 -cut 1 -steps 100 &
+//	stsl-endsystem -addr 127.0.0.1:9000 -id 1 -cut 1 -steps 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/stsl/stsl/internal/core"
+	"github.com/stsl/stsl/internal/expt"
+	"github.com/stsl/stsl/internal/mathx"
+	"github.com/stsl/stsl/internal/nn"
+	"github.com/stsl/stsl/internal/opt"
+	"github.com/stsl/stsl/internal/queue"
+	"github.com/stsl/stsl/internal/transport"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":9000", "listen address")
+		clients = flag.Int("clients", 1, "number of end-systems to accept")
+		cut     = flag.Int("cut", 1, "split point (must match the end-systems)")
+		scale   = flag.String("scale", "small", "model scale: tiny|small|paper")
+		seed    = flag.Uint64("seed", 1, "weight seed (must match the end-systems)")
+		lr      = flag.Float64("lr", 0.05, "learning rate")
+		policy  = flag.String("policy", "fifo", "queue policy: fifo|staleness|fair-rr")
+		weights = flag.String("weights", "", "path to write learned server weights (optional)")
+	)
+	flag.Parse()
+
+	s, err := expt.ScaleByName(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	template, err := nn.BuildPaperCNN(s.Model, mathx.NewRNG(*seed))
+	if err != nil {
+		fatal(err)
+	}
+	_, upper, err := core.Split(template, *cut)
+	if err != nil {
+		fatal(err)
+	}
+	optim, err := opt.NewSGD(opt.Config{LR: *lr})
+	if err != nil {
+		fatal(err)
+	}
+	pol, err := queue.NewPolicy(*policy)
+	if err != nil {
+		fatal(err)
+	}
+	srv, err := core.NewServer(upper, optim, pol)
+	if err != nil {
+		fatal(err)
+	}
+
+	lis, err := transport.Listen(*addr)
+	if err != nil {
+		fatal(err)
+	}
+	defer lis.Close()
+	fmt.Printf("stsl-server: listening on %s for %d end-system(s), cut=%d policy=%s\n",
+		lis.Addr(), *clients, *cut, *policy)
+
+	conns := make([]transport.Conn, *clients)
+	for i := range conns {
+		c, err := lis.Accept()
+		if err != nil {
+			fatal(err)
+		}
+		conns[i] = c
+		fmt.Printf("stsl-server: end-system %d/%d connected\n", i+1, *clients)
+	}
+	if err := core.Serve(srv, conns, nil); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("stsl-server: training complete — %d batches, final loss %.4f\n",
+		srv.Steps(), srv.Losses.Last())
+	fmt.Printf("stsl-server: queue %s\n", srv.QueueMetrics)
+
+	if *weights != "" {
+		f, err := os.Create(*weights)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := srv.Stack.SaveWeights(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("stsl-server: weights written to %s\n", *weights)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "stsl-server:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,116 @@
+// Hospitals: the paper's motivating scenario. Four hospitals hold
+// privacy-regulated patient images with very different case mixes
+// (strongly non-IID shards); none may export raw data. They jointly train
+// one diagnostic CNN via spatio-temporal split learning, and we audit
+// exactly what each hospital's uplink exposes — comparing against the
+// FedAvg alternative and the (forbidden) centralized pooling upper bound.
+//
+//	go run ./examples/hospitals
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	stsl "github.com/stsl/stsl"
+)
+
+const hospitals = 4
+
+func main() {
+	model := stsl.PaperCNNConfig{
+		Height: 16, Width: 16, Filters: []int{8, 16}, Hidden: 32, Classes: 4,
+	}
+	gen := stsl.SynthCIFAR{Height: 16, Width: 16, Classes: 4, Noise: 0.05}
+	pool, err := gen.GenerateBalanced(60, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	test, err := gen.GenerateBalanced(25, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Strong label skew: each hospital sees a different disease mix.
+	shards, err := stsl.PartitionDirichlet(pool, hospitals, 0.3, stsl.NewRNG(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, s := range shards {
+		fmt.Printf("hospital %d: %3d cases, class mix %v\n", i, s.Len(), s.ClassCounts())
+	}
+
+	// --- forbidden upper bound: pool all data centrally ---
+	cent, err := stsl.TrainCentralized(stsl.TrainConfig{
+		Model: model, Seed: 5, Epochs: 4, BatchSize: 16, LR: 0.05,
+	}, pool)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cm, err := stsl.EvaluateModel(cent.Model, test)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncentralized (pooled raw data, illegal here): %.1f%%\n", cm.Accuracy()*100)
+
+	// --- FedAvg alternative: ship whole models every round ---
+	fed, err := stsl.TrainFedAvg(stsl.FedAvgConfig{
+		Model: model, Seed: 5, Rounds: 4, BatchSize: 16, LR: 0.05,
+	}, shards)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cmFed, err := stsl.EvaluateModel(fed.Model, test)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("FedAvg (ships full models):                  %.1f%%\n", cmFed.Accuracy()*100)
+
+	// --- spatio-temporal split learning ---
+	dep, err := stsl.NewDeployment(stsl.Config{
+		Model: model, Cut: 1, Clients: hospitals, Seed: 5, BatchSize: 16, LR: 0.05,
+	}, shards)
+	if err != nil {
+		log.Fatal(err)
+	}
+	paths := make([]*stsl.Path, hospitals)
+	for i := range paths {
+		paths[i], err = stsl.NewSymmetricPath(
+			stsl.UniformLatency{Lo: 5 * time.Millisecond, Hi: 30 * time.Millisecond}, 0,
+			stsl.NewRNG(uint64(20+i)))
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	sim, err := stsl.NewSimulation(dep, stsl.SimConfig{Paths: paths, MaxStepsPerClient: 60})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sim.Run(); err != nil {
+		log.Fatal(err)
+	}
+	mean, accs, err := dep.EvaluateMean(test)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("spatio-temporal split (ships activations):   %.1f%%\n", mean*100)
+	for i, a := range accs {
+		fmt.Printf("  hospital %d pipeline: %.1f%%\n", i, a*100)
+	}
+
+	// --- privacy audit: what does hospital 0's uplink expose? ---
+	cnn, err := stsl.BuildPaperCNN(model, stsl.NewRNG(5))
+	if err != nil {
+		log.Fatal(err)
+	}
+	audit, err := stsl.RunFig4(cnn, shards[0].Image(0), "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nuplink privacy audit (edge correlation = recognisable detail):")
+	for _, st := range audit.Stages {
+		fmt.Printf("  %-10s detail leak %.3f, structure leak %.3f\n",
+			st.Name, st.Leak.EdgeCorrelation, st.Leak.Correlation)
+	}
+	fmt.Println("\nraw patient images never left any hospital.")
+}

@@ -1,0 +1,64 @@
+// U-shaped: the no-label-sharing variant. In the base framework the
+// end-systems ship labels with their activations so the server can
+// compute the loss. Here the end-systems also keep the output head, so
+// the server sees neither raw images, nor labels, nor logits — at the
+// cost of a second round trip per batch.
+//
+//	go run ./examples/ushaped
+package main
+
+import (
+	"fmt"
+	"log"
+
+	stsl "github.com/stsl/stsl"
+)
+
+func main() {
+	model := stsl.PaperCNNConfig{
+		Height: 16, Width: 16, Filters: []int{8, 16}, Hidden: 32, Classes: 4,
+	}
+	gen := stsl.SynthCIFAR{Height: 16, Width: 16, Classes: 4, Noise: 0.05}
+	train, err := gen.GenerateBalanced(40, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	test, err := gen.GenerateBalanced(20, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	shards, err := stsl.PartitionIID(train, 2, stsl.NewRNG(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	dep, err := stsl.NewUShaped(stsl.UShapedConfig{
+		Model: model,
+		Cut:   1, // L1 on the end-systems
+		// fc1+relu+fc2 stay on the end-systems too: the server holds
+		// only the middle conv blocks.
+		HeadLayers: 3,
+		Clients:    2, Seed: 7, BatchSize: 16, LR: 0.05,
+	}, shards)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("server holds only the middle stack:")
+	fmt.Printf("  client lower: %d layers   server middle: %d layers   client head: %d layers\n",
+		dep.Clients[0].Lower.Len(), dep.Server.Middle.Len(), dep.Clients[0].Head.Len())
+
+	if err := dep.TrainRounds(60); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained %d server batches, final loss %.3f\n",
+		dep.Server.Steps(), dep.Server.Losses.Last())
+	for i := range dep.Clients {
+		cm, err := dep.Evaluate(i, test)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("client %d pipeline accuracy: %.1f%%\n", i, cm.Accuracy()*100)
+	}
+	fmt.Println("\nno raw image, label, or logit ever reached the server;")
+	fmt.Println("the message validator rejects any features message carrying labels.")
+}

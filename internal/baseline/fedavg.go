@@ -1,0 +1,126 @@
+package baseline
+
+import (
+	"fmt"
+
+	"github.com/stsl/stsl/internal/data"
+	"github.com/stsl/stsl/internal/mathx"
+	"github.com/stsl/stsl/internal/metrics"
+	"github.com/stsl/stsl/internal/nn"
+)
+
+// FedAvgConfig parameterises the federated-averaging baseline.
+type FedAvgConfig struct {
+	// Model parameterises the Fig-3 CNN replicated at every client.
+	Model nn.PaperCNNConfig
+	// Seed drives the (shared) global initialisation.
+	Seed uint64
+	// Rounds is the number of communication rounds.
+	Rounds int
+	// LocalEpochs is the number of local passes per round (default 1).
+	LocalEpochs int
+	// BatchSize is the local mini-batch size (default 32).
+	BatchSize int
+	// LR is the local SGD learning rate (default 0.05).
+	LR float64
+}
+
+func (c FedAvgConfig) withDefaults() FedAvgConfig {
+	if c.Rounds == 0 {
+		c.Rounds = 1
+	}
+	if c.LocalEpochs == 0 {
+		c.LocalEpochs = 1
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 32
+	}
+	if c.LR == 0 {
+		c.LR = 0.05
+	}
+	return c
+}
+
+// TrainFedAvg runs federated averaging over the client shards: every
+// round, each client copies the global weights, trains locally for
+// LocalEpochs, and the server replaces the global model with the
+// example-weighted average of the client models. The returned model is
+// the final global model. This is the standard comparison point for
+// split learning: FedAvg ships whole models; split learning ships
+// activations.
+func TrainFedAvg(cfg FedAvgConfig, shards []*data.Dataset) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("baseline: FedAvg needs at least one shard")
+	}
+	global, err := nn.BuildPaperCNN(cfg.Model, mathx.NewRNG(cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	// Build per-client replicas once; weights are overwritten per round.
+	replicas := make([]*nn.PaperCNN, len(shards))
+	batchers := make([]*data.Batcher, len(shards))
+	for i := range shards {
+		replicas[i], err = nn.BuildPaperCNN(cfg.Model, mathx.NewRNG(cfg.Seed))
+		if err != nil {
+			return nil, err
+		}
+		batchers[i], err = data.NewBatcher(shards[i], cfg.BatchSize, mathx.NewRNG(cfg.Seed+uint64(i)*31+7))
+		if err != nil {
+			return nil, err
+		}
+	}
+	curve, err := metrics.NewLossCurve(10)
+	if err != nil {
+		return nil, err
+	}
+	totalExamples := 0
+	for _, s := range shards {
+		totalExamples += s.Len()
+	}
+
+	for round := 0; round < cfg.Rounds; round++ {
+		for i, rep := range replicas {
+			// Pull global weights.
+			copyParams(rep, global)
+			optim, err := newOptimizer("sgd", cfg.LR)
+			if err != nil {
+				return nil, err
+			}
+			for e := 0; e < cfg.LocalEpochs; e++ {
+				for {
+					batch, ok := batchers[i].Next()
+					if !ok {
+						break
+					}
+					rep.Net.ZeroGrad()
+					logits := rep.Net.Forward(batch.X, true)
+					loss, grad, err := nn.SoftmaxCrossEntropy(logits, batch.Y)
+					if err != nil {
+						return nil, err
+					}
+					rep.Net.Backward(grad)
+					optim.Step(rep.Net.Params())
+					curve.Observe(loss)
+				}
+			}
+		}
+		// Example-weighted average into the global model.
+		gp := global.Net.Params()
+		for pi := range gp {
+			gp[pi].Value.Zero()
+			for ci, rep := range replicas {
+				w := float64(shards[ci].Len()) / float64(totalExamples)
+				gp[pi].Value.AXPY(w, rep.Net.Params()[pi].Value)
+			}
+		}
+	}
+	return &Result{Model: global, Losses: curve}, nil
+}
+
+func copyParams(dst, src *nn.PaperCNN) {
+	dp, sp := dst.Net.Params(), src.Net.Params()
+	for i := range dp {
+		dp[i].Value.CopyFrom(sp[i].Value)
+	}
+}

@@ -1,0 +1,52 @@
+package baseline
+
+import (
+	"time"
+
+	"github.com/stsl/stsl/internal/core"
+	"github.com/stsl/stsl/internal/data"
+	"github.com/stsl/stsl/internal/mathx"
+	"github.com/stsl/stsl/internal/simnet"
+)
+
+// VanillaSplitConfig parameterises the classic single-end-system split
+// learning of the paper's Fig 1.
+type VanillaSplitConfig struct {
+	Train core.Config
+	// Steps is the number of batches the end-system contributes.
+	Steps int
+	// Latency is the client↔server delay (default 1ms constant).
+	Latency simnet.LatencyModel
+}
+
+// TrainVanillaSplit runs Fig-1 split learning: one end-system, one
+// server, lock-step batches over a single link. It is the M=1 special
+// case of the spatio-temporal framework and is used both as a baseline
+// and to demonstrate protocol equivalence.
+func TrainVanillaSplit(cfg VanillaSplitConfig, train *data.Dataset) (*core.Deployment, *core.SimResult, error) {
+	cfg.Train.Clients = 1
+	dep, err := core.NewDeployment(cfg.Train, []*data.Dataset{train})
+	if err != nil {
+		return nil, nil, err
+	}
+	latency := cfg.Latency
+	if latency == nil {
+		latency = simnet.Constant{D: time.Millisecond}
+	}
+	path, err := simnet.NewSymmetricPath(latency, 0, mathx.NewRNG(cfg.Train.Seed+101))
+	if err != nil {
+		return nil, nil, err
+	}
+	sim, err := core.NewSimulation(dep, core.SimConfig{
+		Paths:             []*simnet.Path{path},
+		MaxStepsPerClient: cfg.Steps,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := sim.Run()
+	if err != nil {
+		return nil, nil, err
+	}
+	return dep, res, nil
+}

@@ -1,0 +1,129 @@
+// Package compress implements lossy activation compression for the
+// split-learning uplink: linear quantization of float64 tensors to 8 or
+// 16 bits per element with a per-tensor affine (scale, offset). The
+// paper transmits raw first-layer activations; quantization is the
+// standard deployment optimisation for that link, and the benchmark
+// suite measures both the byte savings and the accuracy cost.
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"github.com/stsl/stsl/internal/tensor"
+)
+
+// Bits selects the quantization width.
+type Bits int
+
+// Supported widths.
+const (
+	// Bits8 packs each element into one byte (8× smaller than float64).
+	Bits8 Bits = 8
+	// Bits16 packs each element into two bytes (4× smaller).
+	Bits16 Bits = 16
+)
+
+// Quantized is a compressed tensor: packed integer codes plus the affine
+// transform to reconstruct approximate float64 values.
+type Quantized struct {
+	Bits   Bits
+	Shape  []int
+	Scale  float64 // value = Scale*code + Offset
+	Offset float64
+	Codes  []byte
+}
+
+// Quantize compresses t. The affine parameters map [min, max] of t onto
+// the full code range; a constant tensor quantizes exactly.
+func Quantize(t *tensor.Tensor, bits Bits) (*Quantized, error) {
+	if bits != Bits8 && bits != Bits16 {
+		return nil, fmt.Errorf("compress: unsupported width %d", bits)
+	}
+	data := t.Data()
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("compress: non-finite value %v", v)
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if len(data) == 0 {
+		lo, hi = 0, 0
+	}
+	maxCode := float64(uint64(1)<<uint(bits) - 1)
+	scale := 0.0
+	if hi > lo {
+		scale = (hi - lo) / maxCode
+	}
+	q := &Quantized{
+		Bits:   bits,
+		Shape:  t.Shape(),
+		Scale:  scale,
+		Offset: lo,
+		Codes:  make([]byte, len(data)*int(bits)/8),
+	}
+	if scale == 0 {
+		return q, nil // all elements equal Offset
+	}
+	inv := 1 / scale
+	switch bits {
+	case Bits8:
+		for i, v := range data {
+			q.Codes[i] = byte(math.Round((v - lo) * inv))
+		}
+	case Bits16:
+		for i, v := range data {
+			binary.LittleEndian.PutUint16(q.Codes[2*i:], uint16(math.Round((v-lo)*inv)))
+		}
+	}
+	return q, nil
+}
+
+// Dequantize reconstructs the approximate tensor.
+func (q *Quantized) Dequantize() *tensor.Tensor {
+	out := tensor.New(q.Shape...)
+	data := out.Data()
+	if q.Scale == 0 {
+		for i := range data {
+			data[i] = q.Offset
+		}
+		return out
+	}
+	switch q.Bits {
+	case Bits8:
+		for i := range data {
+			data[i] = q.Scale*float64(q.Codes[i]) + q.Offset
+		}
+	case Bits16:
+		for i := range data {
+			data[i] = q.Scale*float64(binary.LittleEndian.Uint16(q.Codes[2*i:])) + q.Offset
+		}
+	}
+	return out
+}
+
+// WireBytes returns the serialised size: codes plus the small header.
+func (q *Quantized) WireBytes() int {
+	return len(q.Codes) + 4*len(q.Shape) + 8 /*scale*/ + 8 /*offset*/ + 2 /*bits+rank*/
+}
+
+// MaxError returns the worst-case reconstruction error of the affine
+// quantizer for the tensor it was built from: half a code step.
+func (q *Quantized) MaxError() float64 { return q.Scale / 2 }
+
+// RoundTrip is the convenience used by deployments that simulate
+// quantization in-process (compress, then immediately reconstruct).
+func RoundTrip(t *tensor.Tensor, bits Bits) (*tensor.Tensor, int, error) {
+	q, err := Quantize(t, bits)
+	if err != nil {
+		return nil, 0, err
+	}
+	return q.Dequantize(), q.WireBytes(), nil
+}

@@ -1,0 +1,122 @@
+package compress
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/stsl/stsl/internal/mathx"
+	"github.com/stsl/stsl/internal/tensor"
+)
+
+func TestQuantizeRoundTripError(t *testing.T) {
+	r := mathx.NewRNG(1)
+	x := tensor.Randn(r, 2, 4, 8, 8)
+	for _, bits := range []Bits{Bits8, Bits16} {
+		q, err := Quantize(x, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back := q.Dequantize()
+		if !back.SameShape(x) {
+			t.Fatalf("bits=%d: shape changed", bits)
+		}
+		maxErr := q.MaxError()
+		for i, v := range x.Data() {
+			if d := math.Abs(v - back.Data()[i]); d > maxErr+1e-12 {
+				t.Fatalf("bits=%d: error %v exceeds bound %v at %d", bits, d, maxErr, i)
+			}
+		}
+	}
+}
+
+func TestQuantize16BeatsQuantize8(t *testing.T) {
+	r := mathx.NewRNG(2)
+	x := tensor.Randn(r, 1, 256)
+	q8, err := Quantize(x, Bits8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q16, err := Quantize(x, Bits16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err8 := q8.Dequantize().Sub(x).Norm2()
+	err16 := q16.Dequantize().Sub(x).Norm2()
+	if err16 >= err8 {
+		t.Fatalf("16-bit error %v not below 8-bit %v", err16, err8)
+	}
+	if q16.WireBytes() <= q8.WireBytes() {
+		t.Fatal("16-bit not larger on the wire than 8-bit")
+	}
+	// Both much smaller than float64 (8 bytes/elem).
+	if q8.WireBytes() >= 8*x.Size() {
+		t.Fatalf("8-bit wire size %d not smaller than raw %d", q8.WireBytes(), 8*x.Size())
+	}
+}
+
+func TestQuantizeConstantTensorExact(t *testing.T) {
+	x := tensor.Full(3.25, 4, 4)
+	q, err := Quantize(x, Bits8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Dequantize().Equal(x, 0) {
+		t.Fatal("constant tensor not exact")
+	}
+	if q.MaxError() != 0 {
+		t.Fatalf("constant MaxError = %v", q.MaxError())
+	}
+}
+
+func TestQuantizeRejectsNonFinite(t *testing.T) {
+	x := tensor.New(2)
+	x.Set(math.NaN(), 0)
+	if _, err := Quantize(x, Bits8); err == nil {
+		t.Fatal("NaN accepted")
+	}
+	x.Set(math.Inf(1), 0)
+	if _, err := Quantize(x, Bits8); err == nil {
+		t.Fatal("Inf accepted")
+	}
+	if _, err := Quantize(tensor.New(2), Bits(12)); err == nil {
+		t.Fatal("12-bit accepted")
+	}
+}
+
+func TestQuantizeEmptyTensor(t *testing.T) {
+	x := tensor.New(0)
+	q, err := Quantize(x, Bits8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Dequantize().Size() != 0 {
+		t.Fatal("empty round trip grew")
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	// Property: round-trip error is bounded by half a code step for any
+	// finite tensor, both widths.
+	f := func(seed uint64) bool {
+		r := mathx.NewRNG(seed)
+		x := tensor.Randn(r, 1+r.Float64()*10, 1+r.Intn(8), 1+r.Intn(8))
+		for _, bits := range []Bits{Bits8, Bits16} {
+			back, wire, err := RoundTrip(x, bits)
+			if err != nil || wire <= 0 {
+				return false
+			}
+			q, _ := Quantize(x, bits)
+			bound := q.MaxError() + 1e-12
+			for i, v := range x.Data() {
+				if math.Abs(v-back.Data()[i]) > bound {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

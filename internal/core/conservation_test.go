@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/stsl/stsl/internal/data"
+	"github.com/stsl/stsl/internal/mathx"
+	"github.com/stsl/stsl/internal/simnet"
+)
+
+// TestSimulationConservationQuick is a property test over random
+// topologies: every batch a client contributes is processed exactly once
+// by the server and exactly one gradient returns — no loss, duplication,
+// or deadlock under any latency assignment or queue policy.
+func TestSimulationConservationQuick(t *testing.T) {
+	policies := []string{"fifo", "staleness", "fair-rr", "sync-rounds"}
+	f := func(seed uint64) bool {
+		r := mathx.NewRNG(seed)
+		clients := 1 + r.Intn(4)
+		steps := 1 + r.Intn(4)
+		policy := policies[r.Intn(len(policies))]
+
+		ds, err := (data.SynthCIFAR{Height: 8, Width: 8, Classes: 4}).Generate(16*clients, seed)
+		if err != nil {
+			return false
+		}
+		shards, err := data.PartitionIID(ds, clients, r.Split())
+		if err != nil {
+			return false
+		}
+		dep, err := NewDeployment(Config{
+			Model: smallModel(), Cut: 1 + r.Intn(2), Clients: clients, Seed: seed,
+			BatchSize: 4, LR: 0.01, QueuePolicy: policy,
+		}, shards)
+		if err != nil {
+			return false
+		}
+		paths := make([]*simnet.Path, clients)
+		for i := range paths {
+			paths[i], err = simnet.NewSymmetricPath(simnet.Uniform{
+				Lo: time.Duration(r.Intn(5)) * time.Millisecond,
+				Hi: time.Duration(5+r.Intn(100)) * time.Millisecond,
+			}, 0, r.Split())
+			if err != nil {
+				return false
+			}
+		}
+		sim, err := NewSimulation(dep, SimConfig{
+			Paths:             paths,
+			MaxStepsPerClient: steps,
+			ServerProcTime:    time.Duration(r.Intn(3)) * time.Millisecond,
+		})
+		if err != nil {
+			return false
+		}
+		res, err := sim.Run()
+		if err != nil {
+			return false
+		}
+		total := 0
+		for i, got := range res.StepsPerClient {
+			if got != steps {
+				t.Logf("seed %d policy %s: client %d did %d/%d steps", seed, policy, i, got, steps)
+				return false
+			}
+			total += got
+		}
+		if res.ServerSteps != total {
+			t.Logf("seed %d policy %s: server %d != clients %d", seed, policy, res.ServerSteps, total)
+			return false
+		}
+		// Every client idle at the end (all gradients returned).
+		for i, c := range dep.Clients {
+			if c.HasOutstanding() {
+				t.Logf("seed %d policy %s: client %d still outstanding", seed, policy, i)
+				return false
+			}
+		}
+		// Queue fully drained.
+		if dep.Server.Queue.Len() != 0 {
+			t.Logf("seed %d policy %s: %d items left in queue", seed, policy, dep.Server.Queue.Len())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/stsl/stsl/internal/compress"
+	"github.com/stsl/stsl/internal/data"
+	"github.com/stsl/stsl/internal/nn"
+	"github.com/stsl/stsl/internal/opt"
+	"github.com/stsl/stsl/internal/transport"
+)
+
+// EndSystem is one client of the framework: it owns a private stack of
+// the layers below the cut, its local dataset, and an optimiser for the
+// private parameters. Raw inputs never leave the end-system; only the
+// activations of its last local layer are transmitted.
+//
+// The split-learning protocol is lock-step per client: after sending an
+// activation batch, the end-system must receive (and apply) the matching
+// gradient before producing the next batch, because the layer stack
+// caches one forward pass for the corresponding backward pass.
+type EndSystem struct {
+	// ID identifies the client in messages and metrics.
+	ID int
+	// Stack holds the private layers L1..Lk (possibly empty for cut=0).
+	Stack *nn.Sequential
+	// Optim updates the private parameters.
+	Optim opt.Optimizer
+	// Batcher streams the client's local shard.
+	Batcher *data.Batcher
+
+	seq         int
+	epoch       int
+	outstanding int // seq awaiting gradient, -1 when none
+	// Augment, when non-nil, is applied to every batch before the
+	// forward pass (training-time augmentation).
+	Augment *data.Augmenter
+	// QuantizeBits, when 8 or 16, applies lossy linear quantization to
+	// outgoing activations — the model trains on what the server will
+	// actually see, and the network is charged the compressed size.
+	QuantizeBits int
+}
+
+// NewEndSystem wires a client together.
+func NewEndSystem(id int, stack *nn.Sequential, optim opt.Optimizer, batcher *data.Batcher) (*EndSystem, error) {
+	if stack == nil || optim == nil || batcher == nil {
+		return nil, fmt.Errorf("core: end-system %d needs stack, optimiser and batcher", id)
+	}
+	return &EndSystem{ID: id, Stack: stack, Optim: optim, Batcher: batcher, outstanding: -1}, nil
+}
+
+// Steps returns the number of batches the client has sent so far.
+func (e *EndSystem) Steps() int { return e.seq }
+
+// Epoch returns the number of completed local epochs.
+func (e *EndSystem) Epoch() int { return e.epoch }
+
+// HasOutstanding reports whether the client is waiting for a gradient.
+func (e *EndSystem) HasOutstanding() bool { return e.outstanding >= 0 }
+
+// ProduceBatch draws the next local batch, runs the private forward pass,
+// and returns the activation message to send. It fails if a previous
+// batch's gradient is still outstanding.
+func (e *EndSystem) ProduceBatch(now time.Duration) (*transport.Message, error) {
+	if e.HasOutstanding() {
+		return nil, fmt.Errorf("core: end-system %d has batch %d outstanding", e.ID, e.outstanding)
+	}
+	batch, ok := e.Batcher.Next()
+	if !ok {
+		e.epoch++
+		batch, ok = e.Batcher.Next()
+		if !ok {
+			return nil, fmt.Errorf("core: end-system %d has an empty dataset", e.ID)
+		}
+	}
+	x := batch.X
+	if e.Augment != nil {
+		x = e.Augment.Apply(x)
+	}
+	act := e.Stack.Forward(x, true)
+	wireSize := 0
+	if e.QuantizeBits == 8 || e.QuantizeBits == 16 {
+		deq, bytes, err := compress.RoundTrip(act, compress.Bits(e.QuantizeBits))
+		if err != nil {
+			return nil, fmt.Errorf("core: end-system %d quantize: %w", e.ID, err)
+		}
+		act = deq
+		wireSize = bytes
+	}
+	msg := &transport.Message{
+		Type:     transport.MsgActivation,
+		ClientID: e.ID,
+		Seq:      e.seq,
+		Epoch:    e.epoch,
+		SentAt:   now,
+		Payload:  act,
+		Labels:   batch.Y,
+		WireSize: wireSize,
+	}
+	e.outstanding = e.seq
+	e.seq++
+	return msg, nil
+}
+
+// ApplyGradient consumes the server's gradient reply for the outstanding
+// batch: it back-propagates through the private stack and steps the local
+// optimiser.
+func (e *EndSystem) ApplyGradient(msg *transport.Message) error {
+	if msg.Type != transport.MsgGradient {
+		return fmt.Errorf("core: end-system %d got %v, want gradient", e.ID, msg.Type)
+	}
+	if !e.HasOutstanding() || msg.Seq != e.outstanding {
+		return fmt.Errorf("core: end-system %d got gradient for seq %d, outstanding %d",
+			e.ID, msg.Seq, e.outstanding)
+	}
+	e.Stack.ZeroGrad()
+	e.Stack.Backward(msg.Payload)
+	e.Optim.Step(e.Stack.Params())
+	e.outstanding = -1
+	return nil
+}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"github.com/stsl/stsl/internal/data"
+	"github.com/stsl/stsl/internal/mathx"
+	"github.com/stsl/stsl/internal/simnet"
+	"github.com/stsl/stsl/internal/transport"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	ds := smallData(t, 64, 43)
+	shards, err := data.PartitionIID(ds, 2, mathx.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(seed uint64) *Deployment {
+		dep, err := NewDeployment(Config{
+			Model: smallModel(), Cut: 1, Clients: 2, Seed: seed, BatchSize: 8, LR: 0.05,
+		}, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dep
+	}
+	// Train one deployment briefly so weights differ from init.
+	a := mk(7)
+	sim, err := NewSimulation(a, SimConfig{Paths: constPaths(2, 0), MaxStepsPerClient: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := a.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := mk(99) // different init
+	if err := b.LoadCheckpoint(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	// All weights must now match.
+	pa := append(a.Server.Stack.Params(), a.Clients[0].Stack.Params()...)
+	pb := append(b.Server.Stack.Params(), b.Clients[0].Stack.Params()...)
+	for i := range pa {
+		if !pa[i].Value.Equal(pb[i].Value, 0) {
+			t.Fatalf("restored parameter %s differs", pa[i].Name)
+		}
+	}
+	// Mismatched structure rejected.
+	other, err := NewDeployment(Config{
+		Model: smallModel(), Cut: 2, Clients: 2, Seed: 1, BatchSize: 8, LR: 0.05,
+	}, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.LoadCheckpoint(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("cut mismatch accepted")
+	}
+}
+
+func TestQuantizedDeploymentTrains(t *testing.T) {
+	ds := smallData(t, 64, 47)
+	for _, bits := range []int{8, 16} {
+		dep, err := NewDeployment(Config{
+			Model: smallModel(), Cut: 1, Clients: 1, Seed: 3,
+			BatchSize: 8, LR: 0.05, QuantizeBits: bits,
+		}, []*data.Dataset{ds})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Quantized payload advertises a smaller wire size.
+		msg, err := dep.Clients[0].ProduceBatch(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw := 8 * msg.Payload.Size()
+		if msg.WireSize <= 0 || msg.WireSize >= raw {
+			t.Fatalf("bits=%d: wire size %d vs raw %d", bits, msg.WireSize, raw)
+		}
+		if err := dep.Clients[0].ApplyGradient(&transport.Message{
+			Type: transport.MsgGradient, ClientID: 0, Seq: msg.Seq,
+			Payload: msg.Payload.Clone(),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		// Full simulated training still runs mechanically.
+		sim, err := NewSimulation(dep, SimConfig{Paths: constPaths(1, 0), MaxStepsPerClient: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sim.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Invalid widths rejected.
+	if _, err := NewDeployment(Config{
+		Model: smallModel(), Clients: 1, QuantizeBits: 12,
+	}, []*data.Dataset{ds}); err == nil {
+		t.Fatal("12-bit accepted")
+	}
+}
+
+func TestLossyLinksRetransmit(t *testing.T) {
+	ds := smallData(t, 64, 53)
+	dep, err := NewDeployment(Config{
+		Model: smallModel(), Cut: 1, Clients: 1, Seed: 5, BatchSize: 8, LR: 0.05,
+	}, []*data.Dataset{ds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := simnet.NewSymmetricPath(simnet.Constant{D: time.Millisecond}, 0, mathx.NewRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path.Up.DropProb = 0.3
+	path.Down.DropProb = 0.3
+	sim, err := NewSimulation(dep, SimConfig{
+		Paths:             []*simnet.Path{path},
+		MaxStepsPerClient: 20,
+		RetransmitTimeout: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All steps complete despite loss.
+	if res.ServerSteps != 20 {
+		t.Fatalf("server steps = %d", res.ServerSteps)
+	}
+	if res.Retransmits == 0 {
+		t.Fatal("30% loss produced no retransmissions")
+	}
+	// Retransmissions cost virtual time vs a clean link.
+	clean, err := NewDeployment(Config{
+		Model: smallModel(), Cut: 1, Clients: 1, Seed: 5, BatchSize: 8, LR: 0.05,
+	}, []*data.Dataset{ds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simClean, err := NewSimulation(clean, SimConfig{
+		Paths:             constPaths(1, time.Millisecond),
+		MaxStepsPerClient: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resClean, err := simClean.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VirtualDuration <= resClean.VirtualDuration {
+		t.Fatalf("lossy run (%v) not slower than clean run (%v)",
+			res.VirtualDuration, resClean.VirtualDuration)
+	}
+}
+
+func TestLossyLinkTotalLossErrors(t *testing.T) {
+	ds := smallData(t, 32, 59)
+	dep, err := NewDeployment(Config{
+		Model: smallModel(), Cut: 1, Clients: 1, Seed: 5, BatchSize: 8, LR: 0.05,
+	}, []*data.Dataset{ds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := simnet.NewSymmetricPath(simnet.Constant{D: time.Millisecond}, 0, mathx.NewRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path.Up.DropProb = 1.0 // black hole
+	sim, err := NewSimulation(dep, SimConfig{
+		Paths:             []*simnet.Path{path},
+		MaxStepsPerClient: 2,
+		RetransmitTimeout: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(); err == nil {
+		t.Fatal("100% loss did not surface an error")
+	}
+}
+
+func TestSimulationTrace(t *testing.T) {
+	ds := smallData(t, 64, 61)
+	shards, err := data.PartitionIID(ds, 2, mathx.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := NewDeployment(Config{
+		Model: smallModel(), Cut: 1, Clients: 2, Seed: 5, BatchSize: 8, LR: 0.05,
+	}, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSimulation(dep, SimConfig{
+		Paths:             constPaths(2, time.Millisecond),
+		MaxStepsPerClient: 3,
+		Trace:             true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 clients × 3 steps × 3 events each.
+	if len(res.Trace) != 18 {
+		t.Fatalf("trace has %d events, want 18", len(res.Trace))
+	}
+	// Trace is time-ordered.
+	for i := 1; i < len(res.Trace); i++ {
+		if res.Trace[i].At < res.Trace[i-1].At {
+			t.Fatal("trace not time-ordered")
+		}
+	}
+	kinds := map[string]int{}
+	for _, ev := range res.Trace {
+		kinds[ev.Kind]++
+	}
+	if kinds["activation-arrive"] != 6 || kinds["server-done"] != 6 || kinds["gradient-arrive"] != 6 {
+		t.Fatalf("trace kinds %v", kinds)
+	}
+}

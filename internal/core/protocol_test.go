@@ -1,0 +1,139 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/stsl/stsl/internal/data"
+	"github.com/stsl/stsl/internal/mathx"
+	"github.com/stsl/stsl/internal/transport"
+)
+
+// buildProtocolDeployment wires a 2-client deployment for protocol tests.
+func buildProtocolDeployment(t *testing.T, policy string) *Deployment {
+	t.Helper()
+	ds := smallData(t, 64, 41)
+	shards, err := data.PartitionIID(ds, 2, mathx.NewRNG(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := NewDeployment(Config{
+		Model: smallModel(), Cut: 1, Clients: 2, Seed: 5,
+		BatchSize: 8, LR: 0.05, QueuePolicy: policy,
+	}, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dep
+}
+
+func TestProtocolOverInMemoryConns(t *testing.T) {
+	dep := buildProtocolDeployment(t, "fifo")
+	const steps = 4
+
+	serverEnds := make([]transport.Conn, 2)
+	clientEnds := make([]transport.Conn, 2)
+	for i := range serverEnds {
+		serverEnds[i], clientEnds[i] = transport.NewPair(4)
+	}
+
+	errs := make(chan error, 3)
+	for i, es := range dep.Clients {
+		i, es := i, es
+		go func() {
+			err := RunClient(es, clientEnds[i], steps, nil)
+			clientEnds[i].Close()
+			errs <- err
+		}()
+	}
+	go func() { errs <- Serve(dep.Server, serverEnds, nil) }()
+
+	for i := 0; i < 3; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if dep.Server.Steps() != 2*steps {
+		t.Fatalf("server processed %d batches, want %d", dep.Server.Steps(), 2*steps)
+	}
+	for i, es := range dep.Clients {
+		if es.Steps() != steps {
+			t.Fatalf("client %d contributed %d steps", i, es.Steps())
+		}
+		if es.HasOutstanding() {
+			t.Fatalf("client %d still outstanding", i)
+		}
+	}
+}
+
+func TestProtocolOverTCP(t *testing.T) {
+	dep := buildProtocolDeployment(t, "fifo")
+	const steps = 3
+
+	lis, err := transport.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+
+	serverErr := make(chan error, 1)
+	go func() {
+		conns := make([]transport.Conn, 2)
+		for i := range conns {
+			c, err := lis.Accept()
+			if err != nil {
+				serverErr <- err
+				return
+			}
+			conns[i] = c
+		}
+		serverErr <- Serve(dep.Server, conns, nil)
+	}()
+
+	clientErrs := make(chan error, 2)
+	for i, es := range dep.Clients {
+		es := es
+		_ = i
+		go func() {
+			conn, err := transport.Dial(lis.Addr())
+			if err != nil {
+				clientErrs <- err
+				return
+			}
+			err = RunClient(es, conn, steps, nil)
+			conn.Close()
+			clientErrs <- err
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-clientErrs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := <-serverErr; err != nil {
+		t.Fatal(err)
+	}
+	if dep.Server.Steps() != 2*steps {
+		t.Fatalf("server processed %d batches, want %d", dep.Server.Steps(), 2*steps)
+	}
+}
+
+func TestRunClientValidation(t *testing.T) {
+	if err := RunClient(nil, nil, 1, nil); err == nil {
+		t.Fatal("nil args accepted")
+	}
+	dep := buildProtocolDeployment(t, "fifo")
+	a, _ := transport.NewPair(1)
+	if err := RunClient(dep.Clients[0], a, 0, nil); err == nil {
+		t.Fatal("zero steps accepted")
+	}
+}
+
+func TestServeValidation(t *testing.T) {
+	if err := Serve(nil, nil, nil); err == nil {
+		t.Fatal("nil server accepted")
+	}
+	dep := buildProtocolDeployment(t, "fifo")
+	if err := Serve(dep.Server, nil, nil); err == nil {
+		t.Fatal("no connections accepted")
+	}
+}

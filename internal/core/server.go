@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/stsl/stsl/internal/metrics"
+	"github.com/stsl/stsl/internal/nn"
+	"github.com/stsl/stsl/internal/opt"
+	"github.com/stsl/stsl/internal/queue"
+	"github.com/stsl/stsl/internal/transport"
+)
+
+// Server is the centralized side of the framework: the shared layers
+// above the cut plus the output layer, the parameter-scheduling queue of
+// §II, and the optimiser for the shared parameters. One server instance
+// serves every end-system; its layer stack therefore sees all clients'
+// data (in activation form) and learns a single global upper model.
+type Server struct {
+	// Stack holds the shared layers Lk+1..LN and the dense head.
+	Stack *nn.Sequential
+	// Optim updates the shared parameters.
+	Optim opt.Optimizer
+	// Queue is the parameter-scheduling discipline.
+	Queue queue.Policy
+	// QueueMetrics records service statistics.
+	QueueMetrics *queue.Metrics
+	// Losses tracks the training loss curve (window-averaged).
+	Losses *metrics.LossCurve
+
+	steps int
+}
+
+// NewServer wires the centralized server together.
+func NewServer(stack *nn.Sequential, optim opt.Optimizer, q queue.Policy) (*Server, error) {
+	if stack == nil || optim == nil || q == nil {
+		return nil, fmt.Errorf("core: server needs stack, optimiser and queue")
+	}
+	curve, err := metrics.NewLossCurve(10)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		Stack:        stack,
+		Optim:        optim,
+		Queue:        q,
+		QueueMetrics: queue.NewMetrics(),
+		Losses:       curve,
+	}, nil
+}
+
+// Steps returns the number of batches the server has processed.
+func (s *Server) Steps() int { return s.steps }
+
+// Enqueue admits an arriving activation message to the scheduling queue.
+func (s *Server) Enqueue(msg *transport.Message, arrivedAt time.Duration) error {
+	if msg.Type != transport.MsgActivation {
+		return fmt.Errorf("core: server got %v, want activation", msg.Type)
+	}
+	s.Queue.Push(queue.Item{Msg: msg, ArrivedAt: arrivedAt})
+	s.QueueMetrics.ObserveOccupancy(s.Queue.Len())
+	return nil
+}
+
+// ProcessNext pops one item per the scheduling policy, runs the shared
+// forward/backward pass, steps the shared optimiser, and returns the
+// gradient reply addressed to the originating client. ok is false when
+// the policy yields nothing (empty queue, or a gated policy holding).
+func (s *Server) ProcessNext(now time.Duration) (reply *transport.Message, ok bool, err error) {
+	it, ok := s.Queue.Pop(now)
+	if !ok {
+		return nil, false, nil
+	}
+	s.QueueMetrics.ObserveServe(it, now)
+
+	act := it.Msg.Payload
+	s.Stack.ZeroGrad()
+	logits := s.Stack.Forward(act, true)
+	loss, dlogits, err := nn.SoftmaxCrossEntropy(logits, it.Msg.Labels)
+	if err != nil {
+		return nil, false, fmt.Errorf("core: server loss for client %d seq %d: %w",
+			it.Msg.ClientID, it.Msg.Seq, err)
+	}
+	dact := s.Stack.Backward(dlogits)
+	s.Optim.Step(s.Stack.Params())
+	s.Losses.Observe(loss)
+	s.steps++
+
+	return &transport.Message{
+		Type:     transport.MsgGradient,
+		ClientID: it.Msg.ClientID,
+		Seq:      it.Msg.Seq,
+		Epoch:    it.Msg.Epoch,
+		SentAt:   now,
+		Payload:  dact,
+	}, true, nil
+}

@@ -1,0 +1,336 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/stsl/stsl/internal/data"
+	"github.com/stsl/stsl/internal/mathx"
+	"github.com/stsl/stsl/internal/metrics"
+	"github.com/stsl/stsl/internal/nn"
+	"github.com/stsl/stsl/internal/opt"
+	"github.com/stsl/stsl/internal/transport"
+)
+
+// This file implements the U-shaped split-learning variant from the
+// paper's reference [3] (Vepakomma et al., "Split learning for health"):
+// the end-system keeps the first hidden blocks AND the output head, the
+// server keeps only the middle. Labels therefore never leave the
+// end-system — a stronger privacy posture than the paper's base design,
+// at the cost of a second round trip per batch:
+//
+//	client lower-forward ──activations──▶ server middle-forward
+//	client head-forward+loss ◀──features── server
+//	client head-backward ──feature-grad──▶ server middle-backward (+step)
+//	client lower-backward (+step)        ◀──activation-grad── server
+//
+// All four hops use transport.Message with the MsgFeatures /
+// MsgFeatureGrad / MsgGradient kinds, whose validators reject any label
+// payload, so the no-label-leak property is enforced at the protocol
+// boundary rather than by convention.
+
+// SplitU cuts a built CNN into lower/middle/head stacks: lower is blocks
+// L1..Lcut, head is the trailing headLayers layers, middle is everything
+// between. The three Sequentials share layer objects with the original.
+func SplitU(m *nn.PaperCNN, cut, headLayers int) (lower, middle, head *nn.Sequential, err error) {
+	idx, err := m.CutIndex(cut)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	layers := m.Net.Layers()
+	if headLayers <= 0 || idx+headLayers > len(layers) {
+		return nil, nil, nil, fmt.Errorf("core: head of %d layers does not fit after cut %d (total %d)",
+			headLayers, cut, len(layers))
+	}
+	headStart := len(layers) - headLayers
+	lower, err = nn.NewSequential(fmt.Sprintf("u-lower-cut%d", cut), layers[:idx]...)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	middle, err = nn.NewSequential("u-middle", layers[idx:headStart]...)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	head, err = nn.NewSequential(fmt.Sprintf("u-head-%d", headLayers), layers[headStart:]...)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return lower, middle, head, nil
+}
+
+// UEndSystem is a U-shaped client: private lower blocks, private output
+// head, private labels.
+type UEndSystem struct {
+	ID    int
+	Lower *nn.Sequential
+	Head  *nn.Sequential
+	Optim opt.Optimizer
+	Batch *data.Batcher
+
+	seq    int
+	labels []int // labels of the in-flight batch; never serialised
+}
+
+// UServer is the centralized middle of the U-shaped variant. It sees
+// neither raw inputs nor labels nor logits.
+type UServer struct {
+	Middle *nn.Sequential
+	Optim  opt.Optimizer
+	Losses *metrics.LossCurve
+	steps  int
+}
+
+// Steps returns the number of batches processed by the server.
+func (s *UServer) Steps() int { return s.steps }
+
+// UShapedConfig parameterises a U-shaped deployment.
+type UShapedConfig struct {
+	Model nn.PaperCNNConfig
+	// Cut is the lower split point (blocks L1..Lcut on the client).
+	Cut int
+	// HeadLayers is how many trailing layers stay on the client
+	// (e.g. 1 keeps fc2; 3 keeps fc1+relu+fc2).
+	HeadLayers int
+	Clients    int
+	Seed       uint64
+	// SharedClientInit gives every client the template's weights
+	// (used by the equivalence test).
+	SharedClientInit bool
+	BatchSize        int
+	LR               float64
+}
+
+func (c UShapedConfig) withDefaults() UShapedConfig {
+	if c.Clients == 0 {
+		c.Clients = 1
+	}
+	if c.HeadLayers == 0 {
+		c.HeadLayers = 1
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 32
+	}
+	if c.LR == 0 {
+		c.LR = 0.05
+	}
+	return c
+}
+
+// UShapedDeployment wires M U-shaped clients to one middle server.
+type UShapedDeployment struct {
+	Config  UShapedConfig
+	Clients []*UEndSystem
+	Server  *UServer
+}
+
+// NewUShaped builds the deployment; shards must have cfg.Clients entries.
+func NewUShaped(cfg UShapedConfig, shards []*data.Dataset) (*UShapedDeployment, error) {
+	cfg = cfg.withDefaults()
+	if len(shards) != cfg.Clients {
+		return nil, fmt.Errorf("core: %d shards for %d clients", len(shards), cfg.Clients)
+	}
+	template, err := nn.BuildPaperCNN(cfg.Model, mathx.NewRNG(cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	_, middle, _, err := SplitU(template, cfg.Cut, cfg.HeadLayers)
+	if err != nil {
+		return nil, err
+	}
+	serverOpt, err := newOptimizer("sgd", cfg.LR)
+	if err != nil {
+		return nil, err
+	}
+	curve, err := metrics.NewLossCurve(10)
+	if err != nil {
+		return nil, err
+	}
+	server := &UServer{Middle: middle, Optim: serverOpt, Losses: curve}
+
+	seedGen := mathx.NewRNG(cfg.Seed ^ 0x9e3779b97f4a7c15)
+	clients := make([]*UEndSystem, cfg.Clients)
+	for i := range clients {
+		clientSeed := cfg.Seed
+		if !cfg.SharedClientInit {
+			clientSeed = seedGen.Uint64()
+		}
+		cnn, err := nn.BuildPaperCNN(cfg.Model, mathx.NewRNG(clientSeed))
+		if err != nil {
+			return nil, err
+		}
+		lower, _, head, err := SplitU(cnn, cfg.Cut, cfg.HeadLayers)
+		if err != nil {
+			return nil, err
+		}
+		clientOpt, err := newOptimizer("sgd", cfg.LR)
+		if err != nil {
+			return nil, err
+		}
+		batcher, err := data.NewBatcher(shards[i], cfg.BatchSize, mathx.NewRNG(cfg.Seed+uint64(i)*7919+13))
+		if err != nil {
+			return nil, err
+		}
+		clients[i] = &UEndSystem{ID: i, Lower: lower, Head: head, Optim: clientOpt, Batch: batcher}
+	}
+	return &UShapedDeployment{Config: cfg, Clients: clients, Server: server}, nil
+}
+
+// lowerForward runs hop 1: the client's private lower stack.
+func (e *UEndSystem) lowerForward(now time.Duration) (*transport.Message, error) {
+	batch, ok := e.Batch.Next()
+	if !ok {
+		batch, ok = e.Batch.Next()
+		if !ok {
+			return nil, fmt.Errorf("core: u-client %d has an empty dataset", e.ID)
+		}
+	}
+	e.labels = batch.Y
+	act := e.Lower.Forward(batch.X, true)
+	msg := &transport.Message{
+		Type: transport.MsgFeatures, ClientID: e.ID, Seq: e.seq, SentAt: now, Payload: act,
+	}
+	e.seq++
+	return msg, nil
+}
+
+// middleForward runs hop 2 on the server.
+func (s *UServer) middleForward(msg *transport.Message, now time.Duration) (*transport.Message, error) {
+	if msg.Type != transport.MsgFeatures {
+		return nil, fmt.Errorf("core: u-server got %v, want features", msg.Type)
+	}
+	feats := s.Middle.Forward(msg.Payload, true)
+	return &transport.Message{
+		Type: transport.MsgFeatures, ClientID: msg.ClientID, Seq: msg.Seq, SentAt: now, Payload: feats,
+	}, nil
+}
+
+// headRound runs hop 3 on the client: head forward, loss against the
+// private labels, head backward. The head's parameter gradients are
+// accumulated but not yet stepped — the client steps once per batch in
+// lowerBackward so lower and head update together.
+func (e *UEndSystem) headRound(msg *transport.Message, now time.Duration) (*transport.Message, float64, error) {
+	if msg.Type != transport.MsgFeatures {
+		return nil, 0, fmt.Errorf("core: u-client %d got %v, want features", e.ID, msg.Type)
+	}
+	logits := e.Head.Forward(msg.Payload, true)
+	loss, dlogits, err := nn.SoftmaxCrossEntropy(logits, e.labels)
+	if err != nil {
+		return nil, 0, err
+	}
+	dfeats := e.Head.Backward(dlogits)
+	return &transport.Message{
+		Type: transport.MsgFeatureGrad, ClientID: e.ID, Seq: msg.Seq, SentAt: now, Payload: dfeats,
+	}, loss, nil
+}
+
+// middleBackward runs hop 4 on the server and steps the middle optimiser.
+func (s *UServer) middleBackward(msg *transport.Message, loss float64, now time.Duration) (*transport.Message, error) {
+	if msg.Type != transport.MsgFeatureGrad {
+		return nil, fmt.Errorf("core: u-server got %v, want feature-grad", msg.Type)
+	}
+	s.Middle.ZeroGrad()
+	dact := s.Middle.Backward(msg.Payload)
+	s.Optim.Step(s.Middle.Params())
+	s.Losses.Observe(loss)
+	s.steps++
+	return &transport.Message{
+		Type: transport.MsgGradient, ClientID: msg.ClientID, Seq: msg.Seq, SentAt: now, Payload: dact,
+	}, nil
+}
+
+// lowerBackward finishes the round on the client: lower backward and one
+// optimiser step over lower+head parameters.
+func (e *UEndSystem) lowerBackward(msg *transport.Message) error {
+	if msg.Type != transport.MsgGradient {
+		return fmt.Errorf("core: u-client %d got %v, want gradient", e.ID, msg.Type)
+	}
+	// Head grads were accumulated in headRound; lower grads accumulate
+	// now; one step applies both.
+	for _, p := range e.Lower.Params() {
+		p.ZeroGrad()
+	}
+	e.Lower.Backward(msg.Payload)
+	params := append(e.Lower.Params(), e.Head.Params()...)
+	e.Optim.Step(params)
+	for _, p := range e.Head.Params() {
+		p.ZeroGrad()
+	}
+	e.labels = nil
+	return nil
+}
+
+// TrainRounds drives the synchronous U-shaped protocol: clients take
+// turns, each completing stepsPerClient full two-round-trip batches.
+// Every hop's message is validated, so a regression that leaks labels
+// into any message fails loudly.
+func (d *UShapedDeployment) TrainRounds(stepsPerClient int) error {
+	if stepsPerClient <= 0 {
+		return fmt.Errorf("core: TrainRounds needs positive steps, got %d", stepsPerClient)
+	}
+	var now time.Duration
+	for step := 0; step < stepsPerClient; step++ {
+		for _, c := range d.Clients {
+			now += time.Millisecond
+			up, err := c.lowerForward(now)
+			if err != nil {
+				return err
+			}
+			if err := up.Validate(); err != nil {
+				return err
+			}
+			feats, err := d.Server.middleForward(up, now)
+			if err != nil {
+				return err
+			}
+			if err := feats.Validate(); err != nil {
+				return err
+			}
+			fgrad, loss, err := c.headRound(feats, now)
+			if err != nil {
+				return err
+			}
+			if err := fgrad.Validate(); err != nil {
+				return err
+			}
+			agrad, err := d.Server.middleBackward(fgrad, loss, now)
+			if err != nil {
+				return err
+			}
+			if err := agrad.Validate(); err != nil {
+				return err
+			}
+			if err := c.lowerBackward(agrad); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Evaluate runs the test set through client i's full U-shaped pipeline.
+func (d *UShapedDeployment) Evaluate(i int, test *data.Dataset) (*metrics.ConfusionMatrix, error) {
+	if i < 0 || i >= len(d.Clients) {
+		return nil, fmt.Errorf("core: client index %d out of range", i)
+	}
+	cm, err := metrics.NewConfusionMatrix(test.Classes)
+	if err != nil {
+		return nil, err
+	}
+	batcher, err := data.NewBatcher(test, 128, nil)
+	if err != nil {
+		return nil, err
+	}
+	c := d.Clients[i]
+	for {
+		batch, ok := batcher.Next()
+		if !ok {
+			return cm, nil
+		}
+		act := c.Lower.Forward(batch.X, false)
+		feats := d.Server.Middle.Forward(act, false)
+		logits := c.Head.Forward(feats, false)
+		if err := cm.Add(nn.Predict(logits), batch.Y); err != nil {
+			return nil, err
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/stsl/stsl/internal/data"
+	"github.com/stsl/stsl/internal/mathx"
+	"github.com/stsl/stsl/internal/nn"
+	"github.com/stsl/stsl/internal/opt"
+	"github.com/stsl/stsl/internal/tensor"
+	"github.com/stsl/stsl/internal/transport"
+)
+
+func TestSplitUPartitions(t *testing.T) {
+	r := mathx.NewRNG(1)
+	m, err := nn.BuildPaperCNN(smallModel(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := m.Net.Len()
+	lower, middle, head, err := SplitU(m, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lower.Len()+middle.Len()+head.Len() != total {
+		t.Fatalf("%d+%d+%d != %d", lower.Len(), middle.Len(), head.Len(), total)
+	}
+	// Composition equals the monolithic forward.
+	x := smallData(t, 2, 3).X
+	whole := m.Net.Forward(x, false)
+	split := head.Forward(middle.Forward(lower.Forward(x, false), false), false)
+	if !whole.Equal(split, 1e-12) {
+		t.Fatal("U composition differs from monolithic forward")
+	}
+	// Head too large rejected.
+	if _, _, _, err := SplitU(m, 2, total); err == nil {
+		t.Fatal("oversized head accepted")
+	}
+	if _, _, _, err := SplitU(m, 1, 0); err == nil {
+		t.Fatal("zero head accepted")
+	}
+}
+
+// TestUShapedEquivalentToMonolithic extends invariant #1 to the U-shaped
+// variant: one client, shared init — training must be bitwise identical
+// to monolithic SGD on the same batch stream.
+func TestUShapedEquivalentToMonolithic(t *testing.T) {
+	const (
+		seed      = uint64(11)
+		batchSize = 8
+		steps     = 5
+		lr        = 0.05
+	)
+	ds := smallData(t, 64, 13)
+	for _, tc := range []struct{ cut, head int }{{1, 1}, {1, 3}, {2, 1}} {
+		dep, err := NewUShaped(UShapedConfig{
+			Model: smallModel(), Cut: tc.cut, HeadLayers: tc.head,
+			Clients: 1, Seed: seed, SharedClientInit: true,
+			BatchSize: batchSize, LR: lr,
+		}, []*data.Dataset{ds})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := dep.TrainRounds(steps); err != nil {
+			t.Fatal(err)
+		}
+
+		mono, err := nn.BuildPaperCNN(smallModel(), mathx.NewRNG(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		batcher, err := data.NewBatcher(ds, batchSize, mathx.NewRNG(seed+13))
+		if err != nil {
+			t.Fatal(err)
+		}
+		o, err := opt.NewSGD(opt.Config{LR: lr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := 0; s < steps; s++ {
+			batch, ok := batcher.Next()
+			if !ok {
+				batch, _ = batcher.Next()
+			}
+			mono.Net.ZeroGrad()
+			logits := mono.Net.Forward(batch.X, true)
+			_, grad, err := nn.SoftmaxCrossEntropy(logits, batch.Y)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mono.Net.Backward(grad)
+			o.Step(mono.Net.Params())
+		}
+
+		split := append(append(dep.Clients[0].Lower.Params(), dep.Server.Middle.Params()...),
+			dep.Clients[0].Head.Params()...)
+		monoP := mono.Net.Params()
+		if len(split) != len(monoP) {
+			t.Fatalf("cut=%d head=%d: param counts %d vs %d", tc.cut, tc.head, len(split), len(monoP))
+		}
+		for i := range split {
+			if !split[i].Value.Equal(monoP[i].Value, 0) {
+				t.Fatalf("cut=%d head=%d: parameter %s diverged", tc.cut, tc.head, split[i].Name)
+			}
+		}
+	}
+}
+
+func TestUShapedNoLabelLeak(t *testing.T) {
+	// Protocol-level: a features/feature-grad message carrying labels
+	// must be rejected by validation.
+	bad := &transport.Message{
+		Type:    transport.MsgFeatures,
+		Payload: tensor.New(1, 2),
+		Labels:  []int{0},
+	}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("features message with labels accepted")
+	}
+	bad.Type = transport.MsgFeatureGrad
+	if err := bad.Validate(); err == nil {
+		t.Fatal("feature-grad message with labels accepted")
+	}
+
+	// End-to-end: run a round and confirm the messages the client emits
+	// carry no labels.
+	ds := smallData(t, 32, 17)
+	dep, err := NewUShaped(UShapedConfig{
+		Model: smallModel(), Cut: 1, Clients: 1, Seed: 3, BatchSize: 8, LR: 0.05,
+	}, []*data.Dataset{ds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	up, err := dep.Clients[0].lowerForward(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(up.Labels) != 0 {
+		t.Fatal("uplink activation carries labels")
+	}
+	feats, err := dep.Server.middleForward(up, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fgrad, _, err := dep.Clients[0].headRound(feats, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fgrad.Labels) != 0 {
+		t.Fatal("feature gradient carries labels")
+	}
+}
+
+func TestUShapedMultiClientTrainsAndEvaluates(t *testing.T) {
+	ds := smallData(t, 96, 19)
+	shards, err := data.PartitionIID(ds, 3, mathx.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := NewUShaped(UShapedConfig{
+		Model: smallModel(), Cut: 1, Clients: 3, Seed: 7, BatchSize: 8, LR: 0.05,
+	}, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dep.TrainRounds(6); err != nil {
+		t.Fatal(err)
+	}
+	if dep.Server.Steps() != 18 {
+		t.Fatalf("server steps = %d, want 18", dep.Server.Steps())
+	}
+	test := smallData(t, 40, 23)
+	cm, err := dep.Evaluate(0, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := cm.Accuracy(); acc < 0 || acc > 1 {
+		t.Fatalf("accuracy %v", acc)
+	}
+	if _, err := dep.Evaluate(9, test); err == nil {
+		t.Fatal("bad index accepted")
+	}
+}
+
+func TestUShapedValidation(t *testing.T) {
+	ds := smallData(t, 16, 29)
+	if _, err := NewUShaped(UShapedConfig{Model: smallModel(), Clients: 2}, []*data.Dataset{ds}); err == nil {
+		t.Fatal("shard mismatch accepted")
+	}
+	dep, err := NewUShaped(UShapedConfig{Model: smallModel(), Clients: 1}, []*data.Dataset{ds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dep.TrainRounds(0); err == nil {
+		t.Fatal("zero rounds accepted")
+	}
+}

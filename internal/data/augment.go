@@ -1,0 +1,93 @@
+package data
+
+import (
+	"fmt"
+
+	"github.com/stsl/stsl/internal/mathx"
+	"github.com/stsl/stsl/internal/tensor"
+)
+
+// Augmenter applies the standard CIFAR-style training augmentations to a
+// batch: random horizontal flip and random crop after reflection-free
+// zero padding. Augmentation happens on copies; the source batch is not
+// modified.
+type Augmenter struct {
+	// FlipProb is the probability of a horizontal flip (default 0.5 when
+	// constructed with NewAugmenter).
+	FlipProb float64
+	// CropPad is the zero-padding margin for random crops; 0 disables
+	// cropping.
+	CropPad int
+	rng     *mathx.RNG
+}
+
+// NewAugmenter constructs an augmenter with flip probability 0.5 and the
+// given crop padding.
+func NewAugmenter(cropPad int, r *mathx.RNG) (*Augmenter, error) {
+	if cropPad < 0 {
+		return nil, fmt.Errorf("data: negative crop padding %d", cropPad)
+	}
+	if r == nil {
+		return nil, fmt.Errorf("data: augmenter needs an RNG")
+	}
+	return &Augmenter{FlipProb: 0.5, CropPad: cropPad, rng: r}, nil
+}
+
+// Apply returns an augmented copy of the batch images.
+func (a *Augmenter) Apply(x *tensor.Tensor) *tensor.Tensor {
+	s := x.Shape()
+	n, c, h, w := s[0], s[1], s[2], s[3]
+	out := x.Clone()
+	data := out.Data()
+	plane := h * w
+	for img := 0; img < n; img++ {
+		if a.rng.Float64() < a.FlipProb {
+			flipH(data[img*c*plane:(img+1)*c*plane], c, h, w)
+		}
+		if a.CropPad > 0 {
+			dy := a.rng.Intn(2*a.CropPad+1) - a.CropPad
+			dx := a.rng.Intn(2*a.CropPad+1) - a.CropPad
+			translate(data[img*c*plane:(img+1)*c*plane], c, h, w, dy, dx)
+		}
+	}
+	return out
+}
+
+// flipH mirrors every channel plane left-right in place.
+func flipH(img []float64, c, h, w int) {
+	for ch := 0; ch < c; ch++ {
+		plane := img[ch*h*w:][:h*w]
+		for y := 0; y < h; y++ {
+			row := plane[y*w:][:w]
+			for x := 0; x < w/2; x++ {
+				row[x], row[w-1-x] = row[w-1-x], row[x]
+			}
+		}
+	}
+}
+
+// translate shifts every channel plane by (dy, dx), filling vacated pixels
+// with zeros — equivalent to a random crop from a zero-padded canvas.
+func translate(img []float64, c, h, w, dy, dx int) {
+	if dy == 0 && dx == 0 {
+		return
+	}
+	for ch := 0; ch < c; ch++ {
+		plane := img[ch*h*w:][:h*w]
+		tmp := make([]float64, h*w)
+		for y := 0; y < h; y++ {
+			sy := y - dy
+			if sy < 0 || sy >= h {
+				continue
+			}
+			for x := 0; x < w; x++ {
+				sx := x - dx
+				if sx < 0 || sx >= w {
+					continue
+				}
+				tmp[y*w+x] = plane[sy*w+sx]
+			}
+		}
+		copy(plane, tmp)
+	}
+}

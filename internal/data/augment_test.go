@@ -1,0 +1,110 @@
+package data
+
+import (
+	"testing"
+
+	"github.com/stsl/stsl/internal/mathx"
+)
+
+func TestAugmenterDoesNotMutateSource(t *testing.T) {
+	ds := tinyDataset(t, 4)
+	orig := ds.X.Clone()
+	a, err := NewAugmenter(2, mathx.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Apply(ds.X)
+	if !ds.X.Equal(orig, 0) {
+		t.Fatal("augmenter mutated source batch")
+	}
+}
+
+func TestFlipHExact(t *testing.T) {
+	img := []float64{
+		1, 2, 3,
+		4, 5, 6,
+	}
+	flipH(img, 1, 2, 3)
+	want := []float64{
+		3, 2, 1,
+		6, 5, 4,
+	}
+	for i := range want {
+		if img[i] != want[i] {
+			t.Fatalf("flipH = %v, want %v", img, want)
+		}
+	}
+}
+
+func TestTranslateExact(t *testing.T) {
+	img := []float64{
+		1, 2,
+		3, 4,
+	}
+	translate(img, 1, 2, 2, 1, 0) // shift down one row
+	want := []float64{
+		0, 0,
+		1, 2,
+	}
+	for i := range want {
+		if img[i] != want[i] {
+			t.Fatalf("translate = %v, want %v", img, want)
+		}
+	}
+}
+
+func TestTranslateZeroIsNoop(t *testing.T) {
+	img := []float64{1, 2, 3, 4}
+	translate(img, 1, 2, 2, 0, 0)
+	want := []float64{1, 2, 3, 4}
+	for i := range want {
+		if img[i] != want[i] {
+			t.Fatal("zero translate changed image")
+		}
+	}
+}
+
+func TestAugmenterFlipProbabilityExtremes(t *testing.T) {
+	ds := tinyDataset(t, 8)
+	// FlipProb 0 and CropPad 0: identity.
+	a, err := NewAugmenter(0, mathx.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.FlipProb = 0
+	out := a.Apply(ds.X)
+	if !out.Equal(ds.X, 0) {
+		t.Fatal("identity augmenter changed data")
+	}
+	// FlipProb 1: every image flipped; flipping twice restores.
+	a.FlipProb = 1
+	flipped := a.Apply(ds.X)
+	restored := a.Apply(flipped)
+	if !restored.Equal(ds.X, 0) {
+		t.Fatal("double flip did not restore images")
+	}
+	if flipped.Equal(ds.X, 0) {
+		t.Fatal("flip had no effect")
+	}
+}
+
+func TestAugmenterPreservesShape(t *testing.T) {
+	ds := tinyDataset(t, 3)
+	a, err := NewAugmenter(3, mathx.NewRNG(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := a.Apply(ds.X)
+	if !out.SameShape(ds.X) {
+		t.Fatalf("augmented shape %v != %v", out.Shape(), ds.X.Shape())
+	}
+}
+
+func TestAugmenterRejectsBadConfig(t *testing.T) {
+	if _, err := NewAugmenter(-1, mathx.NewRNG(1)); err == nil {
+		t.Fatal("negative pad accepted")
+	}
+	if _, err := NewAugmenter(1, nil); err == nil {
+		t.Fatal("nil RNG accepted")
+	}
+}

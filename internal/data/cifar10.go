@@ -1,0 +1,119 @@
+package data
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"github.com/stsl/stsl/internal/tensor"
+)
+
+// CIFAR-10 binary format: each record is 1 label byte followed by 3072
+// pixel bytes (1024 red, 1024 green, 1024 blue, row-major). The official
+// distribution ships five training files and one test file of 10000
+// records each.
+const (
+	cifarRecordLen = 1 + 3*32*32
+	cifarClasses   = 10
+)
+
+// LoadCIFAR10Reader decodes CIFAR-10 binary records from r until EOF.
+// Pixels are scaled to [0,1]. maxRecords ≤ 0 means "all".
+func LoadCIFAR10Reader(r io.Reader, maxRecords int) (*Dataset, error) {
+	var images [][]float64
+	var labels []int
+	buf := make([]byte, cifarRecordLen)
+	for maxRecords <= 0 || len(labels) < maxRecords {
+		_, err := io.ReadFull(r, buf)
+		if err == io.EOF {
+			break
+		}
+		if err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("data: truncated CIFAR-10 record after %d records", len(labels))
+		}
+		if err != nil {
+			return nil, fmt.Errorf("data: read CIFAR-10 record: %w", err)
+		}
+		label := int(buf[0])
+		if label >= cifarClasses {
+			return nil, fmt.Errorf("data: CIFAR-10 label %d out of range at record %d", label, len(labels))
+		}
+		px := make([]float64, 3*32*32)
+		for i := 0; i < 3*32*32; i++ {
+			px[i] = float64(buf[1+i]) / 255
+		}
+		images = append(images, px)
+		labels = append(labels, label)
+	}
+	if len(labels) == 0 {
+		return nil, fmt.Errorf("data: no CIFAR-10 records decoded")
+	}
+	x := tensor.New(len(labels), 3, 32, 32)
+	dst := x.Data()
+	for i, px := range images {
+		copy(dst[i*len(px):(i+1)*len(px)], px)
+	}
+	ds := &Dataset{X: x, Y: labels, Classes: cifarClasses}
+	return ds, ds.Validate()
+}
+
+// LoadCIFAR10Dir loads the official binary distribution from dir
+// (data_batch_1..5.bin for training, test_batch.bin for test). It returns
+// an error when the files are absent; callers fall back to SynthCIFAR.
+func LoadCIFAR10Dir(dir string) (train, test *Dataset, err error) {
+	var trainParts []*Dataset
+	for i := 1; i <= 5; i++ {
+		part, err := loadCIFARFile(filepath.Join(dir, fmt.Sprintf("data_batch_%d.bin", i)))
+		if err != nil {
+			return nil, nil, err
+		}
+		trainParts = append(trainParts, part)
+	}
+	train, err = Concat(trainParts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	test, err = loadCIFARFile(filepath.Join(dir, "test_batch.bin"))
+	if err != nil {
+		return nil, nil, err
+	}
+	return train, test, nil
+}
+
+func loadCIFARFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("data: open CIFAR-10 file: %w", err)
+	}
+	defer f.Close()
+	return LoadCIFAR10Reader(f, 0)
+}
+
+// Concat joins datasets with identical image geometry and class count.
+func Concat(parts ...*Dataset) (*Dataset, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("data: Concat of nothing")
+	}
+	base := parts[0].X.Shape()
+	classes := parts[0].Classes
+	total := 0
+	for _, p := range parts {
+		s := p.X.Shape()
+		if len(s) != 4 || s[1] != base[1] || s[2] != base[2] || s[3] != base[3] || p.Classes != classes {
+			return nil, fmt.Errorf("data: Concat geometry mismatch %v vs %v", s, base)
+		}
+		total += p.Len()
+	}
+	x := tensor.New(total, base[1], base[2], base[3])
+	y := make([]int, 0, total)
+	dst := x.Data()
+	off := 0
+	for _, p := range parts {
+		copy(dst[off:], p.X.Data())
+		off += p.X.Size()
+		y = append(y, p.Y...)
+	}
+	ds := &Dataset{X: x, Y: y, Classes: classes}
+	return ds, ds.Validate()
+}

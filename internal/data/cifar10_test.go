@@ -1,0 +1,91 @@
+package data
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fakeCIFARRecords builds n wire-format CIFAR-10 records with label i%10
+// and a constant pixel value.
+func fakeCIFARRecords(n int) []byte {
+	buf := make([]byte, 0, n*cifarRecordLen)
+	for i := 0; i < n; i++ {
+		rec := make([]byte, cifarRecordLen)
+		rec[0] = byte(i % 10)
+		for j := 1; j < cifarRecordLen; j++ {
+			rec[j] = byte(i) // distinct per record
+		}
+		buf = append(buf, rec...)
+	}
+	return buf
+}
+
+func TestLoadCIFAR10Reader(t *testing.T) {
+	raw := fakeCIFARRecords(12)
+	ds, err := LoadCIFAR10Reader(bytes.NewReader(raw), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 12 {
+		t.Fatalf("len = %d", ds.Len())
+	}
+	s := ds.X.Shape()
+	if s[1] != 3 || s[2] != 32 || s[3] != 32 {
+		t.Fatalf("shape = %v", s)
+	}
+	if ds.Y[3] != 3 || ds.Y[11] != 1 {
+		t.Fatalf("labels = %v", ds.Y)
+	}
+	// Pixel scaling: record 5 has all bytes = 5 → 5/255.
+	if got := ds.X.At(5, 0, 0, 0); got != 5.0/255 {
+		t.Fatalf("pixel = %v", got)
+	}
+}
+
+func TestLoadCIFAR10ReaderMaxRecords(t *testing.T) {
+	raw := fakeCIFARRecords(12)
+	ds, err := LoadCIFAR10Reader(bytes.NewReader(raw), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 5 {
+		t.Fatalf("len = %d, want 5", ds.Len())
+	}
+}
+
+func TestLoadCIFAR10ReaderRejectsTruncated(t *testing.T) {
+	raw := fakeCIFARRecords(2)
+	if _, err := LoadCIFAR10Reader(bytes.NewReader(raw[:len(raw)-10]), 0); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+}
+
+func TestLoadCIFAR10ReaderRejectsEmpty(t *testing.T) {
+	if _, err := LoadCIFAR10Reader(bytes.NewReader(nil), 0); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+}
+
+func TestLoadCIFAR10DirMissing(t *testing.T) {
+	if _, _, err := LoadCIFAR10Dir(t.TempDir()); err == nil {
+		t.Fatal("missing files accepted")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := tinyDataset(t, 5)
+	b := tinyDataset(t, 7)
+	joined, err := Concat(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if joined.Len() != 12 {
+		t.Fatalf("len = %d", joined.Len())
+	}
+	if joined.Y[5] != b.Y[0] {
+		t.Fatal("concat order wrong")
+	}
+	if _, err := Concat(); err == nil {
+		t.Fatal("empty concat accepted")
+	}
+}

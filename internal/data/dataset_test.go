@@ -1,0 +1,159 @@
+package data
+
+import (
+	"math"
+	"testing"
+
+	"github.com/stsl/stsl/internal/mathx"
+	"github.com/stsl/stsl/internal/tensor"
+)
+
+func tinyDataset(t *testing.T, n int) *Dataset {
+	t.Helper()
+	ds, err := SynthCIFAR{Height: 8, Width: 8, Classes: 4}.Generate(n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestDatasetValidate(t *testing.T) {
+	ds := tinyDataset(t, 12)
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Dataset{X: tensor.New(3, 1, 2, 2), Y: []int{0, 1}, Classes: 2}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	bad2 := &Dataset{X: tensor.New(2, 1, 2, 2), Y: []int{0, 5}, Classes: 2}
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("out-of-range label accepted")
+	}
+}
+
+func TestSubsetCopiesData(t *testing.T) {
+	ds := tinyDataset(t, 10)
+	sub := ds.Subset([]int{0, 5})
+	if sub.Len() != 2 {
+		t.Fatalf("subset len = %d", sub.Len())
+	}
+	if sub.Y[1] != ds.Y[5] {
+		t.Fatal("subset label mismatch")
+	}
+	before := ds.X.At(0, 0, 0, 0)
+	sub.X.Set(before+100, 0, 0, 0, 0)
+	if ds.X.At(0, 0, 0, 0) != before {
+		t.Fatal("subset aliases parent storage")
+	}
+}
+
+func TestSplit(t *testing.T) {
+	ds := tinyDataset(t, 10)
+	head, tail, err := ds.Split(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if head.Len() != 3 || tail.Len() != 7 {
+		t.Fatalf("split sizes %d/%d", head.Len(), tail.Len())
+	}
+	if _, _, err := ds.Split(11); err == nil {
+		t.Fatal("oversized split accepted")
+	}
+}
+
+func TestShufflePreservesPairs(t *testing.T) {
+	ds := tinyDataset(t, 30)
+	// Fingerprint each image with its sum, paired with its label.
+	type pair struct {
+		sum   float64
+		label int
+	}
+	fingerprint := func(d *Dataset) map[pair]int {
+		m := make(map[pair]int)
+		for i := 0; i < d.Len(); i++ {
+			m[pair{d.Image(i).Sum(), d.Y[i]}]++
+		}
+		return m
+	}
+	before := fingerprint(ds)
+	ds.Shuffle(mathx.NewRNG(7))
+	after := fingerprint(ds)
+	if len(before) != len(after) {
+		t.Fatal("shuffle changed fingerprint cardinality")
+	}
+	for k, v := range before {
+		if after[k] != v {
+			t.Fatal("shuffle broke an image/label pair")
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	ds := tinyDataset(t, 64)
+	means, stds := ds.Normalize()
+	if len(means) != 3 || len(stds) != 3 {
+		t.Fatalf("means/stds lengths %d/%d", len(means), len(stds))
+	}
+	// Per-channel statistics after normalisation: ≈0 mean, ≈1 std.
+	s := ds.X.Shape()
+	n, c, plane := s[0], s[1], s[2]*s[3]
+	data := ds.X.Data()
+	for ch := 0; ch < c; ch++ {
+		var vals []float64
+		for img := 0; img < n; img++ {
+			base := (img*c + ch) * plane
+			vals = append(vals, data[base:base+plane]...)
+		}
+		if m := mathx.Mean(vals); math.Abs(m) > 1e-9 {
+			t.Fatalf("channel %d mean = %v after normalize", ch, m)
+		}
+		if sd := mathx.Std(vals); math.Abs(sd-1) > 1e-9 {
+			t.Fatalf("channel %d std = %v after normalize", ch, sd)
+		}
+	}
+}
+
+func TestApplyNormalizationConsistency(t *testing.T) {
+	// Normalising train and applying the same transform to test keeps the
+	// two sets on the same scale.
+	g := SynthCIFAR{Height: 8, Width: 8, Classes: 4}
+	train, err := g.Generate(64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test, err := g.Generate(64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	means, stds := train.Normalize()
+	test.ApplyNormalization(means, stds)
+	// Test-set stats should be near train's (same generator distribution,
+	// independent draw — allow generous sampling slack).
+	if m := test.X.Mean(); math.Abs(m) > 0.3 {
+		t.Fatalf("test mean after transform = %v", m)
+	}
+}
+
+func TestClassCounts(t *testing.T) {
+	ds := &Dataset{X: tensor.New(5, 1, 1, 1), Y: []int{0, 1, 1, 2, 1}, Classes: 3}
+	got := ds.ClassCounts()
+	want := []int{1, 3, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ClassCounts = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestImageExtraction(t *testing.T) {
+	ds := tinyDataset(t, 4)
+	img := ds.Image(2)
+	s := img.Shape()
+	if s[0] != 3 || s[1] != 8 || s[2] != 8 {
+		t.Fatalf("image shape = %v", s)
+	}
+	if img.At(0, 0, 0) != ds.X.At(2, 0, 0, 0) {
+		t.Fatal("image content mismatch")
+	}
+}

@@ -1,0 +1,131 @@
+package data
+
+import (
+	"fmt"
+
+	"github.com/stsl/stsl/internal/mathx"
+)
+
+// PartitionIID splits the dataset into m shards of near-equal size with a
+// uniformly random assignment, modelling end-systems whose local data is
+// statistically identical.
+func PartitionIID(ds *Dataset, m int, r *mathx.RNG) ([]*Dataset, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("data: partition count must be positive, got %d", m)
+	}
+	if ds.Len() < m {
+		return nil, fmt.Errorf("data: cannot split %d examples across %d shards", ds.Len(), m)
+	}
+	perm := r.Perm(ds.Len())
+	shards := make([]*Dataset, m)
+	for i := 0; i < m; i++ {
+		lo := i * ds.Len() / m
+		hi := (i + 1) * ds.Len() / m
+		shards[i] = ds.Subset(perm[lo:hi])
+	}
+	return shards, nil
+}
+
+// PartitionDirichlet splits the dataset into m label-skewed shards: for
+// each class, the examples are divided according to a Dirichlet(alpha)
+// draw over shards. Small alpha (≈0.1–0.5) produces strongly non-IID
+// shards — the realistic regime for geo-distributed hospitals where each
+// site sees a different case mix. Every shard is guaranteed at least one
+// example.
+func PartitionDirichlet(ds *Dataset, m int, alpha float64, r *mathx.RNG) ([]*Dataset, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("data: partition count must be positive, got %d", m)
+	}
+	if alpha <= 0 {
+		return nil, fmt.Errorf("data: Dirichlet alpha must be positive, got %v", alpha)
+	}
+	if ds.Len() < m {
+		return nil, fmt.Errorf("data: cannot split %d examples across %d shards", ds.Len(), m)
+	}
+	// Bucket example indices by class, shuffled within class.
+	byClass := make([][]int, ds.Classes)
+	for i, y := range ds.Y {
+		byClass[y] = append(byClass[y], i)
+	}
+	for _, bucket := range byClass {
+		r.Shuffle(len(bucket), func(i, j int) { bucket[i], bucket[j] = bucket[j], bucket[i] })
+	}
+	assign := make([][]int, m)
+	for _, bucket := range byClass {
+		if len(bucket) == 0 {
+			continue
+		}
+		props := r.Dirichlet(alpha, m)
+		// Convert proportions to cumulative cut points over the bucket.
+		start := 0
+		cum := 0.0
+		for shard := 0; shard < m; shard++ {
+			cum += props[shard]
+			end := int(cum*float64(len(bucket)) + 0.5)
+			if shard == m-1 {
+				end = len(bucket)
+			}
+			if end > len(bucket) {
+				end = len(bucket)
+			}
+			if end > start {
+				assign[shard] = append(assign[shard], bucket[start:end]...)
+				start = end
+			}
+		}
+	}
+	// Guarantee non-empty shards by stealing from the largest.
+	for i := range assign {
+		if len(assign[i]) > 0 {
+			continue
+		}
+		largest := 0
+		for j := range assign {
+			if len(assign[j]) > len(assign[largest]) {
+				largest = j
+			}
+		}
+		if len(assign[largest]) < 2 {
+			return nil, fmt.Errorf("data: Dirichlet partition cannot fill %d shards from %d examples", m, ds.Len())
+		}
+		n := len(assign[largest])
+		assign[i] = append(assign[i], assign[largest][n-1])
+		assign[largest] = assign[largest][:n-1]
+	}
+	shards := make([]*Dataset, m)
+	for i := range shards {
+		shards[i] = ds.Subset(assign[i])
+	}
+	return shards, nil
+}
+
+// SkewStat quantifies how non-IID a partition is: the mean total-variation
+// distance between each shard's label distribution and the global one
+// (0 = perfectly IID, →1 = each shard sees a single class).
+func SkewStat(global *Dataset, shards []*Dataset) float64 {
+	gCounts := global.ClassCounts()
+	gTotal := float64(global.Len())
+	gDist := make([]float64, len(gCounts))
+	for i, c := range gCounts {
+		gDist[i] = float64(c) / gTotal
+	}
+	tv := 0.0
+	for _, s := range shards {
+		counts := s.ClassCounts()
+		total := float64(s.Len())
+		d := 0.0
+		for i, c := range counts {
+			p := 0.0
+			if total > 0 {
+				p = float64(c) / total
+			}
+			diff := p - gDist[i]
+			if diff < 0 {
+				diff = -diff
+			}
+			d += diff
+		}
+		tv += d / 2
+	}
+	return tv / float64(len(shards))
+}

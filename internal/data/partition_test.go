@@ -1,0 +1,126 @@
+package data
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/stsl/stsl/internal/mathx"
+)
+
+func TestPartitionIIDCoversAll(t *testing.T) {
+	ds := tinyDataset(t, 100)
+	shards, err := PartitionIID(ds, 4, mathx.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 4 {
+		t.Fatalf("got %d shards", len(shards))
+	}
+	total := 0
+	for _, s := range shards {
+		total += s.Len()
+		if s.Len() != 25 {
+			t.Fatalf("uneven shard size %d", s.Len())
+		}
+	}
+	if total != 100 {
+		t.Fatalf("shards cover %d examples", total)
+	}
+}
+
+func TestPartitionIIDIsRoughlyBalancedByClass(t *testing.T) {
+	ds, err := (SynthCIFAR{Height: 8, Width: 8}).GenerateBalanced(40, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards, err := PartitionIID(ds, 4, mathx.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skew := SkewStat(ds, shards); skew > 0.15 {
+		t.Fatalf("IID partition has high skew %v", skew)
+	}
+}
+
+func TestPartitionDirichletSkewGrowsAsAlphaShrinks(t *testing.T) {
+	ds, err := (SynthCIFAR{Height: 8, Width: 8}).GenerateBalanced(40, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skewAt := func(alpha float64) float64 {
+		shards, err := PartitionDirichlet(ds, 4, alpha, mathx.NewRNG(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return SkewStat(ds, shards)
+	}
+	low := skewAt(100) // near-IID
+	high := skewAt(0.1)
+	if high <= low {
+		t.Fatalf("skew(α=0.1)=%v not greater than skew(α=100)=%v", high, low)
+	}
+	if high < 0.2 {
+		t.Fatalf("α=0.1 skew %v implausibly low", high)
+	}
+}
+
+func TestPartitionDirichletConservation(t *testing.T) {
+	// Property: partitions conserve examples (none lost, none duplicated)
+	// and never produce an empty shard.
+	f := func(seed uint64) bool {
+		r := mathx.NewRNG(seed)
+		m := 2 + r.Intn(6)
+		ds, err := (SynthCIFAR{Height: 4, Width: 4, Classes: 4}).Generate(40+r.Intn(60), seed)
+		if err != nil {
+			return false
+		}
+		shards, err := PartitionDirichlet(ds, m, 0.3, r)
+		if err != nil {
+			return false
+		}
+		total := 0
+		for _, s := range shards {
+			if s.Len() == 0 {
+				return false
+			}
+			total += s.Len()
+		}
+		if total != ds.Len() {
+			return false
+		}
+		// Label multiset conserved.
+		global := ds.ClassCounts()
+		merged := make([]int, ds.Classes)
+		for _, s := range shards {
+			for cls, c := range s.ClassCounts() {
+				merged[cls] += c
+			}
+		}
+		for i := range global {
+			if merged[i] != global[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	ds := tinyDataset(t, 10)
+	r := mathx.NewRNG(1)
+	if _, err := PartitionIID(ds, 0, r); err == nil {
+		t.Fatal("zero shards accepted")
+	}
+	if _, err := PartitionIID(ds, 11, r); err == nil {
+		t.Fatal("more shards than examples accepted")
+	}
+	if _, err := PartitionDirichlet(ds, 4, 0, r); err == nil {
+		t.Fatal("zero alpha accepted")
+	}
+	if _, err := PartitionDirichlet(ds, 0, 1, r); err == nil {
+		t.Fatal("zero shards accepted")
+	}
+}

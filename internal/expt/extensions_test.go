@@ -1,0 +1,60 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunQuantizeAblationTiny(t *testing.T) {
+	res, err := RunQuantizeAblation(TinyScale(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	raw, q16, q8 := res.Points[0], res.Points[1], res.Points[2]
+	if raw.Bits != 0 || q16.Bits != 16 || q8.Bits != 8 {
+		t.Fatalf("bit order %v", res.Points)
+	}
+	// Wire savings: raw > 16-bit > 8-bit.
+	if !(raw.UplinkBytes > q16.UplinkBytes && q16.UplinkBytes > q8.UplinkBytes) {
+		t.Fatalf("wire sizes not monotone: %d %d %d",
+			raw.UplinkBytes, q16.UplinkBytes, q8.UplinkBytes)
+	}
+	// 8-bit must be at least 6x smaller than raw float64.
+	if raw.UplinkBytes < 6*q8.UplinkBytes {
+		t.Fatalf("8-bit compression ratio too low: %d vs %d", raw.UplinkBytes, q8.UplinkBytes)
+	}
+	for _, p := range res.Points {
+		if p.Accuracy < 0 || p.Accuracy > 1 {
+			t.Fatalf("accuracy %v", p.Accuracy)
+		}
+	}
+	if !strings.Contains(res.Table.String(), "raw(64)") {
+		t.Fatal("table missing raw row")
+	}
+}
+
+func TestRunRobustnessTiny(t *testing.T) {
+	res, err := RunRobustness(TinyScale(), 13, []float64{0, 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	clean, lossy := res.Points[0], res.Points[1]
+	if clean.Retransmits != 0 {
+		t.Fatalf("clean run had %d retransmits", clean.Retransmits)
+	}
+	if lossy.Retransmits == 0 {
+		t.Fatal("25% loss produced no retransmits")
+	}
+	if lossy.VirtualTime <= clean.VirtualTime {
+		t.Fatalf("lossy time %v not above clean %v", lossy.VirtualTime, clean.VirtualTime)
+	}
+	if _, err := RunRobustness(TinyScale(), 13, []float64{1.5}); err == nil {
+		t.Fatal("drop prob 1.5 accepted")
+	}
+}

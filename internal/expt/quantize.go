@@ -1,0 +1,124 @@
+package expt
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/stsl/stsl/internal/core"
+	"github.com/stsl/stsl/internal/data"
+	"github.com/stsl/stsl/internal/mathx"
+	"github.com/stsl/stsl/internal/metrics"
+	"github.com/stsl/stsl/internal/simnet"
+)
+
+// QuantizePoint is one row of the uplink-compression ablation.
+type QuantizePoint struct {
+	// Bits is the quantization width (0 = raw float64).
+	Bits int
+	// Accuracy is mean test accuracy across client pipelines.
+	Accuracy float64
+	// UplinkBytes is one activation batch's wire size.
+	UplinkBytes int
+}
+
+// QuantizeResult is the uplink-compression ablation: accuracy and wire
+// cost as a function of activation quantization width.
+type QuantizeResult struct {
+	Points []QuantizePoint
+	Table  *metrics.Table
+}
+
+// RunQuantizeAblation trains identical deployments with raw, 16-bit and
+// 8-bit uplinks. The expected shape: large byte savings (8× / 4×) at
+// negligible accuracy cost — quantization noise on smashed activations is
+// small relative to SGD noise.
+func RunQuantizeAblation(s Scale, seed uint64) (*QuantizeResult, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	gen := data.SynthCIFAR{
+		Height: s.Model.Defaults().Height, Width: s.Model.Defaults().Width,
+		Classes: s.Model.Defaults().Classes,
+	}
+	train, err := gen.GenerateBalanced(s.TrainPerClass, seed)
+	if err != nil {
+		return nil, err
+	}
+	test, err := gen.GenerateBalanced(s.TestPerClass, seed+1)
+	if err != nil {
+		return nil, err
+	}
+	mn, sd := train.Normalize()
+	test.ApplyNormalization(mn, sd)
+	shards, err := data.PartitionIID(train, s.Clients, mathx.NewRNG(seed+2))
+	if err != nil {
+		return nil, err
+	}
+
+	res := &QuantizeResult{
+		Table: metrics.NewTable(
+			fmt.Sprintf("Uplink quantization ablation (scale=%s, M=%d, cut=1)", s.Name, s.Clients),
+			"bits", "uplink-bytes/batch", "accuracy-%"),
+	}
+	for _, bits := range []int{0, 16, 8} {
+		dep, err := core.NewDeployment(core.Config{
+			Model: s.Model, Cut: 1, Clients: s.Clients, Seed: seed,
+			BatchSize: s.BatchSize, LR: s.LR, QuantizeBits: bits,
+		}, shards)
+		if err != nil {
+			return nil, err
+		}
+		// Probe one batch's wire size before training (fresh deployment
+		// probes then trains; the probe batch also trains, which is fine
+		// for an ablation).
+		probe, err := dep.Clients[0].ProduceBatch(0)
+		if err != nil {
+			return nil, err
+		}
+		uplink := 8 * probe.Payload.Size()
+		if probe.WireSize > 0 {
+			uplink = probe.WireSize
+		}
+		// Complete the probe round so the client is free again.
+		if err := dep.Server.Enqueue(probe, 0); err != nil {
+			return nil, err
+		}
+		reply, ok, err := dep.Server.ProcessNext(0)
+		if err != nil || !ok {
+			return nil, fmt.Errorf("expt: quantize probe round failed: %v", err)
+		}
+		if err := dep.Clients[0].ApplyGradient(reply); err != nil {
+			return nil, err
+		}
+
+		paths := make([]*simnet.Path, s.Clients)
+		for i := range paths {
+			paths[i], err = simnet.NewSymmetricPath(
+				simnet.Constant{D: time.Millisecond}, 0, mathx.NewRNG(seed+uint64(i)*13))
+			if err != nil {
+				return nil, err
+			}
+		}
+		sim, err := core.NewSimulation(dep, core.SimConfig{
+			Paths:             paths,
+			MaxStepsPerClient: s.StepsPerClient,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := sim.Run(); err != nil {
+			return nil, err
+		}
+		acc, _, err := dep.EvaluateMean(test)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, QuantizePoint{Bits: bits, Accuracy: acc, UplinkBytes: uplink})
+		label := fmt.Sprintf("%d", bits)
+		if bits == 0 {
+			label = "raw(64)"
+		}
+		res.Table.AddRow(label, uplink, acc*100)
+	}
+	return res, nil
+}

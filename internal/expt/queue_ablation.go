@@ -1,0 +1,165 @@
+package expt
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/stsl/stsl/internal/core"
+	"github.com/stsl/stsl/internal/data"
+	"github.com/stsl/stsl/internal/mathx"
+	"github.com/stsl/stsl/internal/metrics"
+	"github.com/stsl/stsl/internal/simnet"
+)
+
+// QueuePolicyOutcome is one policy's result in the scheduling ablation.
+type QueuePolicyOutcome struct {
+	Policy string
+	// StepsPerClient counts contributions (client 0 is the far client).
+	StepsPerClient []int
+	// Imbalance is (max-min)/max of per-client service counts.
+	Imbalance float64
+	// MeanAccuracy is mean test accuracy over client pipelines.
+	MeanAccuracy float64
+	// FarClientRecall is the mean recall on the classes that dominate
+	// the far client's shard — the classes FIFO starves.
+	FarClientRecall float64
+	// VirtualTime is the run's virtual duration.
+	VirtualTime time.Duration
+}
+
+// QueueAblationResult compares scheduling policies under skewed latency.
+type QueueAblationResult struct {
+	Outcomes []QueuePolicyOutcome
+	Table    *metrics.Table
+}
+
+// RunQueueAblation reproduces the §II claim: one far end-system plus
+// near ones, non-IID shards, fixed virtual-time horizon. Under FIFO the
+// far client contributes few updates and its dominant classes suffer;
+// gated scheduling (sync-rounds) equalises contributions.
+func RunQueueAblation(s Scale, seed uint64, policies []string, horizon time.Duration) (*QueueAblationResult, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if len(policies) == 0 {
+		policies = []string{"fifo", "staleness", "fair-rr", "sync-rounds"}
+	}
+	if horizon <= 0 {
+		horizon = 10 * time.Second
+	}
+	gen := data.SynthCIFAR{
+		Height: s.Model.Defaults().Height, Width: s.Model.Defaults().Width,
+		Classes: s.Model.Defaults().Classes,
+	}
+	train, err := gen.GenerateBalanced(s.TrainPerClass, seed)
+	if err != nil {
+		return nil, err
+	}
+	test, err := gen.GenerateBalanced(s.TestPerClass, seed+1)
+	if err != nil {
+		return nil, err
+	}
+	mn, sd := train.Normalize()
+	test.ApplyNormalization(mn, sd)
+	shards, err := data.PartitionDirichlet(train, s.Clients, s.Alpha, mathx.NewRNG(seed+2))
+	if err != nil {
+		return nil, err
+	}
+	// The far client's dominant classes: those where its shard holds the
+	// plurality of examples.
+	farClasses := dominantClasses(shards, 0)
+
+	res := &QueueAblationResult{
+		Table: metrics.NewTable(
+			fmt.Sprintf("Queue scheduling ablation (scale=%s, horizon=%v, far client=0)", s.Name, horizon),
+			"policy", "far-steps", "near-steps(max)", "imbalance", "mean-acc-%", "far-class-recall-%"),
+	}
+	for _, pol := range policies {
+		dep, err := core.NewDeployment(core.Config{
+			Model: s.Model, Cut: 1, Clients: s.Clients, Seed: seed,
+			BatchSize: s.BatchSize, LR: s.LR, QueuePolicy: pol,
+		}, shards)
+		if err != nil {
+			return nil, err
+		}
+		lat := stdLatencies(s.Clients)
+		paths := make([]*simnet.Path, s.Clients)
+		for i := range paths {
+			paths[i], err = simnet.NewSymmetricPath(simnet.Constant{D: lat[i]}, 0, mathx.NewRNG(seed+uint64(i)*23))
+			if err != nil {
+				return nil, err
+			}
+		}
+		sim, err := core.NewSimulation(dep, core.SimConfig{
+			Paths:          paths,
+			TimeLimit:      horizon,
+			ServerProcTime: time.Millisecond,
+		})
+		if err != nil {
+			return nil, err
+		}
+		simRes, err := sim.Run()
+		if err != nil {
+			return nil, fmt.Errorf("expt: queue ablation %s: %w", pol, err)
+		}
+		meanAcc, _, err := dep.EvaluateMean(test)
+		if err != nil {
+			return nil, err
+		}
+		// Far-class recall through the far client's own pipeline.
+		cm, err := dep.Evaluate(0, test)
+		if err != nil {
+			return nil, err
+		}
+		recalls := cm.PerClassRecall()
+		farRecall := 0.0
+		if len(farClasses) > 0 {
+			for _, c := range farClasses {
+				farRecall += recalls[c]
+			}
+			farRecall /= float64(len(farClasses))
+		}
+
+		maxNear := 0
+		for i := 1; i < len(simRes.StepsPerClient); i++ {
+			if simRes.StepsPerClient[i] > maxNear {
+				maxNear = simRes.StepsPerClient[i]
+			}
+		}
+		out := QueuePolicyOutcome{
+			Policy:          pol,
+			StepsPerClient:  simRes.StepsPerClient,
+			Imbalance:       dep.Server.QueueMetrics.ServiceImbalance(),
+			MeanAccuracy:    meanAcc,
+			FarClientRecall: farRecall,
+			VirtualTime:     simRes.VirtualDuration,
+		}
+		res.Outcomes = append(res.Outcomes, out)
+		res.Table.AddRow(pol, simRes.StepsPerClient[0], maxNear,
+			fmt.Sprintf("%.3f", out.Imbalance), meanAcc*100, farRecall*100)
+	}
+	return res, nil
+}
+
+// dominantClasses returns the classes for which shard `idx` holds at
+// least as many examples as any other shard.
+func dominantClasses(shards []*data.Dataset, idx int) []int {
+	if len(shards) == 0 {
+		return nil
+	}
+	classes := shards[0].Classes
+	var out []int
+	for c := 0; c < classes; c++ {
+		best, bestShard := -1, -1
+		for si, s := range shards {
+			cnt := s.ClassCounts()[c]
+			if cnt > best {
+				best, bestShard = cnt, si
+			}
+		}
+		if bestShard == idx && best > 0 {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package expt
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/stsl/stsl/internal/core"
+	"github.com/stsl/stsl/internal/data"
+	"github.com/stsl/stsl/internal/mathx"
+	"github.com/stsl/stsl/internal/metrics"
+	"github.com/stsl/stsl/internal/simnet"
+)
+
+// RobustnessPoint is one cell of the packet-loss sweep.
+type RobustnessPoint struct {
+	DropProb    float64
+	Retransmits int
+	VirtualTime time.Duration
+	Accuracy    float64
+}
+
+// RobustnessResult is the loss-rate sweep: the protocol must complete the
+// same training under loss, paying only in retransmissions and time.
+type RobustnessResult struct {
+	Points []RobustnessPoint
+	Table  *metrics.Table
+}
+
+// RunRobustness sweeps link loss probability over a fixed per-client step
+// budget. Accuracy should be essentially flat (same batches eventually
+// trained), while retransmissions and virtual time grow with loss — the
+// failure-injection experiment for the transport/simulation layer.
+func RunRobustness(s Scale, seed uint64, dropProbs []float64) (*RobustnessResult, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if len(dropProbs) == 0 {
+		dropProbs = []float64{0, 0.05, 0.15, 0.3}
+	}
+	gen := data.SynthCIFAR{
+		Height: s.Model.Defaults().Height, Width: s.Model.Defaults().Width,
+		Classes: s.Model.Defaults().Classes,
+	}
+	train, err := gen.GenerateBalanced(s.TrainPerClass, seed)
+	if err != nil {
+		return nil, err
+	}
+	test, err := gen.GenerateBalanced(s.TestPerClass, seed+1)
+	if err != nil {
+		return nil, err
+	}
+	mn, sd := train.Normalize()
+	test.ApplyNormalization(mn, sd)
+	shards, err := data.PartitionIID(train, s.Clients, mathx.NewRNG(seed+2))
+	if err != nil {
+		return nil, err
+	}
+
+	res := &RobustnessResult{
+		Table: metrics.NewTable(
+			fmt.Sprintf("Packet-loss robustness sweep (scale=%s, M=%d)", s.Name, s.Clients),
+			"drop-prob", "retransmits", "virtual-time", "accuracy-%"),
+	}
+	for _, p := range dropProbs {
+		if p < 0 || p >= 1 {
+			return nil, fmt.Errorf("expt: drop probability %v out of [0,1)", p)
+		}
+		dep, err := core.NewDeployment(core.Config{
+			Model: s.Model, Cut: 1, Clients: s.Clients, Seed: seed,
+			BatchSize: s.BatchSize, LR: s.LR,
+		}, shards)
+		if err != nil {
+			return nil, err
+		}
+		paths := make([]*simnet.Path, s.Clients)
+		for i := range paths {
+			paths[i], err = simnet.NewSymmetricPath(
+				simnet.Constant{D: 5 * time.Millisecond}, 0, mathx.NewRNG(seed+uint64(i)*19))
+			if err != nil {
+				return nil, err
+			}
+			paths[i].Up.DropProb = p
+			paths[i].Down.DropProb = p
+		}
+		sim, err := core.NewSimulation(dep, core.SimConfig{
+			Paths:             paths,
+			MaxStepsPerClient: s.StepsPerClient,
+			RetransmitTimeout: 50 * time.Millisecond,
+		})
+		if err != nil {
+			return nil, err
+		}
+		simRes, err := sim.Run()
+		if err != nil {
+			return nil, err
+		}
+		acc, _, err := dep.EvaluateMean(test)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, RobustnessPoint{
+			DropProb: p, Retransmits: simRes.Retransmits,
+			VirtualTime: simRes.VirtualDuration, Accuracy: acc,
+		})
+		res.Table.AddRow(fmt.Sprintf("%.2f", p), simRes.Retransmits,
+			simRes.VirtualDuration.Round(time.Millisecond).String(), acc*100)
+	}
+	return res, nil
+}

@@ -1,0 +1,107 @@
+package expt
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/stsl/stsl/internal/core"
+	"github.com/stsl/stsl/internal/data"
+	"github.com/stsl/stsl/internal/mathx"
+	"github.com/stsl/stsl/internal/metrics"
+	"github.com/stsl/stsl/internal/simnet"
+)
+
+// SweepPoint is one (cut, clients) cell of the X2 tradeoff sweep.
+type SweepPoint struct {
+	Cut      int
+	Clients  int
+	Accuracy float64
+}
+
+// SweepResult is the cut × client-count accuracy surface — the curve form
+// of Table I plus the paper's §II tradeoff claim ("degradation can be
+// larger when more hidden layers are in end-systems").
+type SweepResult struct {
+	Points []SweepPoint
+	Table  *metrics.Table
+}
+
+// RunCutSweep trains a deployment per (cut, M) cell and reports mean test
+// accuracy.
+func RunCutSweep(s Scale, seed uint64, cuts []int, clientCounts []int) (*SweepResult, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	maxCut := len(s.Model.Defaults().Filters)
+	if len(cuts) == 0 {
+		for c := 0; c <= maxCut; c++ {
+			cuts = append(cuts, c)
+		}
+	}
+	if len(clientCounts) == 0 {
+		clientCounts = []int{2, 4}
+	}
+	gen := data.SynthCIFAR{
+		Height: s.Model.Defaults().Height, Width: s.Model.Defaults().Width,
+		Classes: s.Model.Defaults().Classes,
+	}
+	train, err := gen.GenerateBalanced(s.TrainPerClass, seed)
+	if err != nil {
+		return nil, err
+	}
+	test, err := gen.GenerateBalanced(s.TestPerClass, seed+1)
+	if err != nil {
+		return nil, err
+	}
+	mn, sd := train.Normalize()
+	test.ApplyNormalization(mn, sd)
+
+	res := &SweepResult{
+		Table: metrics.NewTable(
+			fmt.Sprintf("Cut × clients accuracy sweep (scale=%s)", s.Name),
+			"cut", "clients", "accuracy-%"),
+	}
+	for _, m := range clientCounts {
+		shards, err := data.PartitionDirichlet(train, m, s.Alpha, mathx.NewRNG(seed+uint64(m)*5))
+		if err != nil {
+			return nil, err
+		}
+		for _, cut := range cuts {
+			if cut < 0 || cut > maxCut {
+				return nil, fmt.Errorf("expt: sweep cut %d out of range", cut)
+			}
+			dep, err := core.NewDeployment(core.Config{
+				Model: s.Model, Cut: cut, Clients: m, Seed: seed + uint64(cut)*31,
+				BatchSize: s.BatchSize, LR: s.LR,
+			}, shards)
+			if err != nil {
+				return nil, err
+			}
+			paths := make([]*simnet.Path, m)
+			for i := range paths {
+				paths[i], err = simnet.NewSymmetricPath(
+					simnet.Constant{D: time.Millisecond}, 0, mathx.NewRNG(seed+uint64(i)*3))
+				if err != nil {
+					return nil, err
+				}
+			}
+			sim, err := core.NewSimulation(dep, core.SimConfig{
+				Paths:             paths,
+				MaxStepsPerClient: s.StepsPerClient,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if _, err := sim.Run(); err != nil {
+				return nil, err
+			}
+			acc, _, err := dep.EvaluateMean(test)
+			if err != nil {
+				return nil, err
+			}
+			res.Points = append(res.Points, SweepPoint{Cut: cut, Clients: m, Accuracy: acc})
+			res.Table.AddRow(cut, m, acc*100)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,191 @@
+// Package mathx provides deterministic random number generation and small
+// numeric helpers shared by every other package in the repository.
+//
+// All stochastic behaviour in the project (weight initialisation, data
+// generation, shuffling, simulated network latency) flows through RNG so
+// that experiments are reproducible bit-for-bit from a single seed.
+package mathx
+
+import "math"
+
+// RNG is a deterministic pseudo-random number generator based on
+// SplitMix64. It is intentionally not safe for concurrent use: every
+// goroutine that needs randomness derives its own child generator with
+// Split, which keeps streams independent and runs without locks.
+//
+// The zero value is a valid generator seeded with 0; prefer NewRNG.
+type RNG struct {
+	state uint64
+	// spare holds a cached second normal variate from the Box-Muller
+	// transform; spareOK reports whether it is valid.
+	spare   float64
+	spareOK bool
+}
+
+// NewRNG returns a generator seeded with seed. Two generators created with
+// the same seed produce identical streams.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Split derives an independent child generator. The child's stream is
+// decorrelated from the parent's subsequent output, so handing children to
+// concurrent workers preserves determinism regardless of scheduling.
+func (r *RNG) Split() *RNG {
+	return &RNG{state: r.Uint64() ^ 0xa5a5a5a55a5a5a5a}
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	// 53 high-quality bits into the mantissa.
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("mathx: Intn called with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Range returns a uniform value in [lo, hi).
+func (r *RNG) Range(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Norm returns a standard normal variate using the Box-Muller transform.
+func (r *RNG) Norm() float64 {
+	if r.spareOK {
+		r.spareOK = false
+		return r.spare
+	}
+	var u, v, s float64
+	for {
+		u = 2*r.Float64() - 1
+		v = 2*r.Float64() - 1
+		s = u*u + v*v
+		if s > 0 && s < 1 {
+			break
+		}
+	}
+	m := math.Sqrt(-2 * math.Log(s) / s)
+	r.spare = v * m
+	r.spareOK = true
+	return u * m
+}
+
+// NormScaled returns a normal variate with the given mean and stddev.
+func (r *RNG) NormScaled(mean, stddev float64) float64 {
+	return mean + stddev*r.Norm()
+}
+
+// LogNormal returns a log-normal variate parameterised by the mean and
+// stddev of the underlying normal distribution. Used by the network
+// simulator for heavy-tailed latency.
+func (r *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(r.NormScaled(mu, sigma))
+}
+
+// Exp returns an exponential variate with the given rate (λ > 0).
+func (r *RNG) Exp(rate float64) float64 {
+	if rate <= 0 {
+		panic("mathx: Exp called with non-positive rate")
+	}
+	u := r.Float64()
+	// Guard against log(0).
+	if u <= 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	return -math.Log(u) / rate
+}
+
+// Perm returns a pseudo-random permutation of [0, n) using Fisher-Yates.
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle pseudo-randomly swaps elements using the provided swap function.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Dirichlet samples a point from a symmetric Dirichlet distribution with
+// concentration alpha over k categories. It is used to create non-IID
+// label-skewed data partitions across end-systems.
+func (r *RNG) Dirichlet(alpha float64, k int) []float64 {
+	if k <= 0 {
+		panic("mathx: Dirichlet called with non-positive k")
+	}
+	out := make([]float64, k)
+	sum := 0.0
+	for i := range out {
+		g := r.gamma(alpha)
+		out[i] = g
+		sum += g
+	}
+	if sum == 0 {
+		// Degenerate draw; fall back to uniform.
+		for i := range out {
+			out[i] = 1 / float64(k)
+		}
+		return out
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// gamma samples from Gamma(shape, 1) using Marsaglia-Tsang, with the
+// standard boost for shape < 1.
+func (r *RNG) gamma(shape float64) float64 {
+	if shape <= 0 {
+		panic("mathx: gamma called with non-positive shape")
+	}
+	if shape < 1 {
+		// Gamma(a) = Gamma(a+1) * U^(1/a)
+		u := r.Float64()
+		if u <= 0 {
+			u = math.SmallestNonzeroFloat64
+		}
+		return r.gamma(shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := r.Norm()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := r.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("step %d: streams diverge: %d vs %d", i, av, bv)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical values out of 100", same)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestRNGFloat64Mean(t *testing.T) {
+	r := NewRNG(11)
+	s := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		s += r.Float64()
+	}
+	if mean := s / n; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean = %v, want ≈0.5", mean)
+	}
+}
+
+func TestRNGIntnBounds(t *testing.T) {
+	r := NewRNG(3)
+	seen := make(map[int]bool)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("Intn(10) only produced %d distinct values", len(seen))
+	}
+}
+
+func TestRNGIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGNormMoments(t *testing.T) {
+	r := NewRNG(5)
+	const n = 200000
+	var s, s2 float64
+	for i := 0; i < n; i++ {
+		v := r.Norm()
+		s += v
+		s2 += v * v
+	}
+	mean := s / n
+	variance := s2/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v, want ≈0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Errorf("normal variance = %v, want ≈1", variance)
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	r := NewRNG(9)
+	const n, rate = 100000, 2.0
+	s := 0.0
+	for i := 0; i < n; i++ {
+		v := r.Exp(rate)
+		if v < 0 {
+			t.Fatalf("Exp produced negative value %v", v)
+		}
+		s += v
+	}
+	if mean := s / n; math.Abs(mean-1/rate) > 0.02 {
+		t.Fatalf("exponential mean = %v, want ≈%v", mean, 1/rate)
+	}
+}
+
+func TestRNGLogNormalPositive(t *testing.T) {
+	r := NewRNG(13)
+	for i := 0; i < 1000; i++ {
+		if v := r.LogNormal(0, 1); v <= 0 {
+			t.Fatalf("LogNormal produced non-positive value %v", v)
+		}
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	r := NewRNG(17)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestRNGDirichletSimplex(t *testing.T) {
+	r := NewRNG(19)
+	for _, alpha := range []float64{0.1, 0.5, 1, 10} {
+		for trial := 0; trial < 50; trial++ {
+			p := r.Dirichlet(alpha, 10)
+			s := 0.0
+			for _, v := range p {
+				if v < 0 {
+					t.Fatalf("alpha=%v: negative component %v", alpha, v)
+				}
+				s += v
+			}
+			if math.Abs(s-1) > 1e-9 {
+				t.Fatalf("alpha=%v: components sum to %v, want 1", alpha, s)
+			}
+		}
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	parent := NewRNG(23)
+	child := parent.Split()
+	// The child stream must not simply replay the parent stream.
+	same := 0
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("parent and child streams matched %d/100 times", same)
+	}
+}
+
+func TestRNGShuffleQuick(t *testing.T) {
+	// Property: shuffling any slice preserves its multiset of elements.
+	f := func(seed uint64, raw []byte) bool {
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		vals := append([]byte(nil), raw...)
+		counts := make(map[byte]int)
+		for _, b := range vals {
+			counts[b]++
+		}
+		NewRNG(seed).Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+		for _, b := range vals {
+			counts[b]--
+		}
+		for _, c := range counts {
+			if c != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

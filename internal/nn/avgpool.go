@@ -1,0 +1,143 @@
+package nn
+
+import (
+	"fmt"
+
+	"github.com/stsl/stsl/internal/tensor"
+)
+
+// AvgPool2D is an average-pooling layer over NCHW input. It exists for
+// the Fig-4 privacy ablation: unlike max-pooling — which the paper
+// credits with hiding original images — average pooling is a linear map,
+// so the downsampled image remains substantially reconstructible. The
+// ablation quantifies how much of the paper's privacy claim is owed to
+// the *max* nonlinearity rather than to downsampling itself.
+type AvgPool2D struct {
+	name             string
+	kernelH, kernelW int
+	strideH, strideW int
+	inShape          []int
+}
+
+// NewAvgPool2D constructs an average-pooling layer; zero strides default
+// to the kernel size.
+func NewAvgPool2D(name string, kernelH, kernelW, strideH, strideW int) (*AvgPool2D, error) {
+	if kernelH <= 0 || kernelW <= 0 {
+		return nil, fmt.Errorf("nn: avgpool %q needs positive kernel, got %dx%d", name, kernelH, kernelW)
+	}
+	if strideH == 0 {
+		strideH = kernelH
+	}
+	if strideW == 0 {
+		strideW = kernelW
+	}
+	if strideH < 0 || strideW < 0 {
+		return nil, fmt.Errorf("nn: avgpool %q has negative stride", name)
+	}
+	return &AvgPool2D{name: name, kernelH: kernelH, kernelW: kernelW, strideH: strideH, strideW: strideW}, nil
+}
+
+// Name implements Layer.
+func (p *AvgPool2D) Name() string { return p.name }
+
+// Params implements Layer.
+func (p *AvgPool2D) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (p *AvgPool2D) OutShape(in []int) ([]int, error) {
+	if len(in) != 3 {
+		return nil, shapeErr(p.name, "(C,H,W)", in)
+	}
+	oh := (in[1]-p.kernelH)/p.strideH + 1
+	ow := (in[2]-p.kernelW)/p.strideW + 1
+	if oh <= 0 || ow <= 0 {
+		return nil, fmt.Errorf("nn: avgpool %s yields empty output for input %v", p.name, in)
+	}
+	return []int{in[0], oh, ow}, nil
+}
+
+// Forward implements Layer.
+func (p *AvgPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	s := x.Shape()
+	if len(s) != 4 {
+		panic(shapeErr(p.name, "(N,C,H,W)", s))
+	}
+	n, c, h, w := s[0], s[1], s[2], s[3]
+	oh := (h-p.kernelH)/p.strideH + 1
+	ow := (w-p.kernelW)/p.strideW + 1
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("nn: avgpool %s yields empty output for input %v", p.name, s))
+	}
+	out := tensor.New(n, c, oh, ow)
+	src, dst := x.Data(), out.Data()
+	inv := 1 / float64(p.kernelH*p.kernelW)
+	di := 0
+	for img := 0; img < n; img++ {
+		for ch := 0; ch < c; ch++ {
+			plane := (img*c + ch) * h * w
+			for oy := 0; oy < oh; oy++ {
+				iy0 := oy * p.strideH
+				for ox := 0; ox < ow; ox++ {
+					ix0 := ox * p.strideW
+					sum := 0.0
+					for ky := 0; ky < p.kernelH; ky++ {
+						rowBase := plane + (iy0+ky)*w + ix0
+						for kx := 0; kx < p.kernelW; kx++ {
+							sum += src[rowBase+kx]
+						}
+					}
+					dst[di] = sum * inv
+					di++
+				}
+			}
+		}
+	}
+	if train {
+		p.inShape = s
+	} else {
+		p.inShape = nil
+	}
+	return out
+}
+
+// Backward implements Layer: each output gradient spreads uniformly over
+// its input window.
+func (p *AvgPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if p.inShape == nil {
+		panic(fmt.Sprintf("nn: avgpool %s Backward without training Forward", p.name))
+	}
+	n, c, h, w := p.inShape[0], p.inShape[1], p.inShape[2], p.inShape[3]
+	gs := grad.Shape()
+	oh := (h-p.kernelH)/p.strideH + 1
+	ow := (w-p.kernelW)/p.strideW + 1
+	if len(gs) != 4 || gs[0] != n || gs[1] != c || gs[2] != oh || gs[3] != ow {
+		panic(shapeErr(p.name, fmt.Sprintf("grad (N,%d,%d,%d)", c, oh, ow), gs))
+	}
+	dx := tensor.New(p.inShape...)
+	src, dst := grad.Data(), dx.Data()
+	inv := 1 / float64(p.kernelH*p.kernelW)
+	gi := 0
+	for img := 0; img < n; img++ {
+		for ch := 0; ch < c; ch++ {
+			plane := (img*c + ch) * h * w
+			for oy := 0; oy < oh; oy++ {
+				iy0 := oy * p.strideH
+				for ox := 0; ox < ow; ox++ {
+					ix0 := ox * p.strideW
+					g := src[gi] * inv
+					gi++
+					for ky := 0; ky < p.kernelH; ky++ {
+						rowBase := plane + (iy0+ky)*w + ix0
+						for kx := 0; kx < p.kernelW; kx++ {
+							dst[rowBase+kx] += g
+						}
+					}
+				}
+			}
+		}
+	}
+	p.inShape = nil
+	return dx
+}
+
+var _ Layer = (*AvgPool2D)(nil)

@@ -1,0 +1,94 @@
+package nn
+
+import (
+	"testing"
+
+	"github.com/stsl/stsl/internal/mathx"
+	"github.com/stsl/stsl/internal/tensor"
+)
+
+func TestAvgPoolKnownValues(t *testing.T) {
+	pool, err := NewAvgPool2D("a", 2, 2, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.FromSlice([]float64{
+		1, 2, 5, 6,
+		3, 4, 7, 8,
+		0, 0, 2, 2,
+		0, 0, 2, 2,
+	}, 1, 1, 4, 4)
+	got := pool.Forward(x, false)
+	want := tensor.FromSlice([]float64{2.5, 6.5, 0, 2}, 1, 1, 2, 2)
+	if !got.Equal(want, 1e-12) {
+		t.Fatalf("avgpool forward = %v, want %v", got, want)
+	}
+}
+
+func TestAvgPoolGradients(t *testing.T) {
+	r := mathx.NewRNG(1)
+	pool, err := NewAvgPool2D("a", 2, 2, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.Randn(r, 1, 2, 2, 4, 4)
+	if _, err := CheckLayerGradients(pool, x, 1e-6, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAvgPoolShapeContract(t *testing.T) {
+	pool, err := NewAvgPool2D("a", 3, 3, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := pool.OutShape([]int{4, 9, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 4 || out[1] != 3 || out[2] != 3 {
+		t.Fatalf("OutShape = %v", out)
+	}
+	x := tensor.Randn(mathx.NewRNG(2), 1, 2, 4, 9, 9)
+	y := pool.Forward(x, true)
+	if s := y.Shape(); s[1] != 4 || s[2] != 3 || s[3] != 3 {
+		t.Fatalf("forward shape = %v", s)
+	}
+	dx := pool.Backward(y)
+	if !dx.SameShape(x) {
+		t.Fatal("backward shape mismatch")
+	}
+}
+
+func TestAvgPoolRejectsBadConfig(t *testing.T) {
+	if _, err := NewAvgPool2D("a", 0, 2, 0, 0); err == nil {
+		t.Fatal("zero kernel accepted")
+	}
+	if _, err := NewAvgPool2D("a", 2, 2, -1, 0); err == nil {
+		t.Fatal("negative stride accepted")
+	}
+}
+
+// TestAvgPoolPreservesMeanSignal pins the property the privacy ablation
+// relies on: average pooling is linear, so pooling then upsampling
+// approximates a blur of the input, while max pooling biases upward.
+func TestAvgPoolPreservesMeanSignal(t *testing.T) {
+	r := mathx.NewRNG(3)
+	x := tensor.Randn(r, 1, 1, 1, 8, 8)
+	avg, err := NewAvgPool2D("a", 2, 2, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxp, err := NewMaxPool2D("m", 2, 2, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ya := avg.Forward(x, false)
+	ym := maxp.Forward(x, false)
+	if diff := ya.Mean() - x.Mean(); diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("avg pooling changed mean by %v", diff)
+	}
+	if ym.Mean() <= ya.Mean() {
+		t.Fatal("max pooling did not bias above avg pooling on noise")
+	}
+}

@@ -1,0 +1,65 @@
+package nn
+
+import (
+	"fmt"
+
+	"github.com/stsl/stsl/internal/tensor"
+)
+
+// DirectConvForward computes the same result as Conv2D.Forward with naive
+// nested loops instead of the im2col lowering. It exists for the design
+// ablation benchmarked in bench_test.go (im2col+matmul vs direct loops)
+// and as an independent implementation that cross-checks Conv2D in tests.
+// Inference only — no backward support.
+func DirectConvForward(c *Conv2D, x *tensor.Tensor) *tensor.Tensor {
+	s := x.Shape()
+	if len(s) != 4 || s[1] != c.inC {
+		panic(shapeErr(c.name, fmt.Sprintf("(N,%d,H,W)", c.inC), s))
+	}
+	n, h, w := s[0], s[2], s[3]
+	g, err := c.geom(h, w)
+	if err != nil {
+		panic(err)
+	}
+	oh, ow := g.OutHeight(), g.OutWidth()
+	out := tensor.New(n, c.outC, oh, ow)
+	src := x.Data()
+	dst := out.Data()
+	wData := c.weight.Value.Data()
+	bData := c.bias.Value.Data()
+	kArea := c.kernelH * c.kernelW
+	for img := 0; img < n; img++ {
+		for oc := 0; oc < c.outC; oc++ {
+			wBase := oc * c.inC * kArea
+			oBase := (img*c.outC + oc) * oh * ow
+			for oy := 0; oy < oh; oy++ {
+				iy0 := oy*c.strideH - c.padH
+				for ox := 0; ox < ow; ox++ {
+					ix0 := ox*c.strideW - c.padW
+					sum := bData[oc]
+					for ic := 0; ic < c.inC; ic++ {
+						iBase := (img*c.inC + ic) * h * w
+						kBase := wBase + ic*kArea
+						for ky := 0; ky < c.kernelH; ky++ {
+							iy := iy0 + ky
+							if iy < 0 || iy >= h {
+								continue
+							}
+							rowBase := iBase + iy*w
+							kRow := kBase + ky*c.kernelW
+							for kx := 0; kx < c.kernelW; kx++ {
+								ix := ix0 + kx
+								if ix < 0 || ix >= w {
+									continue
+								}
+								sum += src[rowBase+ix] * wData[kRow+kx]
+							}
+						}
+					}
+					dst[oBase+oy*ow+ox] = sum
+				}
+			}
+		}
+	}
+	return out
+}

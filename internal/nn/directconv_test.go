@@ -1,0 +1,52 @@
+package nn
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/stsl/stsl/internal/mathx"
+	"github.com/stsl/stsl/internal/tensor"
+)
+
+func TestDirectConvMatchesIm2Col(t *testing.T) {
+	// Property: the naive direct convolution and the im2col lowering
+	// agree on random geometries — two independent implementations
+	// cross-checking each other.
+	f := func(seed uint64) bool {
+		r := mathx.NewRNG(seed)
+		cfg := Conv2DConfig{
+			Name:    "c",
+			In:      1 + r.Intn(3),
+			Out:     1 + r.Intn(4),
+			KernelH: 1 + r.Intn(3), KernelW: 1 + r.Intn(3),
+			StrideH: 1 + r.Intn(2), StrideW: 1 + r.Intn(2),
+			PadH: r.Intn(2), PadW: r.Intn(2),
+		}
+		conv, err := NewConv2D(cfg, r)
+		if err != nil {
+			return true // invalid random config, skip
+		}
+		h, w := cfg.KernelH+2+r.Intn(5), cfg.KernelW+2+r.Intn(5)
+		x := tensor.Randn(r, 1, 1+r.Intn(2), cfg.In, h, w)
+		want := conv.Forward(x, false)
+		got := DirectConvForward(conv, x)
+		return got.Equal(want, 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirectConvPanicsOnBadInput(t *testing.T) {
+	r := mathx.NewRNG(1)
+	conv, err := NewConv2D(Conv2DConfig{Name: "c", In: 3, Out: 4, KernelH: 3, KernelW: 3, SamePad: true}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong channel count did not panic")
+		}
+	}()
+	DirectConvForward(conv, tensor.New(1, 2, 8, 8))
+}

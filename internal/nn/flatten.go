@@ -1,0 +1,57 @@
+package nn
+
+import (
+	"fmt"
+
+	"github.com/stsl/stsl/internal/tensor"
+)
+
+// Flatten reshapes (N, d1, d2, …) into (N, d1*d2*…), remembering the input
+// shape so Backward can restore it.
+type Flatten struct {
+	name    string
+	inShape []int
+}
+
+// NewFlatten constructs a Flatten layer.
+func NewFlatten(name string) *Flatten { return &Flatten{name: name} }
+
+// Name implements Layer.
+func (l *Flatten) Name() string { return l.name }
+
+// Params implements Layer.
+func (l *Flatten) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (l *Flatten) OutShape(in []int) ([]int, error) {
+	if len(in) == 0 {
+		return nil, shapeErr(l.name, "non-scalar", in)
+	}
+	return []int{shapeVolume(in)}, nil
+}
+
+// Forward implements Layer.
+func (l *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	s := x.Shape()
+	if len(s) < 2 {
+		panic(shapeErr(l.name, "(N,…)", s))
+	}
+	if train {
+		l.inShape = s
+	} else {
+		l.inShape = nil
+	}
+	return x.Reshape(s[0], -1)
+}
+
+// Backward implements Layer.
+func (l *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if l.inShape == nil {
+		panic(fmt.Sprintf("nn: flatten %s Backward without training Forward", l.name))
+	}
+	dx := grad.Reshape(l.inShape...)
+	l.inShape = nil
+	return dx
+}
+
+var _ Layer = (*Flatten)(nil)

@@ -1,0 +1,91 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/stsl/stsl/internal/tensor"
+)
+
+// GradCheckResult reports the outcome of a numerical gradient check for
+// one parameter.
+type GradCheckResult struct {
+	Param       string
+	MaxRelError float64
+	Checked     int
+}
+
+// CheckLayerGradients verifies a layer's analytic gradients against central
+// finite differences. loss is evaluated as 0.5*‖y‖² of the layer output,
+// whose exact gradient w.r.t. the output is y itself; this exercises the
+// full backward path for both the input and every parameter.
+//
+// eps is the finite-difference step (1e-5 is a good default for float64);
+// tol is the maximum acceptable relative error. It returns one result per
+// parameter plus one for the input (named "input"), or an error describing
+// the first failing check.
+func CheckLayerGradients(l Layer, x *tensor.Tensor, eps, tol float64) ([]GradCheckResult, error) {
+	lossOf := func() float64 {
+		y := l.Forward(x, true)
+		s := 0.0
+		for _, v := range y.Data() {
+			s += 0.5 * v * v
+		}
+		return s
+	}
+	// Analytic pass.
+	for _, p := range l.Params() {
+		p.ZeroGrad()
+	}
+	y := l.Forward(x, true)
+	dx := l.Backward(y.Clone())
+
+	var results []GradCheckResult
+
+	check := func(name string, value *tensor.Tensor, analytic *tensor.Tensor) error {
+		data := value.Data()
+		grad := analytic.Data()
+		maxRel := 0.0
+		// Check every element for small tensors, a strided subset for
+		// large ones, so the suite stays fast.
+		stride := 1
+		if len(data) > 256 {
+			stride = len(data) / 256
+		}
+		checked := 0
+		for i := 0; i < len(data); i += stride {
+			orig := data[i]
+			data[i] = orig + eps
+			lp := lossOf()
+			data[i] = orig - eps
+			lm := lossOf()
+			data[i] = orig
+			numeric := (lp - lm) / (2 * eps)
+			// The 1e-4 floor keeps finite-difference cancellation noise
+			// (≈|loss|·1e-16/eps) from failing elements whose true
+			// gradient is itself near zero.
+			denom := math.Max(math.Abs(numeric)+math.Abs(grad[i]), 1e-4)
+			rel := math.Abs(numeric-grad[i]) / denom
+			if rel > maxRel {
+				maxRel = rel
+			}
+			if rel > tol {
+				return fmt.Errorf("nn: gradcheck %s[%d]: analytic %g vs numeric %g (rel err %g > tol %g)",
+					name, i, grad[i], numeric, rel, tol)
+			}
+			checked++
+		}
+		results = append(results, GradCheckResult{Param: name, MaxRelError: maxRel, Checked: checked})
+		return nil
+	}
+
+	if err := check("input", x, dx); err != nil {
+		return results, err
+	}
+	for _, p := range l.Params() {
+		if err := check(p.Name, p.Value, p.Grad); err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}

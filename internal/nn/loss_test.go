@@ -1,0 +1,163 @@
+package nn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/stsl/stsl/internal/mathx"
+	"github.com/stsl/stsl/internal/tensor"
+)
+
+func TestSoftmaxCrossEntropyUniformLogits(t *testing.T) {
+	// Equal logits: loss = log(classes), independent of labels.
+	logits := tensor.New(4, 10)
+	loss, grad, err := SoftmaxCrossEntropy(logits, []int{0, 3, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(loss-math.Log(10)) > 1e-12 {
+		t.Fatalf("loss = %v, want log(10) = %v", loss, math.Log(10))
+	}
+	if !grad.SameShape(logits) {
+		t.Fatalf("grad shape = %v", grad.Shape())
+	}
+	// Gradient rows sum to zero (softmax minus one-hot).
+	g := grad.Data()
+	for i := 0; i < 4; i++ {
+		s := 0.0
+		for j := 0; j < 10; j++ {
+			s += g[i*10+j]
+		}
+		if math.Abs(s) > 1e-12 {
+			t.Fatalf("grad row %d sums to %v", i, s)
+		}
+	}
+}
+
+func TestSoftmaxCrossEntropyPerfectPrediction(t *testing.T) {
+	logits := tensor.New(1, 3)
+	logits.Set(100, 0, 1) // overwhelming confidence in class 1
+	loss, _, err := SoftmaxCrossEntropy(logits, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss > 1e-10 {
+		t.Fatalf("confident correct prediction has loss %v", loss)
+	}
+}
+
+func TestSoftmaxCrossEntropyErrors(t *testing.T) {
+	if _, _, err := SoftmaxCrossEntropy(tensor.New(2, 3), []int{0}); err == nil {
+		t.Fatal("label count mismatch accepted")
+	}
+	if _, _, err := SoftmaxCrossEntropy(tensor.New(2, 3), []int{0, 3}); err == nil {
+		t.Fatal("out-of-range label accepted")
+	}
+	if _, _, err := SoftmaxCrossEntropy(tensor.New(6), []int{0}); err == nil {
+		t.Fatal("rank-1 logits accepted")
+	}
+}
+
+func TestSoftmaxCrossEntropyGradientNumeric(t *testing.T) {
+	// Central-difference check of ∂loss/∂logits.
+	r := mathx.NewRNG(1)
+	logits := tensor.Randn(r, 1, 3, 5)
+	labels := []int{0, 2, 4}
+	_, grad, err := SoftmaxCrossEntropy(logits, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const eps = 1e-6
+	data := logits.Data()
+	for i := range data {
+		orig := data[i]
+		data[i] = orig + eps
+		lp, _, _ := SoftmaxCrossEntropy(logits, labels)
+		data[i] = orig - eps
+		lm, _, _ := SoftmaxCrossEntropy(logits, labels)
+		data[i] = orig
+		numeric := (lp - lm) / (2 * eps)
+		if math.Abs(numeric-grad.Data()[i]) > 1e-6 {
+			t.Fatalf("logit %d: analytic %v vs numeric %v", i, grad.Data()[i], numeric)
+		}
+	}
+}
+
+func TestSoftmaxCrossEntropyStability(t *testing.T) {
+	// Huge logits must not produce NaN/Inf.
+	logits := tensor.FromSlice([]float64{1e4, -1e4, 0}, 1, 3)
+	loss, grad, err := SoftmaxCrossEntropy(logits, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(loss) || math.IsInf(loss, 0) {
+		t.Fatalf("unstable loss %v", loss)
+	}
+	for _, v := range grad.Data() {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("unstable grad %v", grad)
+		}
+	}
+}
+
+func TestSoftmaxCrossEntropyQuickLossPositive(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := mathx.NewRNG(seed)
+		n, c := 1+r.Intn(8), 2+r.Intn(8)
+		logits := tensor.Randn(r, 3, n, c)
+		labels := make([]int, n)
+		for i := range labels {
+			labels[i] = r.Intn(c)
+		}
+		loss, grad, err := SoftmaxCrossEntropy(logits, labels)
+		if err != nil || loss < 0 {
+			return false
+		}
+		// Each row of the gradient sums to ~0.
+		g := grad.Data()
+		for i := 0; i < n; i++ {
+			s := 0.0
+			for j := 0; j < c; j++ {
+				s += g[i*c+j]
+			}
+			if math.Abs(s) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPredict(t *testing.T) {
+	logits := tensor.FromSlice([]float64{
+		0, 3, 1,
+		5, 2, 2,
+	}, 2, 3)
+	got := Predict(logits)
+	if got[0] != 1 || got[1] != 0 {
+		t.Fatalf("Predict = %v", got)
+	}
+}
+
+func TestMSE(t *testing.T) {
+	pred := tensor.FromSlice([]float64{1, 2}, 2)
+	target := tensor.FromSlice([]float64{0, 4}, 2)
+	loss, grad, err := MSE(pred, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(loss-(1+4)/2.0) > 1e-12 {
+		t.Fatalf("MSE loss = %v", loss)
+	}
+	want := tensor.FromSlice([]float64{1, -2}, 2) // 2*(p-t)/n
+	if !grad.Equal(want, 1e-12) {
+		t.Fatalf("MSE grad = %v, want %v", grad, want)
+	}
+	if _, _, err := MSE(pred, tensor.New(3)); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}

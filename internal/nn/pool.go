@@ -1,0 +1,134 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/stsl/stsl/internal/tensor"
+)
+
+// MaxPool2D is a max-pooling layer over NCHW input. It has no learnable
+// parameters; Backward routes each output gradient to the input position
+// that produced the maximum (ties go to the first scanned position, which
+// matches the common framework convention).
+type MaxPool2D struct {
+	name             string
+	kernelH, kernelW int
+	strideH, strideW int
+	// argmax caches, per forward pass, the linear input index chosen for
+	// each output element.
+	argmax  []int
+	inShape []int
+}
+
+// NewMaxPool2D constructs a pooling layer. A zero stride defaults to the
+// kernel size (non-overlapping pooling), which is the paper's 2×2 usage.
+func NewMaxPool2D(name string, kernelH, kernelW, strideH, strideW int) (*MaxPool2D, error) {
+	if kernelH <= 0 || kernelW <= 0 {
+		return nil, fmt.Errorf("nn: pool %q needs positive kernel, got %dx%d", name, kernelH, kernelW)
+	}
+	if strideH == 0 {
+		strideH = kernelH
+	}
+	if strideW == 0 {
+		strideW = kernelW
+	}
+	if strideH < 0 || strideW < 0 {
+		return nil, fmt.Errorf("nn: pool %q has negative stride", name)
+	}
+	return &MaxPool2D{name: name, kernelH: kernelH, kernelW: kernelW, strideH: strideH, strideW: strideW}, nil
+}
+
+// Name implements Layer.
+func (p *MaxPool2D) Name() string { return p.name }
+
+// Params implements Layer.
+func (p *MaxPool2D) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (p *MaxPool2D) OutShape(in []int) ([]int, error) {
+	if len(in) != 3 {
+		return nil, shapeErr(p.name, "(C,H,W)", in)
+	}
+	oh := (in[1]-p.kernelH)/p.strideH + 1
+	ow := (in[2]-p.kernelW)/p.strideW + 1
+	if oh <= 0 || ow <= 0 {
+		return nil, fmt.Errorf("nn: pool %s yields empty output for input %v", p.name, in)
+	}
+	return []int{in[0], oh, ow}, nil
+}
+
+// Forward implements Layer. Input must be (N, C, H, W).
+func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	s := x.Shape()
+	if len(s) != 4 {
+		panic(shapeErr(p.name, "(N,C,H,W)", s))
+	}
+	n, c, h, w := s[0], s[1], s[2], s[3]
+	oh := (h-p.kernelH)/p.strideH + 1
+	ow := (w-p.kernelW)/p.strideW + 1
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("nn: pool %s yields empty output for input %v", p.name, s))
+	}
+	out := tensor.New(n, c, oh, ow)
+	var argmax []int
+	if train {
+		argmax = make([]int, out.Size())
+	}
+	src := x.Data()
+	dst := out.Data()
+	di := 0
+	for img := 0; img < n; img++ {
+		for ch := 0; ch < c; ch++ {
+			plane := (img*c + ch) * h * w
+			for oy := 0; oy < oh; oy++ {
+				iy0 := oy * p.strideH
+				for ox := 0; ox < ow; ox++ {
+					ix0 := ox * p.strideW
+					best := math.Inf(-1)
+					bestIdx := -1
+					for ky := 0; ky < p.kernelH; ky++ {
+						rowBase := plane + (iy0+ky)*w + ix0
+						for kx := 0; kx < p.kernelW; kx++ {
+							if v := src[rowBase+kx]; v > best {
+								best = v
+								bestIdx = rowBase + kx
+							}
+						}
+					}
+					dst[di] = best
+					if train {
+						argmax[di] = bestIdx
+					}
+					di++
+				}
+			}
+		}
+	}
+	if train {
+		p.argmax = argmax
+		p.inShape = s
+	} else {
+		p.argmax = nil
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (p *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if p.argmax == nil {
+		panic(fmt.Sprintf("nn: pool %s Backward without training Forward", p.name))
+	}
+	if grad.Size() != len(p.argmax) {
+		panic(shapeErr(p.name, fmt.Sprintf("grad with %d elems", len(p.argmax)), grad.Shape()))
+	}
+	dx := tensor.New(p.inShape...)
+	dst := dx.Data()
+	for i, g := range grad.Data() {
+		dst[p.argmax[i]] += g
+	}
+	p.argmax = nil
+	return dx
+}
+
+var _ Layer = (*MaxPool2D)(nil)

@@ -1,0 +1,70 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+)
+
+// Schedule maps an epoch index (0-based) to a learning rate.
+type Schedule interface {
+	// At returns the learning rate for the given epoch.
+	At(epoch int) float64
+}
+
+// ConstSchedule always returns the same rate.
+type ConstSchedule struct{ Rate float64 }
+
+// At implements Schedule.
+func (s ConstSchedule) At(int) float64 { return s.Rate }
+
+// StepSchedule multiplies the base rate by Gamma every Every epochs.
+type StepSchedule struct {
+	Base  float64
+	Gamma float64
+	Every int
+}
+
+// At implements Schedule.
+func (s StepSchedule) At(epoch int) float64 {
+	if s.Every <= 0 {
+		return s.Base
+	}
+	return s.Base * math.Pow(s.Gamma, float64(epoch/s.Every))
+}
+
+// CosineSchedule anneals from Base to Floor over Total epochs following a
+// half cosine, then stays at Floor.
+type CosineSchedule struct {
+	Base  float64
+	Floor float64
+	Total int
+}
+
+// At implements Schedule.
+func (s CosineSchedule) At(epoch int) float64 {
+	if s.Total <= 0 || epoch >= s.Total {
+		return s.Floor
+	}
+	frac := float64(epoch) / float64(s.Total)
+	return s.Floor + 0.5*(s.Base-s.Floor)*(1+math.Cos(math.Pi*frac))
+}
+
+// Apply sets the optimiser's learning rate for the given epoch.
+func Apply(o Optimizer, s Schedule, epoch int) error {
+	if o == nil || s == nil {
+		return fmt.Errorf("opt: Apply requires non-nil optimiser and schedule")
+	}
+	lr := s.At(epoch)
+	if lr <= 0 {
+		return fmt.Errorf("opt: schedule produced non-positive rate %v at epoch %d", lr, epoch)
+	}
+	o.SetLR(lr)
+	return nil
+}
+
+// Interface compliance checks.
+var (
+	_ Schedule = ConstSchedule{}
+	_ Schedule = StepSchedule{}
+	_ Schedule = CosineSchedule{}
+)

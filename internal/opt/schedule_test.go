@@ -1,0 +1,77 @@
+package opt
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConstSchedule(t *testing.T) {
+	s := ConstSchedule{Rate: 0.1}
+	for _, e := range []int{0, 1, 100} {
+		if got := s.At(e); got != 0.1 {
+			t.Fatalf("At(%d) = %v", e, got)
+		}
+	}
+}
+
+func TestStepSchedule(t *testing.T) {
+	s := StepSchedule{Base: 1, Gamma: 0.1, Every: 10}
+	cases := []struct {
+		epoch int
+		want  float64
+	}{
+		{0, 1}, {9, 1}, {10, 0.1}, {19, 0.1}, {20, 0.01},
+	}
+	for _, tc := range cases {
+		if got := s.At(tc.epoch); math.Abs(got-tc.want) > 1e-12 {
+			t.Fatalf("At(%d) = %v, want %v", tc.epoch, got, tc.want)
+		}
+	}
+	// Every=0 degrades gracefully to constant.
+	if got := (StepSchedule{Base: 1, Gamma: 0.1}).At(50); got != 1 {
+		t.Fatalf("Every=0 At(50) = %v", got)
+	}
+}
+
+func TestCosineSchedule(t *testing.T) {
+	s := CosineSchedule{Base: 1, Floor: 0.01, Total: 100}
+	if got := s.At(0); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("At(0) = %v, want Base", got)
+	}
+	mid := s.At(50)
+	want := 0.01 + 0.5*(1-0.01)
+	if math.Abs(mid-want) > 1e-12 {
+		t.Fatalf("At(50) = %v, want %v", mid, want)
+	}
+	if got := s.At(100); got != 0.01 {
+		t.Fatalf("At(Total) = %v, want Floor", got)
+	}
+	if got := s.At(1000); got != 0.01 {
+		t.Fatalf("past Total = %v, want Floor", got)
+	}
+	// Monotone decreasing over the annealing window.
+	prev := math.Inf(1)
+	for e := 0; e <= 100; e++ {
+		cur := s.At(e)
+		if cur > prev {
+			t.Fatalf("cosine schedule increased at epoch %d", e)
+		}
+		prev = cur
+	}
+}
+
+func TestApply(t *testing.T) {
+	o, _ := NewSGD(Config{LR: 1})
+	if err := Apply(o, StepSchedule{Base: 1, Gamma: 0.5, Every: 1}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := o.LR(); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("LR after Apply = %v", got)
+	}
+	if err := Apply(nil, ConstSchedule{Rate: 1}, 0); err == nil {
+		t.Fatal("nil optimiser accepted")
+	}
+	if err := Apply(o, CosineSchedule{Base: 1, Floor: 0, Total: 10}, 10); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+}

@@ -1,0 +1,148 @@
+package privacy
+
+import (
+	"fmt"
+
+	"github.com/stsl/stsl/internal/data"
+	"github.com/stsl/stsl/internal/mathx"
+	"github.com/stsl/stsl/internal/nn"
+	"github.com/stsl/stsl/internal/opt"
+	"github.com/stsl/stsl/internal/tensor"
+)
+
+// AttackConfig parameterises the reconstruction attack: an adversary at
+// the server trains a decoder from observed activations back to raw
+// images, using an auxiliary dataset drawn from the same distribution
+// (the strong "informed adversary" model).
+type AttackConfig struct {
+	// Seed drives decoder initialisation.
+	Seed uint64
+	// Steps is the number of SGD steps (default 300).
+	Steps int
+	// BatchSize is the attack batch size (default 16).
+	BatchSize int
+	// LR is the decoder learning rate (default 0.01, Adam).
+	LR float64
+	// Hidden is the decoder's hidden width (default 128).
+	Hidden int
+}
+
+func (c AttackConfig) withDefaults() AttackConfig {
+	if c.Steps == 0 {
+		c.Steps = 300
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 16
+	}
+	if c.LR == 0 {
+		c.LR = 0.01
+	}
+	if c.Hidden == 0 {
+		c.Hidden = 128
+	}
+	return c
+}
+
+// AttackResult reports the reconstruction fidelity the adversary reached.
+type AttackResult struct {
+	// TrainMSE is the decoder's final training loss.
+	TrainMSE float64
+	// MeanPSNR is the reconstruction PSNR over the held-out images
+	// (higher = more leaked).
+	MeanPSNR float64
+	// MeanCorrelation is the mean absolute pixel correlation between
+	// original and reconstruction on held-out images.
+	MeanCorrelation float64
+}
+
+// ReconstructionAttack trains a two-layer MLP decoder mapping the client
+// stack's activations back to raw pixels and reports fidelity on held-out
+// data. clientStack is the end-system's private stack (it is used in
+// inference mode only, as an oracle the adversary can query — e.g. a
+// colluding client). aux provides the adversary's auxiliary examples;
+// holdout measures attack quality.
+func ReconstructionAttack(cfg AttackConfig, clientStack *nn.Sequential, aux, holdout *data.Dataset) (*AttackResult, error) {
+	cfg = cfg.withDefaults()
+	if aux.Len() == 0 || holdout.Len() == 0 {
+		return nil, fmt.Errorf("privacy: attack needs non-empty aux and holdout sets")
+	}
+	imgShape := aux.X.Shape()
+	imgDim := imgShape[1] * imgShape[2] * imgShape[3]
+
+	// Probe the activation dimensionality.
+	probe := clientStack.Forward(aux.Subset([]int{0}).X, false)
+	actDim := probe.Size()
+
+	r := mathx.NewRNG(cfg.Seed)
+	d1, err := nn.NewDense("att1", actDim, cfg.Hidden, nil, r)
+	if err != nil {
+		return nil, err
+	}
+	d2, err := nn.NewDense("att2", cfg.Hidden, imgDim, nil, r)
+	if err != nil {
+		return nil, err
+	}
+	decoder, err := nn.NewSequential("decoder", d1, nn.NewReLU("att_relu"), d2)
+	if err != nil {
+		return nil, err
+	}
+	optim, err := opt.NewAdam(opt.Config{LR: cfg.LR})
+	if err != nil {
+		return nil, err
+	}
+	batcher, err := data.NewBatcher(aux, cfg.BatchSize, mathx.NewRNG(cfg.Seed+1))
+	if err != nil {
+		return nil, err
+	}
+
+	lastLoss := 0.0
+	for step := 0; step < cfg.Steps; step++ {
+		batch, ok := batcher.Next()
+		if !ok {
+			batch, _ = batcher.Next()
+		}
+		act := clientStack.Forward(batch.X, false)
+		flatAct := act.Reshape(act.Dim(0), -1)
+		target := batch.X.Reshape(batch.X.Dim(0), -1)
+		decoder.ZeroGrad()
+		rec := decoder.Forward(flatAct, true)
+		loss, grad, err := nn.MSE(rec, target)
+		if err != nil {
+			return nil, err
+		}
+		decoder.Backward(grad)
+		optim.Step(decoder.Params())
+		lastLoss = loss
+	}
+
+	// Evaluate on held-out images.
+	var sumPSNR, sumCorr float64
+	n := holdout.Len()
+	for i := 0; i < n; i++ {
+		one := holdout.Subset([]int{i})
+		act := clientStack.Forward(one.X, false)
+		rec := decoder.Forward(act.Reshape(1, -1), false)
+		orig := one.X.Reshape(imgShape[1], imgShape[2], imgShape[3])
+		recImg := rec.Reshape(imgShape[1], imgShape[2], imgShape[3])
+		recImg.ApplyInPlace(func(v float64) float64 { return mathx.Clamp(v, 0, 1) })
+		p, err := PSNR(flattenGray(orig), flattenGray(recImg))
+		if err != nil {
+			return nil, err
+		}
+		c, err := Correlation(flattenGray(orig), flattenGray(recImg))
+		if err != nil {
+			return nil, err
+		}
+		sumPSNR += p
+		sumCorr += c
+	}
+	return &AttackResult{
+		TrainMSE:        lastLoss,
+		MeanPSNR:        sumPSNR / float64(n),
+		MeanCorrelation: sumCorr / float64(n),
+	}, nil
+}
+
+func flattenGray(img *tensor.Tensor) *tensor.Tensor {
+	return grayscale(img)
+}

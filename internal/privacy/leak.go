@@ -1,0 +1,234 @@
+// Package privacy quantifies and visualises what the "smashed" activations
+// leaving an end-system reveal about the raw inputs — the paper's Fig 4.
+// It renders activations as images, computes leakage metrics (pixel
+// correlation, PSNR, a simplified SSIM) between the original image and the
+// best single-channel "view" an eavesdropper gets, and mounts a trained
+// reconstruction attack as a stronger adversary.
+package privacy
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/stsl/stsl/internal/tensor"
+)
+
+// grayscale collapses a (C,H,W) image to (H,W) by channel mean.
+func grayscale(img *tensor.Tensor) *tensor.Tensor {
+	s := img.Shape()
+	c, h, w := s[0], s[1], s[2]
+	out := tensor.New(h, w)
+	src, dst := img.Data(), out.Data()
+	for ch := 0; ch < c; ch++ {
+		for i := 0; i < h*w; i++ {
+			dst[i] += src[ch*h*w+i]
+		}
+	}
+	inv := 1 / float64(c)
+	for i := range dst {
+		dst[i] *= inv
+	}
+	return out
+}
+
+// resizeNearest scales a (H,W) map to (outH,outW) with nearest-neighbour
+// sampling — adequate for leakage comparison since pooling reduces
+// resolution by integer factors.
+func resizeNearest(m *tensor.Tensor, outH, outW int) *tensor.Tensor {
+	s := m.Shape()
+	h, w := s[0], s[1]
+	out := tensor.New(outH, outW)
+	for y := 0; y < outH; y++ {
+		sy := y * h / outH
+		for x := 0; x < outW; x++ {
+			sx := x * w / outW
+			out.Set(m.At(sy, sx), y, x)
+		}
+	}
+	return out
+}
+
+// normalizeUnit affinely maps values to [0,1]; a constant map becomes all
+// zeros.
+func normalizeUnit(m *tensor.Tensor) *tensor.Tensor {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range m.Data() {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	out := m.Clone()
+	if hi-lo < 1e-12 {
+		out.Zero()
+		return out
+	}
+	inv := 1 / (hi - lo)
+	out.ApplyInPlace(func(v float64) float64 { return (v - lo) * inv })
+	return out
+}
+
+// Correlation returns the absolute Pearson correlation between two
+// equally-shaped maps. 1 means the activation is a recolouring of the
+// original; 0 means it carries no linear pixel information.
+func Correlation(a, b *tensor.Tensor) (float64, error) {
+	if a.Size() != b.Size() {
+		return 0, fmt.Errorf("privacy: correlation size mismatch %v vs %v", a.Shape(), b.Shape())
+	}
+	n := float64(a.Size())
+	if n == 0 {
+		return 0, fmt.Errorf("privacy: correlation of empty tensors")
+	}
+	ad, bd := a.Data(), b.Data()
+	var sa, sb float64
+	for i := range ad {
+		sa += ad[i]
+		sb += bd[i]
+	}
+	ma, mb := sa/n, sb/n
+	var cov, va, vb float64
+	for i := range ad {
+		da, db := ad[i]-ma, bd[i]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va < 1e-18 || vb < 1e-18 {
+		return 0, nil
+	}
+	return math.Abs(cov / math.Sqrt(va*vb)), nil
+}
+
+// PSNR returns the peak signal-to-noise ratio in dB between a reference
+// and a reconstruction, both expected in [0,1]. Higher = more faithful.
+func PSNR(ref, rec *tensor.Tensor) (float64, error) {
+	if ref.Size() != rec.Size() {
+		return 0, fmt.Errorf("privacy: PSNR size mismatch %v vs %v", ref.Shape(), rec.Shape())
+	}
+	if ref.Size() == 0 {
+		return 0, fmt.Errorf("privacy: PSNR of empty tensors")
+	}
+	rd, cd := ref.Data(), rec.Data()
+	mse := 0.0
+	for i := range rd {
+		d := rd[i] - cd[i]
+		mse += d * d
+	}
+	mse /= float64(len(rd))
+	if mse < 1e-18 {
+		return 100, nil // capped "identical" value
+	}
+	return 10 * math.Log10(1/mse), nil
+}
+
+// SSIM returns a single-window simplified structural-similarity index
+// between two [0,1] maps: the standard SSIM formula computed over the
+// whole image instead of sliding windows — adequate for ranking leakage.
+func SSIM(a, b *tensor.Tensor) (float64, error) {
+	if a.Size() != b.Size() {
+		return 0, fmt.Errorf("privacy: SSIM size mismatch %v vs %v", a.Shape(), b.Shape())
+	}
+	n := float64(a.Size())
+	if n == 0 {
+		return 0, fmt.Errorf("privacy: SSIM of empty tensors")
+	}
+	const c1, c2 = 0.01 * 0.01, 0.03 * 0.03
+	ad, bd := a.Data(), b.Data()
+	var sa, sb float64
+	for i := range ad {
+		sa += ad[i]
+		sb += bd[i]
+	}
+	ma, mb := sa/n, sb/n
+	var va, vb, cov float64
+	for i := range ad {
+		da, db := ad[i]-ma, bd[i]-mb
+		va += da * da
+		vb += db * db
+		cov += da * db
+	}
+	va, vb, cov = va/n, vb/n, cov/n
+	num := (2*ma*mb + c1) * (2*cov + c2)
+	den := (ma*ma + mb*mb + c1) * (va + vb + c2)
+	return num / den, nil
+}
+
+// edgeMap returns the first-difference gradient magnitude |∂x| + |∂y| of
+// a (H,W) map — the high-frequency content that makes an image
+// recognisable. Max-pooling destroys exactly this, which is the
+// quantitative form of Fig 4's "max-pooling can definitely hide original
+// images".
+func edgeMap(m *tensor.Tensor) *tensor.Tensor {
+	s := m.Shape()
+	h, w := s[0], s[1]
+	out := tensor.New(h, w)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			g := 0.0
+			if x+1 < w {
+				g += math.Abs(m.At(y, x+1) - m.At(y, x))
+			}
+			if y+1 < h {
+				g += math.Abs(m.At(y+1, x) - m.At(y, x))
+			}
+			out.Set(g, y, x)
+		}
+	}
+	return out
+}
+
+// LeakReport aggregates the metrics for one comparison. Correlation,
+// PSNRdB and SSIM measure coarse structural leakage; EdgeCorrelation
+// measures fine-detail leakage (the component pooling removes).
+type LeakReport struct {
+	Correlation     float64
+	PSNRdB          float64
+	SSIM            float64
+	EdgeCorrelation float64
+}
+
+// BestChannelLeak measures how much a (C,H,W) activation tensor reveals
+// about a (3,H0,W0) original image: every activation channel is resized
+// to the original geometry and normalised, and the best (most revealing)
+// channel's metrics are reported — the eavesdropper's best single view.
+func BestChannelLeak(original, activation *tensor.Tensor) (*LeakReport, error) {
+	os := original.Shape()
+	as := activation.Shape()
+	if len(os) != 3 || len(as) != 3 {
+		return nil, fmt.Errorf("privacy: BestChannelLeak wants (C,H,W) tensors, got %v and %v", os, as)
+	}
+	gray := normalizeUnit(grayscale(original))
+	grayEdges := edgeMap(gray)
+	h0, w0 := os[1], os[2]
+	best := &LeakReport{}
+	for ch := 0; ch < as[0]; ch++ {
+		plane := tensor.New(as[1], as[2])
+		copy(plane.Data(), activation.Data()[ch*as[1]*as[2]:(ch+1)*as[1]*as[2]])
+		view := normalizeUnit(resizeNearest(plane, h0, w0))
+		corr, err := Correlation(gray, view)
+		if err != nil {
+			return nil, err
+		}
+		edgeCorr, err := Correlation(grayEdges, edgeMap(view))
+		if err != nil {
+			return nil, err
+		}
+		if edgeCorr > best.EdgeCorrelation {
+			best.EdgeCorrelation = edgeCorr
+		}
+		if corr > best.Correlation {
+			psnr, err := PSNR(gray, view)
+			if err != nil {
+				return nil, err
+			}
+			ssim, err := SSIM(gray, view)
+			if err != nil {
+				return nil, err
+			}
+			best.Correlation, best.PSNRdB, best.SSIM = corr, psnr, ssim
+		}
+	}
+	return best, nil
+}

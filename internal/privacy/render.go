@@ -1,0 +1,92 @@
+package privacy
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"os"
+	"path/filepath"
+
+	"github.com/stsl/stsl/internal/tensor"
+)
+
+// SaveImagePNG writes a (3,H,W) or (1,H,W) tensor in [0,1] as a PNG.
+// Values are clamped; 3-channel tensors render as RGB, single-channel as
+// grayscale.
+func SaveImagePNG(t *tensor.Tensor, path string) error {
+	s := t.Shape()
+	if len(s) != 3 || (s[0] != 1 && s[0] != 3) {
+		return fmt.Errorf("privacy: SaveImagePNG wants (1|3,H,W), got %v", s)
+	}
+	c, h, w := s[0], s[1], s[2]
+	img := image.NewRGBA(image.Rect(0, 0, w, h))
+	data := t.Data()
+	px := func(ch, y, x int) uint8 {
+		v := data[ch*h*w+y*w+x]
+		if v < 0 {
+			v = 0
+		}
+		if v > 1 {
+			v = 1
+		}
+		return uint8(v*255 + 0.5)
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			var r, g, b uint8
+			if c == 3 {
+				r, g, b = px(0, y, x), px(1, y, x), px(2, y, x)
+			} else {
+				r = px(0, y, x)
+				g, b = r, r
+			}
+			img.SetRGBA(x, y, color.RGBA{R: r, G: g, B: b, A: 255})
+		}
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("privacy: mkdir for %s: %w", path, err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("privacy: create %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := png.Encode(f, img); err != nil {
+		return fmt.Errorf("privacy: encode %s: %w", path, err)
+	}
+	return nil
+}
+
+// SaveActivationGridPNG renders every channel of a (C,H,W) activation as
+// a tiled grayscale grid (cols channels per row), each channel normalised
+// to [0,1] independently — the conventional feature-map visualisation of
+// Fig 4(b) and 4(c).
+func SaveActivationGridPNG(act *tensor.Tensor, cols int, path string) error {
+	s := act.Shape()
+	if len(s) != 3 {
+		return fmt.Errorf("privacy: SaveActivationGridPNG wants (C,H,W), got %v", s)
+	}
+	if cols <= 0 {
+		cols = 4
+	}
+	c, h, w := s[0], s[1], s[2]
+	rows := (c + cols - 1) / cols
+	const gap = 1
+	gridH := rows*h + (rows-1)*gap
+	gridW := cols*w + (cols-1)*gap
+	grid := tensor.New(1, gridH, gridW)
+	for ch := 0; ch < c; ch++ {
+		plane := tensor.New(h, w)
+		copy(plane.Data(), act.Data()[ch*h*w:(ch+1)*h*w])
+		norm := normalizeUnit(plane)
+		ty := (ch / cols) * (h + gap)
+		tx := (ch % cols) * (w + gap)
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				grid.Set(norm.At(y, x), 0, ty+y, tx+x)
+			}
+		}
+	}
+	return SaveImagePNG(grid, path)
+}

@@ -1,0 +1,54 @@
+package queue
+
+import "time"
+
+// StalenessDrop wraps another policy and discards items whose SentAt
+// timestamp is older than MaxStaleness at pop time. The paper's §II notes
+// that "parameter scheduling is required depending on applications" —
+// this is the discipline for applications that prefer dropping very late
+// contributions over training on stale activations (which correspond to
+// client weights that have since moved on).
+type StalenessDrop struct {
+	inner        Policy
+	maxStaleness time.Duration
+	dropped      int
+}
+
+// NewStalenessDrop wraps inner with a staleness cutoff. maxStaleness must
+// be positive.
+func NewStalenessDrop(inner Policy, maxStaleness time.Duration) *StalenessDrop {
+	if maxStaleness <= 0 {
+		panic("queue: StalenessDrop needs a positive cutoff")
+	}
+	return &StalenessDrop{inner: inner, maxStaleness: maxStaleness}
+}
+
+// Name implements Policy.
+func (q *StalenessDrop) Name() string { return q.inner.Name() + "+drop" }
+
+// Push implements Policy.
+func (q *StalenessDrop) Push(it Item) { q.inner.Push(it) }
+
+// Pop implements Policy: it discards expired items until it finds a fresh
+// one (or the queue empties).
+func (q *StalenessDrop) Pop(now time.Duration) (Item, bool) {
+	for {
+		it, ok := q.inner.Pop(now)
+		if !ok {
+			return Item{}, false
+		}
+		if now-it.Msg.SentAt > q.maxStaleness {
+			q.dropped++
+			continue
+		}
+		return it, true
+	}
+}
+
+// Len implements Policy.
+func (q *StalenessDrop) Len() int { return q.inner.Len() }
+
+// Dropped returns how many items the cutoff has discarded.
+func (q *StalenessDrop) Dropped() int { return q.dropped }
+
+var _ Policy = (*StalenessDrop)(nil)

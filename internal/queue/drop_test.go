@@ -1,0 +1,86 @@
+package queue
+
+import (
+	"testing"
+	"time"
+)
+
+func TestStalenessDropDiscardsExpired(t *testing.T) {
+	q := NewStalenessDrop(NewFIFO(), 50*time.Millisecond)
+	q.Push(item(0, 1, 0, 0))                   // sent at t=0
+	q.Push(item(0, 2, 90*time.Millisecond, 0)) // fresh at t=100ms
+	q.Push(item(0, 3, 95*time.Millisecond, 0)) // fresh at t=100ms
+	now := 100 * time.Millisecond
+	it, ok := q.Pop(now)
+	if !ok || it.Msg.Seq != 2 {
+		t.Fatalf("pop = %+v ok=%v, want seq 2 after dropping stale", it, ok)
+	}
+	if q.Dropped() != 1 {
+		t.Fatalf("Dropped = %d", q.Dropped())
+	}
+	if it, ok = q.Pop(now); !ok || it.Msg.Seq != 3 {
+		t.Fatalf("second pop = %+v", it)
+	}
+}
+
+func TestStalenessDropEmptyAfterAllExpired(t *testing.T) {
+	q := NewStalenessDrop(NewFIFO(), time.Millisecond)
+	q.Push(item(0, 1, 0, 0))
+	q.Push(item(1, 2, 0, 0))
+	if _, ok := q.Pop(time.Second); ok {
+		t.Fatal("expired items served")
+	}
+	if q.Dropped() != 2 {
+		t.Fatalf("Dropped = %d", q.Dropped())
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+}
+
+func TestStalenessDropName(t *testing.T) {
+	q := NewStalenessDrop(NewFairRoundRobin(), time.Second)
+	if q.Name() != "fair-rr+drop" {
+		t.Fatalf("Name = %q", q.Name())
+	}
+}
+
+func TestStalenessDropPanicsOnBadCutoff(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero cutoff did not panic")
+		}
+	}()
+	NewStalenessDrop(NewFIFO(), 0)
+}
+
+func TestSyncRoundsGateAndDeactivate(t *testing.T) {
+	q := NewSyncRounds([]int{0, 1})
+	q.Push(item(0, 1, 0, 0))
+	// Gate closed: client 1 has nothing yet.
+	if _, ok := q.Pop(0); ok {
+		t.Fatal("gate open with missing client")
+	}
+	q.Push(item(1, 2, 0, 0))
+	if _, ok := q.Pop(0); !ok {
+		t.Fatal("gate closed with all clients present")
+	}
+	// After the pop one bucket is empty → gate closed again.
+	if _, ok := q.Pop(0); ok {
+		t.Fatal("gate open after bucket drained")
+	}
+	// Deactivating the empty client lets the rest drain.
+	q.Deactivate(0) // popped client was 0 (rotation starts at first seen)
+	q.Deactivate(1)
+	if q.Len() > 0 {
+		if _, ok := q.Pop(0); !ok {
+			t.Fatal("drain failed after deactivation")
+		}
+	}
+}
+
+func TestSyncRoundsName(t *testing.T) {
+	if got := NewSyncRounds(nil).Name(); got != "sync-rounds" {
+		t.Fatalf("Name = %q", got)
+	}
+}

@@ -1,0 +1,107 @@
+package queue
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Metrics accumulates service statistics for one training run: how long
+// items waited, how many each client had served, and the queue's occupancy
+// high-water mark. It answers the paper's §II concern quantitatively.
+type Metrics struct {
+	waits        []time.Duration
+	servedBy     map[int]int
+	maxOccupancy int
+}
+
+// NewMetrics constructs an empty metrics accumulator.
+func NewMetrics() *Metrics {
+	return &Metrics{servedBy: make(map[int]int)}
+}
+
+// ObserveServe records one served item.
+func (m *Metrics) ObserveServe(it Item, now time.Duration) {
+	m.waits = append(m.waits, it.Staleness(now))
+	m.servedBy[it.ClientID()]++
+}
+
+// ObserveOccupancy records the queue length after a push.
+func (m *Metrics) ObserveOccupancy(n int) {
+	if n > m.maxOccupancy {
+		m.maxOccupancy = n
+	}
+}
+
+// Served returns the number of items served for the given client.
+func (m *Metrics) Served(clientID int) int { return m.servedBy[clientID] }
+
+// TotalServed returns the total items served.
+func (m *Metrics) TotalServed() int { return len(m.waits) }
+
+// MaxOccupancy returns the queue-length high-water mark.
+func (m *Metrics) MaxOccupancy() int { return m.maxOccupancy }
+
+// MeanWait returns the average queue wait.
+func (m *Metrics) MeanWait() time.Duration {
+	if len(m.waits) == 0 {
+		return 0
+	}
+	var s time.Duration
+	for _, w := range m.waits {
+		s += w
+	}
+	return s / time.Duration(len(m.waits))
+}
+
+// P99Wait returns the 99th-percentile queue wait.
+func (m *Metrics) P99Wait() time.Duration {
+	if len(m.waits) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), m.waits...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := len(sorted) * 99 / 100
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// ServiceImbalance returns (max served − min served) / max served across
+// clients — 0 means perfectly fair service, →1 means some client was
+// starved. Returns 0 with fewer than two clients.
+func (m *Metrics) ServiceImbalance() float64 {
+	if len(m.servedBy) < 2 {
+		return 0
+	}
+	minV, maxV := -1, -1
+	for _, c := range m.servedBy {
+		if minV == -1 || c < minV {
+			minV = c
+		}
+		if c > maxV {
+			maxV = c
+		}
+	}
+	if maxV == 0 {
+		return 0
+	}
+	return float64(maxV-minV) / float64(maxV)
+}
+
+// String renders a one-line summary.
+func (m *Metrics) String() string {
+	var ids []int
+	for id := range m.servedBy {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var parts []string
+	for _, id := range ids {
+		parts = append(parts, fmt.Sprintf("c%d:%d", id, m.servedBy[id]))
+	}
+	return fmt.Sprintf("served=%d meanWait=%v p99Wait=%v maxOcc=%d imbalance=%.3f per-client[%s]",
+		m.TotalServed(), m.MeanWait(), m.P99Wait(), m.MaxOccupancy(), m.ServiceImbalance(), strings.Join(parts, " "))
+}

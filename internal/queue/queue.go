@@ -1,0 +1,213 @@
+// Package queue implements the centralized server's parameter-scheduling
+// queue from §II of the paper: when end-systems are geo-distributed, their
+// first-hidden-layer activations arrive late or sparsely, and the order in
+// which the server consumes them decides whether learning is biased toward
+// near/fast clients. The package provides three scheduling policies —
+// plain FIFO, oldest-first (staleness priority), and per-client fair
+// round-robin — behind one interface, plus occupancy and service metrics.
+package queue
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+
+	"github.com/stsl/stsl/internal/transport"
+)
+
+// Item is one queued client contribution awaiting server processing.
+type Item struct {
+	// Msg is the activation message.
+	Msg *transport.Message
+	// ArrivedAt is the server-clock arrival time.
+	ArrivedAt time.Duration
+}
+
+// ClientID returns the originating end-system's id.
+func (it Item) ClientID() int { return it.Msg.ClientID }
+
+// Staleness returns how long the item has waited as of now.
+func (it Item) Staleness(now time.Duration) time.Duration { return now - it.ArrivedAt }
+
+// Policy is a scheduling discipline over queued items.
+//
+// Implementations are not safe for concurrent use; the server owns the
+// queue and serialises access.
+type Policy interface {
+	// Name identifies the policy in experiment output.
+	Name() string
+	// Push enqueues an item.
+	Push(it Item)
+	// Pop dequeues the next item per the discipline, reporting false on
+	// an empty queue.
+	Pop(now time.Duration) (Item, bool)
+	// Len returns the number of queued items.
+	Len() int
+}
+
+// FIFO serves items strictly in arrival order. Pop is amortised O(1): a
+// head cursor advances through the backing slice, served slots are
+// cleared so payloads are not pinned, and the slice is compacted once
+// the dead prefix dominates.
+type FIFO struct {
+	items []Item
+	head  int
+}
+
+// NewFIFO constructs an empty FIFO queue.
+func NewFIFO() *FIFO { return &FIFO{} }
+
+// Name implements Policy.
+func (q *FIFO) Name() string { return "fifo" }
+
+// Push implements Policy.
+func (q *FIFO) Push(it Item) { q.items = append(q.items, it) }
+
+// Pop implements Policy.
+func (q *FIFO) Pop(time.Duration) (Item, bool) {
+	if q.head >= len(q.items) {
+		return Item{}, false
+	}
+	it := q.items[q.head]
+	q.items[q.head] = Item{} // release the payload
+	q.head++
+	if q.head > len(q.items)/2 && q.head > 32 {
+		n := copy(q.items, q.items[q.head:])
+		for i := n; i < len(q.items); i++ {
+			q.items[i] = Item{}
+		}
+		q.items = q.items[:n]
+		q.head = 0
+	}
+	return it, true
+}
+
+// Len implements Policy.
+func (q *FIFO) Len() int { return len(q.items) - q.head }
+
+// StalenessPriority serves the item whose SentAt timestamp is oldest,
+// bounding the staleness of any client's contribution. Arrival order
+// breaks ties.
+type StalenessPriority struct {
+	h itemHeap
+}
+
+// NewStalenessPriority constructs an empty staleness-priority queue.
+func NewStalenessPriority() *StalenessPriority { return &StalenessPriority{} }
+
+// Name implements Policy.
+func (q *StalenessPriority) Name() string { return "staleness" }
+
+// Push implements Policy.
+func (q *StalenessPriority) Push(it Item) { heap.Push(&q.h, it) }
+
+// Pop implements Policy.
+func (q *StalenessPriority) Pop(time.Duration) (Item, bool) {
+	if q.h.Len() == 0 {
+		return Item{}, false
+	}
+	it, ok := heap.Pop(&q.h).(Item)
+	if !ok {
+		panic("queue: heap contained non-Item element")
+	}
+	return it, true
+}
+
+// Len implements Policy.
+func (q *StalenessPriority) Len() int { return q.h.Len() }
+
+type itemHeap []Item
+
+func (h itemHeap) Len() int { return len(h) }
+func (h itemHeap) Less(i, j int) bool {
+	if h[i].Msg.SentAt != h[j].Msg.SentAt {
+		return h[i].Msg.SentAt < h[j].Msg.SentAt
+	}
+	return h[i].ArrivedAt < h[j].ArrivedAt
+}
+func (h itemHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *itemHeap) Push(x interface{}) { *h = append(*h, x.(Item)) }
+func (h *itemHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = Item{}
+	*h = old[:n-1]
+	return it
+}
+
+// FairRoundRobin keeps one FIFO per client and serves clients in strict
+// rotation, so a fast nearby end-system cannot crowd out a far one. A
+// client with nothing queued is skipped; rotation position is preserved
+// across calls. Per-client buckets use the same amortised O(1) pop as
+// FIFO.
+type FairRoundRobin struct {
+	perClient map[int]*FIFO
+	order     []int // client ids in first-seen order
+	next      int   // rotation cursor into order
+}
+
+// NewFairRoundRobin constructs an empty fair queue.
+func NewFairRoundRobin() *FairRoundRobin {
+	return &FairRoundRobin{perClient: make(map[int]*FIFO)}
+}
+
+// Name implements Policy.
+func (q *FairRoundRobin) Name() string { return "fair-rr" }
+
+// Push implements Policy.
+func (q *FairRoundRobin) Push(it Item) {
+	id := it.ClientID()
+	bucket, seen := q.perClient[id]
+	if !seen {
+		bucket = NewFIFO()
+		q.perClient[id] = bucket
+		q.order = append(q.order, id)
+	}
+	bucket.Push(it)
+}
+
+// Pop implements Policy.
+func (q *FairRoundRobin) Pop(now time.Duration) (Item, bool) {
+	if len(q.order) == 0 {
+		return Item{}, false
+	}
+	for scanned := 0; scanned < len(q.order); scanned++ {
+		id := q.order[q.next%len(q.order)]
+		q.next = (q.next + 1) % len(q.order)
+		if it, ok := q.perClient[id].Pop(now); ok {
+			return it, true
+		}
+	}
+	return Item{}, false
+}
+
+// Len implements Policy.
+func (q *FairRoundRobin) Len() int {
+	n := 0
+	for _, b := range q.perClient {
+		n += b.Len()
+	}
+	return n
+}
+
+// NewPolicy constructs a policy by name ("fifo", "staleness", "fair-rr").
+func NewPolicy(name string) (Policy, error) {
+	switch name {
+	case "fifo":
+		return NewFIFO(), nil
+	case "staleness":
+		return NewStalenessPriority(), nil
+	case "fair-rr":
+		return NewFairRoundRobin(), nil
+	default:
+		return nil, fmt.Errorf("queue: unknown policy %q", name)
+	}
+}
+
+// Interface compliance checks.
+var (
+	_ Policy = (*FIFO)(nil)
+	_ Policy = (*StalenessPriority)(nil)
+	_ Policy = (*FairRoundRobin)(nil)
+)

@@ -1,0 +1,60 @@
+package queue
+
+import "time"
+
+// SyncRounds is the synchronous-rounds discipline: the server serves one
+// item per registered client per round and refuses to pop until every
+// active client has at least one item queued. It paces fast/near clients
+// to the slowest one — the strongest form of the paper's "parameter
+// scheduling" — trading wall-clock throughput for unbiased service.
+//
+// Clients whose data budget is exhausted must be Deactivated or the gate
+// would deadlock waiting for contributions that will never come.
+type SyncRounds struct {
+	inner  *FairRoundRobin
+	active map[int]bool
+}
+
+// NewSyncRounds constructs the policy with the given active client ids.
+func NewSyncRounds(clientIDs []int) *SyncRounds {
+	s := &SyncRounds{inner: NewFairRoundRobin(), active: make(map[int]bool, len(clientIDs))}
+	for _, id := range clientIDs {
+		s.active[id] = true
+	}
+	return s
+}
+
+// Name implements Policy.
+func (q *SyncRounds) Name() string { return "sync-rounds" }
+
+// Push implements Policy.
+func (q *SyncRounds) Push(it Item) { q.inner.Push(it) }
+
+// Deactivate removes a client from the gate (its remaining queued items
+// are still served).
+func (q *SyncRounds) Deactivate(clientID int) { delete(q.active, clientID) }
+
+// gateOpen reports whether every active client has an item queued.
+func (q *SyncRounds) gateOpen() bool {
+	for id := range q.active {
+		bucket, seen := q.inner.perClient[id]
+		if !seen || bucket.Len() == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Pop implements Policy: it serves round-robin but only while the gate is
+// open (or once no clients remain active, in which case it drains).
+func (q *SyncRounds) Pop(now time.Duration) (Item, bool) {
+	if len(q.active) > 0 && !q.gateOpen() {
+		return Item{}, false
+	}
+	return q.inner.Pop(now)
+}
+
+// Len implements Policy.
+func (q *SyncRounds) Len() int { return q.inner.Len() }
+
+var _ Policy = (*SyncRounds)(nil)

@@ -1,0 +1,50 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/stsl/stsl/internal/mathx"
+)
+
+func TestLinkDroppedStatistics(t *testing.T) {
+	l, err := NewLink(Constant{D: time.Millisecond}, 0, mathx.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DropProb 0 never drops.
+	for i := 0; i < 100; i++ {
+		if l.Dropped() {
+			t.Fatal("zero drop probability dropped a packet")
+		}
+	}
+	l.DropProb = 0.25
+	const n = 20000
+	drops := 0
+	for i := 0; i < n; i++ {
+		if l.Dropped() {
+			drops++
+		}
+	}
+	if frac := float64(drops) / n; math.Abs(frac-0.25) > 0.02 {
+		t.Fatalf("drop fraction %v, want ≈0.25", frac)
+	}
+}
+
+func TestLinkDropDeterminism(t *testing.T) {
+	mk := func() *Link {
+		l, err := NewLink(Constant{D: time.Millisecond}, 0, mathx.NewRNG(42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		l.DropProb = 0.5
+		return l
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 200; i++ {
+		if a.Dropped() != b.Dropped() {
+			t.Fatal("same-seed drop sequences diverged")
+		}
+	}
+}

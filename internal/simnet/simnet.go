@@ -1,0 +1,152 @@
+// Package simnet models the geo-distributed network between end-systems
+// and the centralized server: per-link latency distributions, jitter and
+// serialisation (bandwidth) delay over a deterministic virtual clock.
+//
+// The paper's temporal phenomenon — far end-systems' parameters arriving
+// "lately or sparsely", biasing learning — is produced entirely by this
+// model: the event-driven trainer in internal/core asks each Link when a
+// message sent now would arrive, and the scheduling queue sees exactly the
+// arrival pattern a real deployment would.
+package simnet
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/stsl/stsl/internal/mathx"
+)
+
+// LatencyModel samples one-way link delays.
+type LatencyModel interface {
+	// Sample draws the next delay using r.
+	Sample(r *mathx.RNG) time.Duration
+}
+
+// Constant is a fixed-delay model.
+type Constant struct{ D time.Duration }
+
+// Sample implements LatencyModel.
+func (c Constant) Sample(*mathx.RNG) time.Duration { return c.D }
+
+// Uniform draws uniformly from [Lo, Hi].
+type Uniform struct{ Lo, Hi time.Duration }
+
+// Sample implements LatencyModel.
+func (u Uniform) Sample(r *mathx.RNG) time.Duration {
+	if u.Hi <= u.Lo {
+		return u.Lo
+	}
+	return u.Lo + time.Duration(r.Float64()*float64(u.Hi-u.Lo))
+}
+
+// LogNormal is a heavy-tailed WAN delay model: exp(N(Mu, Sigma²))
+// milliseconds, a standard fit for internet RTT distributions.
+type LogNormal struct {
+	// Mu and Sigma parameterise the underlying normal in log-ms space.
+	Mu, Sigma float64
+}
+
+// Sample implements LatencyModel.
+func (l LogNormal) Sample(r *mathx.RNG) time.Duration {
+	ms := r.LogNormal(l.Mu, l.Sigma)
+	return time.Duration(ms * float64(time.Millisecond))
+}
+
+// Link is one direction of a client↔server path.
+type Link struct {
+	// Latency is the propagation model. Required.
+	Latency LatencyModel
+	// BytesPerSec, when positive, adds size/BytesPerSec of
+	// serialisation delay.
+	BytesPerSec float64
+	// DropProb is the probability that one transmission attempt is lost
+	// (the protocol layer decides retransmission behaviour).
+	DropProb float64
+	rng      *mathx.RNG
+}
+
+// NewLink builds a link with its own deterministic RNG stream.
+func NewLink(latency LatencyModel, bytesPerSec float64, r *mathx.RNG) (*Link, error) {
+	if latency == nil {
+		return nil, fmt.Errorf("simnet: link needs a latency model")
+	}
+	if bytesPerSec < 0 {
+		return nil, fmt.Errorf("simnet: negative bandwidth %v", bytesPerSec)
+	}
+	if r == nil {
+		return nil, fmt.Errorf("simnet: link needs an RNG")
+	}
+	return &Link{Latency: latency, BytesPerSec: bytesPerSec, rng: r}, nil
+}
+
+// Dropped reports whether one transmission attempt is lost, drawn from
+// the link's RNG stream.
+func (l *Link) Dropped() bool {
+	return l.DropProb > 0 && l.rng.Float64() < l.DropProb
+}
+
+// Delay returns the total delivery delay of a message of the given size.
+func (l *Link) Delay(sizeBytes int) time.Duration {
+	d := l.Latency.Sample(l.rng)
+	if d < 0 {
+		d = 0
+	}
+	if l.BytesPerSec > 0 && sizeBytes > 0 {
+		d += time.Duration(float64(sizeBytes) / l.BytesPerSec * float64(time.Second))
+	}
+	return d
+}
+
+// Clock is a monotone virtual clock for event-driven simulation.
+type Clock struct {
+	now time.Duration
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Duration { return c.now }
+
+// AdvanceTo moves the clock forward; moving backward panics, since that
+// always indicates a simulation bug.
+func (c *Clock) AdvanceTo(t time.Duration) {
+	if t < c.now {
+		panic(fmt.Sprintf("simnet: clock moved backward %v → %v", c.now, t))
+	}
+	c.now = t
+}
+
+// Path is a full bidirectional client↔server path.
+type Path struct {
+	// Up carries client→server traffic, Down the reverse.
+	Up, Down *Link
+}
+
+// NewSymmetricPath builds a path whose two directions share a latency
+// model and bandwidth but have independent RNG streams.
+func NewSymmetricPath(latency LatencyModel, bytesPerSec float64, r *mathx.RNG) (*Path, error) {
+	up, err := NewLink(latency, bytesPerSec, r.Split())
+	if err != nil {
+		return nil, err
+	}
+	down, err := NewLink(latency, bytesPerSec, r.Split())
+	if err != nil {
+		return nil, err
+	}
+	return &Path{Up: up, Down: down}, nil
+}
+
+// Profile is a named latency setup used by experiments and examples.
+type Profile struct {
+	Name    string
+	Latency LatencyModel
+}
+
+// StandardProfiles returns the latency mixes used in the Fig-2 and queue
+// experiments: a near (datacenter), a regional, and a far (intercontinental)
+// client profile.
+func StandardProfiles() []Profile {
+	return []Profile{
+		{Name: "near", Latency: Uniform{Lo: 1 * time.Millisecond, Hi: 3 * time.Millisecond}},
+		{Name: "regional", Latency: Uniform{Lo: 10 * time.Millisecond, Hi: 30 * time.Millisecond}},
+		{Name: "far", Latency: LogNormal{Mu: 5.0, Sigma: 0.4}}, // median ≈148 ms
+	}
+}

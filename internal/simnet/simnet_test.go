@@ -1,0 +1,165 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"github.com/stsl/stsl/internal/mathx"
+)
+
+func TestConstantModel(t *testing.T) {
+	m := Constant{D: 5 * time.Millisecond}
+	r := mathx.NewRNG(1)
+	for i := 0; i < 10; i++ {
+		if got := m.Sample(r); got != 5*time.Millisecond {
+			t.Fatalf("Sample = %v", got)
+		}
+	}
+}
+
+func TestUniformModelBounds(t *testing.T) {
+	m := Uniform{Lo: 10 * time.Millisecond, Hi: 20 * time.Millisecond}
+	r := mathx.NewRNG(2)
+	for i := 0; i < 1000; i++ {
+		d := m.Sample(r)
+		if d < m.Lo || d > m.Hi {
+			t.Fatalf("Sample %v out of [%v,%v]", d, m.Lo, m.Hi)
+		}
+	}
+	// Degenerate interval.
+	deg := Uniform{Lo: time.Second, Hi: time.Second}
+	if got := deg.Sample(r); got != time.Second {
+		t.Fatalf("degenerate Sample = %v", got)
+	}
+}
+
+func TestLogNormalModelPositiveAndHeavyTailed(t *testing.T) {
+	m := LogNormal{Mu: 5, Sigma: 0.4}
+	r := mathx.NewRNG(3)
+	var max time.Duration
+	var sum time.Duration
+	const n = 5000
+	for i := 0; i < n; i++ {
+		d := m.Sample(r)
+		if d <= 0 {
+			t.Fatalf("non-positive latency %v", d)
+		}
+		if d > max {
+			max = d
+		}
+		sum += d
+	}
+	mean := sum / n
+	// Heavy tail: max should be several times the mean.
+	if max < 2*mean {
+		t.Fatalf("tail too light: max %v, mean %v", max, mean)
+	}
+	// Median of exp(N(5, 0.4)) ms is e^5 ≈ 148 ms; mean is higher. Sanity
+	// bounds only.
+	if mean < 100*time.Millisecond || mean > 400*time.Millisecond {
+		t.Fatalf("mean latency %v implausible for profile", mean)
+	}
+}
+
+func TestLinkBandwidthDelay(t *testing.T) {
+	r := mathx.NewRNG(4)
+	l, err := NewLink(Constant{D: 10 * time.Millisecond}, 1e6, r) // 1 MB/s
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 MB payload → 1 s serialisation + 10 ms propagation.
+	got := l.Delay(1_000_000)
+	want := time.Second + 10*time.Millisecond
+	if got < want-time.Millisecond || got > want+time.Millisecond {
+		t.Fatalf("Delay = %v, want ≈%v", got, want)
+	}
+	// Zero size → just propagation.
+	if got := l.Delay(0); got != 10*time.Millisecond {
+		t.Fatalf("Delay(0) = %v", got)
+	}
+}
+
+func TestLinkValidation(t *testing.T) {
+	r := mathx.NewRNG(5)
+	if _, err := NewLink(nil, 0, r); err == nil {
+		t.Fatal("nil latency model accepted")
+	}
+	if _, err := NewLink(Constant{}, -1, r); err == nil {
+		t.Fatal("negative bandwidth accepted")
+	}
+	if _, err := NewLink(Constant{}, 0, nil); err == nil {
+		t.Fatal("nil RNG accepted")
+	}
+}
+
+func TestClockMonotone(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatalf("initial Now = %v", c.Now())
+	}
+	c.AdvanceTo(time.Second)
+	if c.Now() != time.Second {
+		t.Fatalf("Now = %v", c.Now())
+	}
+	c.AdvanceTo(time.Second) // same time is fine
+	defer func() {
+		if recover() == nil {
+			t.Fatal("backward advance did not panic")
+		}
+	}()
+	c.AdvanceTo(time.Millisecond)
+}
+
+func TestSymmetricPathIndependentStreams(t *testing.T) {
+	r := mathx.NewRNG(6)
+	p, err := NewSymmetricPath(Uniform{Lo: 0, Hi: time.Second}, 0, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := 0; i < 50; i++ {
+		if p.Up.Delay(0) == p.Down.Delay(0) {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Fatalf("up/down streams correlated: %d/50 equal", same)
+	}
+}
+
+func TestStandardProfiles(t *testing.T) {
+	profiles := StandardProfiles()
+	if len(profiles) != 3 {
+		t.Fatalf("got %d profiles", len(profiles))
+	}
+	r := mathx.NewRNG(7)
+	// far must be slower than near on average.
+	mean := func(m LatencyModel) time.Duration {
+		var s time.Duration
+		for i := 0; i < 500; i++ {
+			s += m.Sample(r)
+		}
+		return s / 500
+	}
+	near := mean(profiles[0].Latency)
+	far := mean(profiles[2].Latency)
+	if far < 10*near {
+		t.Fatalf("far profile (%v) not clearly slower than near (%v)", far, near)
+	}
+}
+
+func TestLinkDeterminismAcrossRuns(t *testing.T) {
+	mk := func() *Link {
+		l, err := NewLink(Uniform{Lo: 0, Hi: time.Second}, 0, mathx.NewRNG(99))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 100; i++ {
+		if a.Delay(0) != b.Delay(0) {
+			t.Fatal("same-seed links diverged")
+		}
+	}
+}

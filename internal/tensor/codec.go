@@ -1,0 +1,119 @@
+package tensor
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// The wire format is deliberately simple and explicit rather than gob-based
+// so that the transport layer has a stable, versioned encoding:
+//
+//	magic   uint32 = 0x54534c31 ("TSL1")
+//	rank    uint32
+//	shape   rank × uint32
+//	data    volume × float64 (IEEE-754, little endian)
+
+const codecMagic uint32 = 0x54534c31
+
+// ErrBadEncoding is wrapped by all decode failures.
+var ErrBadEncoding = errors.New("tensor: bad encoding")
+
+// maxDecodeElems bounds a single decoded tensor to ~256 MiB of float64 so a
+// corrupted or malicious header cannot trigger an unbounded allocation.
+const maxDecodeElems = 32 << 20
+
+// WriteTo serialises t to w in the TSL1 format. It implements io.WriterTo.
+func (t *Tensor) WriteTo(w io.Writer) (int64, error) {
+	hdr := make([]byte, 8+4*len(t.shape))
+	binary.LittleEndian.PutUint32(hdr[0:], codecMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(t.shape)))
+	for i, d := range t.shape {
+		binary.LittleEndian.PutUint32(hdr[8+4*i:], uint32(d))
+	}
+	n, err := w.Write(hdr)
+	written := int64(n)
+	if err != nil {
+		return written, fmt.Errorf("tensor: write header: %w", err)
+	}
+	buf := make([]byte, 8*4096)
+	for off := 0; off < len(t.data); {
+		chunk := len(t.data) - off
+		if chunk > 4096 {
+			chunk = 4096
+		}
+		for i := 0; i < chunk; i++ {
+			binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(t.data[off+i]))
+		}
+		n, err = w.Write(buf[:8*chunk])
+		written += int64(n)
+		if err != nil {
+			return written, fmt.Errorf("tensor: write data: %w", err)
+		}
+		off += chunk
+	}
+	return written, nil
+}
+
+// ReadFrom deserialises a TSL1-format tensor from r, replacing t's shape
+// and contents. It implements io.ReaderFrom.
+func (t *Tensor) ReadFrom(r io.Reader) (int64, error) {
+	var hdr [8]byte
+	n, err := io.ReadFull(r, hdr[:])
+	read := int64(n)
+	if err != nil {
+		return read, fmt.Errorf("%w: header: %v", ErrBadEncoding, err)
+	}
+	if got := binary.LittleEndian.Uint32(hdr[0:]); got != codecMagic {
+		return read, fmt.Errorf("%w: bad magic %#x", ErrBadEncoding, got)
+	}
+	rank := binary.LittleEndian.Uint32(hdr[4:])
+	if rank > 8 {
+		return read, fmt.Errorf("%w: implausible rank %d", ErrBadEncoding, rank)
+	}
+	shapeBuf := make([]byte, 4*rank)
+	n, err = io.ReadFull(r, shapeBuf)
+	read += int64(n)
+	if err != nil {
+		return read, fmt.Errorf("%w: shape: %v", ErrBadEncoding, err)
+	}
+	shape := make([]int, rank)
+	vol := 1
+	for i := range shape {
+		d := binary.LittleEndian.Uint32(shapeBuf[4*i:])
+		shape[i] = int(d)
+		vol *= int(d)
+		if vol > maxDecodeElems {
+			return read, fmt.Errorf("%w: tensor too large (%d elems)", ErrBadEncoding, vol)
+		}
+	}
+	data := make([]float64, vol)
+	buf := make([]byte, 8*4096)
+	for off := 0; off < vol; {
+		chunk := vol - off
+		if chunk > 4096 {
+			chunk = 4096
+		}
+		n, err = io.ReadFull(r, buf[:8*chunk])
+		read += int64(n)
+		if err != nil {
+			return read, fmt.Errorf("%w: data: %v", ErrBadEncoding, err)
+		}
+		for i := 0; i < chunk; i++ {
+			data[off+i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+		}
+		off += chunk
+	}
+	t.shape = shape
+	t.stride = strides(shape)
+	t.data = data
+	return read, nil
+}
+
+// Interface compliance checks.
+var (
+	_ io.WriterTo   = (*Tensor)(nil)
+	_ io.ReaderFrom = (*Tensor)(nil)
+)

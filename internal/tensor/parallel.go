@@ -1,0 +1,105 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the minimum number of multiply-adds before MatMulP
+// fans work out to goroutines; below it the serial kernel wins.
+const parallelThreshold = 1 << 18
+
+// MatMulP returns the matrix product of two rank-2 tensors like MatMul,
+// but splits the output rows across GOMAXPROCS goroutines for large
+// operands. Each worker writes a disjoint row range, so the result is
+// bitwise identical to the serial kernel regardless of scheduling.
+func MatMulP(a, b *Tensor) *Tensor {
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[1]
+	if m*k*n < parallelThreshold {
+		return MatMul(a, b)
+	}
+	if a.Dims() != 2 || b.Dims() != 2 || k != b.shape[0] {
+		// Delegate to the serial kernel's validation panics.
+		return MatMul(a, b)
+	}
+	out := New(m, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m {
+		workers = m
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * m / workers
+		hi := (w + 1) * m / workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				arow := a.data[i*k : (i+1)*k]
+				orow := out.data[i*n : (i+1)*n]
+				for kk := 0; kk < k; kk++ {
+					av := arow[kk]
+					if av == 0 {
+						continue
+					}
+					brow := b.data[kk*n : (kk+1)*n]
+					for j, bv := range brow {
+						orow[j] += av * bv
+					}
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// MatMulTransBP is the parallel variant of MatMulTransB (a·bᵀ), used by
+// the convolution forward pass where the im2col matrix can be very tall.
+// Output rows are partitioned across workers; results are bitwise equal
+// to the serial kernel.
+func MatMulTransBP(a, b *Tensor) *Tensor {
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[0]
+	if m*k*n < parallelThreshold {
+		return MatMulTransB(a, b)
+	}
+	if a.Dims() != 2 || b.Dims() != 2 || k != b.shape[1] {
+		return MatMulTransB(a, b)
+	}
+	out := New(m, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m {
+		workers = m
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * m / workers
+		hi := (w + 1) * m / workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				arow := a.data[i*k : (i+1)*k]
+				orow := out.data[i*n : (i+1)*n]
+				for j := 0; j < n; j++ {
+					brow := b.data[j*k : (j+1)*k]
+					s := 0.0
+					for kk, av := range arow {
+						s += av * brow[kk]
+					}
+					orow[j] = s
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,57 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/stsl/stsl/internal/mathx"
+)
+
+func TestMatMulPMatchesSerial(t *testing.T) {
+	r := mathx.NewRNG(1)
+	// Large enough to cross the parallel threshold.
+	a := Randn(r, 1, 300, 80)
+	b := Randn(r, 1, 80, 120)
+	want := MatMul(a, b)
+	got := MatMulP(a, b)
+	if !got.Equal(want, 0) {
+		t.Fatal("parallel matmul differs from serial (must be bitwise equal)")
+	}
+}
+
+func TestMatMulTransBPMatchesSerial(t *testing.T) {
+	r := mathx.NewRNG(2)
+	a := Randn(r, 1, 400, 60)
+	b := Randn(r, 1, 90, 60)
+	want := MatMulTransB(a, b)
+	got := MatMulTransBP(a, b)
+	if !got.Equal(want, 0) {
+		t.Fatal("parallel transB differs from serial (must be bitwise equal)")
+	}
+}
+
+func TestMatMulPSmallDelegates(t *testing.T) {
+	// Below threshold, the result must still be exact.
+	f := func(seed uint64) bool {
+		r := mathx.NewRNG(seed)
+		m, k, n := 1+r.Intn(8), 1+r.Intn(8), 1+r.Intn(8)
+		a := Randn(r, 1, m, k)
+		b := Randn(r, 1, k, n)
+		return MatMulP(a, b).Equal(MatMul(a, b), 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatMulPDeterministicAcrossRuns(t *testing.T) {
+	r := mathx.NewRNG(3)
+	a := Randn(r, 1, 256, 64)
+	b := Randn(r, 1, 64, 256)
+	first := MatMulP(a, b)
+	for i := 0; i < 5; i++ {
+		if !MatMulP(a, b).Equal(first, 0) {
+			t.Fatal("parallel matmul nondeterministic across runs")
+		}
+	}
+}

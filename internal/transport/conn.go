@@ -1,0 +1,89 @@
+package transport
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrClosed is returned by operations on a closed connection.
+var ErrClosed = errors.New("transport: connection closed")
+
+// Conn is a bidirectional, ordered, reliable message channel between one
+// end-system and the server. Implementations must allow concurrent Send
+// and Recv from different goroutines.
+type Conn interface {
+	// Send transmits a message. It may block on backpressure.
+	Send(m *Message) error
+	// Recv blocks for the next message; it returns ErrClosed after the
+	// peer closes and all buffered messages are drained.
+	Recv() (*Message, error)
+	// Close releases the connection. Close is idempotent.
+	Close() error
+}
+
+// chanConn is one endpoint of an in-memory duplex connection.
+type chanConn struct {
+	send chan<- *Message
+	recv <-chan *Message
+
+	mu       sync.Mutex
+	closed   bool
+	closeOut func()
+}
+
+// NewPair returns the two endpoints of an in-memory connection. Messages
+// sent on one endpoint are received by the other, in order. buffer sets
+// the per-direction channel capacity (0 gives rendezvous semantics; 1 is
+// the usual choice per the style guide).
+func NewPair(buffer int) (Conn, Conn) {
+	ab := make(chan *Message, buffer)
+	ba := make(chan *Message, buffer)
+	var onceAB, onceBA sync.Once
+	a := &chanConn{send: ab, recv: ba, closeOut: func() { onceAB.Do(func() { close(ab) }) }}
+	b := &chanConn{send: ba, recv: ab, closeOut: func() { onceBA.Do(func() { close(ba) }) }}
+	return a, b
+}
+
+// Send implements Conn.
+func (c *chanConn) Send(m *Message) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	defer func() {
+		// Sending on a channel the peer closed is impossible here:
+		// each direction is closed only by its sender. The recover
+		// guards the race where we close concurrently with Send.
+		_ = recover()
+	}()
+	c.send <- m
+	return nil
+}
+
+// Recv implements Conn.
+func (c *chanConn) Recv() (*Message, error) {
+	m, ok := <-c.recv
+	if !ok {
+		return nil, ErrClosed
+	}
+	return m, nil
+}
+
+// Close implements Conn.
+func (c *chanConn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	c.closeOut()
+	return nil
+}
+
+var _ Conn = (*chanConn)(nil)

@@ -1,0 +1,227 @@
+// Package transport defines the messages exchanged between end-systems
+// and the centralized server, and two interchangeable carriers for them:
+// an in-memory channel pair for simulation and tests, and a TCP carrier
+// with an explicit binary wire format for real deployments.
+//
+// The protocol is the split-learning exchange from the paper: end-systems
+// send the activations of their last local hidden layer together with the
+// batch labels ("smashed data"); the server replies with the gradient of
+// the loss with respect to those activations. Raw inputs never appear in
+// any message — that is the privacy property the framework exists for.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/stsl/stsl/internal/tensor"
+)
+
+// MsgType discriminates protocol messages.
+type MsgType uint8
+
+// Message kinds. Values are part of the wire format; do not reorder.
+const (
+	// MsgActivation carries client→server forward activations + labels.
+	MsgActivation MsgType = iota + 1
+	// MsgGradient carries server→client gradients w.r.t. the activations.
+	MsgGradient
+	// MsgControl carries protocol control notes (hello, done, errors).
+	MsgControl
+	// MsgFeatures carries server→client middle-stack outputs in the
+	// U-shaped (no-label-sharing) protocol variant.
+	MsgFeatures
+	// MsgFeatureGrad carries client→server gradients w.r.t. those
+	// features in the U-shaped variant.
+	MsgFeatureGrad
+)
+
+// String implements fmt.Stringer.
+func (t MsgType) String() string {
+	switch t {
+	case MsgActivation:
+		return "activation"
+	case MsgGradient:
+		return "gradient"
+	case MsgControl:
+		return "control"
+	case MsgFeatures:
+		return "features"
+	case MsgFeatureGrad:
+		return "feature-grad"
+	default:
+		return fmt.Sprintf("MsgType(%d)", uint8(t))
+	}
+}
+
+// Message is one protocol datagram.
+type Message struct {
+	Type     MsgType
+	ClientID int
+	// Seq numbers the batches of one client; a gradient reply echoes the
+	// Seq of the activation it answers.
+	Seq int
+	// Epoch is the client's local epoch counter (diagnostics only).
+	Epoch int
+	// SentAt is the sender's (virtual or wall) clock at transmission;
+	// the scheduling queue uses it to measure staleness.
+	SentAt time.Duration
+	// Payload holds activations (MsgActivation) or gradients
+	// (MsgGradient); nil for control messages.
+	Payload *tensor.Tensor
+	// Labels accompany activations so the server can compute the loss.
+	Labels []int
+	// Note carries control text.
+	Note string
+	// WireSize, when positive, overrides the simulated wire size in
+	// bytes — set by senders that apply payload compression so the
+	// network model charges the compressed size. It is advisory and not
+	// itself serialised.
+	WireSize int
+}
+
+// Validate checks protocol-level invariants.
+func (m *Message) Validate() error {
+	switch m.Type {
+	case MsgActivation:
+		if m.Payload == nil {
+			return errors.New("transport: activation message without payload")
+		}
+		if len(m.Labels) == 0 {
+			return errors.New("transport: activation message without labels")
+		}
+		if m.Payload.Dim(0) != len(m.Labels) {
+			return fmt.Errorf("transport: activation batch %d does not match %d labels",
+				m.Payload.Dim(0), len(m.Labels))
+		}
+	case MsgGradient, MsgFeatures, MsgFeatureGrad:
+		if m.Payload == nil {
+			return fmt.Errorf("transport: %v message without payload", m.Type)
+		}
+		if m.Type != MsgGradient && len(m.Labels) != 0 {
+			// The U-shaped variant exists so labels never leave the
+			// end-system; refuse to build a message that would leak them.
+			return fmt.Errorf("transport: %v message must not carry labels", m.Type)
+		}
+	case MsgControl:
+		// No requirements.
+	default:
+		return fmt.Errorf("transport: unknown message type %d", m.Type)
+	}
+	return nil
+}
+
+const msgMagic uint32 = 0x4d534731 // "MSG1"
+
+// maxLabels bounds decoded label slices against corrupted headers.
+const maxLabels = 1 << 24
+
+// Encode writes the message in the framing format. It is the inverse of
+// Decode.
+func (m *Message) Encode(w io.Writer) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	var hdr [30]byte
+	binary.LittleEndian.PutUint32(hdr[0:], msgMagic)
+	hdr[4] = uint8(m.Type)
+	binary.LittleEndian.PutUint32(hdr[5:], uint32(m.ClientID))
+	binary.LittleEndian.PutUint32(hdr[9:], uint32(m.Seq))
+	binary.LittleEndian.PutUint32(hdr[13:], uint32(m.Epoch))
+	binary.LittleEndian.PutUint64(hdr[17:], uint64(m.SentAt))
+	if m.Payload != nil {
+		hdr[25] = 1
+	}
+	binary.LittleEndian.PutUint32(hdr[26:], uint32(len(m.Labels)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("transport: write header: %w", err)
+	}
+	if m.Payload != nil {
+		if _, err := m.Payload.WriteTo(w); err != nil {
+			return fmt.Errorf("transport: write payload: %w", err)
+		}
+	}
+	if len(m.Labels) > 0 {
+		lbuf := make([]byte, 4*len(m.Labels))
+		for i, l := range m.Labels {
+			binary.LittleEndian.PutUint32(lbuf[4*i:], uint32(l))
+		}
+		if _, err := w.Write(lbuf); err != nil {
+			return fmt.Errorf("transport: write labels: %w", err)
+		}
+	}
+	nbuf := []byte(m.Note)
+	var nlen [4]byte
+	binary.LittleEndian.PutUint32(nlen[:], uint32(len(nbuf)))
+	if _, err := w.Write(nlen[:]); err != nil {
+		return fmt.Errorf("transport: write note length: %w", err)
+	}
+	if len(nbuf) > 0 {
+		if _, err := w.Write(nbuf); err != nil {
+			return fmt.Errorf("transport: write note: %w", err)
+		}
+	}
+	return nil
+}
+
+// Decode reads one message in the framing format.
+func Decode(r io.Reader) (*Message, error) {
+	var hdr [30]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("transport: read header: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(hdr[0:]); got != msgMagic {
+		return nil, fmt.Errorf("transport: bad magic %#x", got)
+	}
+	m := &Message{
+		Type:     MsgType(hdr[4]),
+		ClientID: int(int32(binary.LittleEndian.Uint32(hdr[5:]))),
+		Seq:      int(int32(binary.LittleEndian.Uint32(hdr[9:]))),
+		Epoch:    int(int32(binary.LittleEndian.Uint32(hdr[13:]))),
+		SentAt:   time.Duration(binary.LittleEndian.Uint64(hdr[17:])),
+	}
+	hasPayload := hdr[25] == 1
+	nLabels := binary.LittleEndian.Uint32(hdr[26:])
+	if nLabels > maxLabels {
+		return nil, fmt.Errorf("transport: implausible label count %d", nLabels)
+	}
+	if hasPayload {
+		var t tensor.Tensor
+		if _, err := t.ReadFrom(r); err != nil {
+			return nil, fmt.Errorf("transport: read payload: %w", err)
+		}
+		m.Payload = &t
+	}
+	if nLabels > 0 {
+		lbuf := make([]byte, 4*nLabels)
+		if _, err := io.ReadFull(r, lbuf); err != nil {
+			return nil, fmt.Errorf("transport: read labels: %w", err)
+		}
+		m.Labels = make([]int, nLabels)
+		for i := range m.Labels {
+			m.Labels[i] = int(int32(binary.LittleEndian.Uint32(lbuf[4*i:])))
+		}
+	}
+	var nlen [4]byte
+	if _, err := io.ReadFull(r, nlen[:]); err != nil {
+		return nil, fmt.Errorf("transport: read note length: %w", err)
+	}
+	noteLen := binary.LittleEndian.Uint32(nlen[:])
+	if noteLen > 1<<20 {
+		return nil, fmt.Errorf("transport: implausible note length %d", noteLen)
+	}
+	if noteLen > 0 {
+		nbuf := make([]byte, noteLen)
+		if _, err := io.ReadFull(r, nbuf); err != nil {
+			return nil, fmt.Errorf("transport: read note: %w", err)
+		}
+		m.Note = string(nbuf)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,109 @@
+package transport
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// tcpConn adapts a net.Conn to the Conn interface with buffered framing.
+// Send and Recv each take their own lock, so full-duplex use from two
+// goroutines is safe.
+type tcpConn struct {
+	nc net.Conn
+
+	sendMu sync.Mutex
+	w      *bufio.Writer
+
+	recvMu sync.Mutex
+	r      *bufio.Reader
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// NewTCPConn wraps an established net.Conn in the message framing.
+func NewTCPConn(nc net.Conn) Conn {
+	return &tcpConn{
+		nc: nc,
+		w:  bufio.NewWriterSize(nc, 1<<16),
+		r:  bufio.NewReaderSize(nc, 1<<16),
+	}
+}
+
+// Dial connects to a listening server endpoint.
+func Dial(addr string) (Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return NewTCPConn(nc), nil
+}
+
+// Send implements Conn.
+func (c *tcpConn) Send(m *Message) error {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	if err := m.Encode(c.w); err != nil {
+		return err
+	}
+	if err := c.w.Flush(); err != nil {
+		return fmt.Errorf("transport: flush: %w", err)
+	}
+	return nil
+}
+
+// Recv implements Conn. A peer that closed cleanly surfaces as ErrClosed,
+// matching the in-memory transport's semantics.
+func (c *tcpConn) Recv() (*Message, error) {
+	c.recvMu.Lock()
+	defer c.recvMu.Unlock()
+	m, err := Decode(c.r)
+	if err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+			return nil, ErrClosed
+		}
+		return nil, err
+	}
+	return m, nil
+}
+
+// Close implements Conn.
+func (c *tcpConn) Close() error {
+	c.closeOnce.Do(func() { c.closeErr = c.nc.Close() })
+	return c.closeErr
+}
+
+// Listener accepts framed connections.
+type Listener struct {
+	nl net.Listener
+}
+
+// Listen opens a TCP listener on addr (e.g. ":9000", "127.0.0.1:0").
+func Listen(addr string) (*Listener, error) {
+	nl, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	return &Listener{nl: nl}, nil
+}
+
+// Accept blocks for the next incoming connection.
+func (l *Listener) Accept() (Conn, error) {
+	nc, err := l.nl.Accept()
+	if err != nil {
+		return nil, fmt.Errorf("transport: accept: %w", err)
+	}
+	return NewTCPConn(nc), nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (l *Listener) Addr() string { return l.nl.Addr().String() }
+
+// Close stops the listener.
+func (l *Listener) Close() error { return l.nl.Close() }
+
+var _ Conn = (*tcpConn)(nil)

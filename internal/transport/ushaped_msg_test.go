@@ -1,0 +1,61 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"github.com/stsl/stsl/internal/mathx"
+	"github.com/stsl/stsl/internal/tensor"
+)
+
+func TestFeatureMessagesRoundTrip(t *testing.T) {
+	r := mathx.NewRNG(1)
+	for _, typ := range []MsgType{MsgFeatures, MsgFeatureGrad} {
+		m := &Message{
+			Type: typ, ClientID: 2, Seq: 9, SentAt: 7 * time.Millisecond,
+			Payload: tensor.Randn(r, 1, 2, 4, 3, 3),
+		}
+		var buf bytes.Buffer
+		if err := m.Encode(&buf); err != nil {
+			t.Fatalf("%v encode: %v", typ, err)
+		}
+		got, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("%v decode: %v", typ, err)
+		}
+		if got.Type != typ || !got.Payload.Equal(m.Payload, 0) {
+			t.Fatalf("%v round trip corrupted", typ)
+		}
+	}
+}
+
+func TestFeatureMessagesRejectLabels(t *testing.T) {
+	for _, typ := range []MsgType{MsgFeatures, MsgFeatureGrad} {
+		m := &Message{Type: typ, Payload: tensor.New(1, 2), Labels: []int{1}}
+		if err := m.Validate(); err == nil {
+			t.Fatalf("%v with labels accepted", typ)
+		}
+	}
+	// Plain gradient may carry labels? No requirement either way, but it
+	// must at least require a payload.
+	if err := (&Message{Type: MsgFeatures}).Validate(); err == nil {
+		t.Fatal("features without payload accepted")
+	}
+}
+
+func TestMsgTypeString(t *testing.T) {
+	cases := map[MsgType]string{
+		MsgActivation:  "activation",
+		MsgGradient:    "gradient",
+		MsgControl:     "control",
+		MsgFeatures:    "features",
+		MsgFeatureGrad: "feature-grad",
+		MsgType(99):    "MsgType(99)",
+	}
+	for typ, want := range cases {
+		if got := typ.String(); got != want {
+			t.Fatalf("String(%d) = %q, want %q", typ, got, want)
+		}
+	}
+}

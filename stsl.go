@@ -1,0 +1,261 @@
+// Package stsl is the public API of the spatio-temporal split learning
+// library — a from-scratch Go reproduction of "Spatio-Temporal Split
+// Learning" (Kim, Park, Jung, Yoo — DSN 2021).
+//
+// The paper's framework trains one deep network whose first hidden blocks
+// live on M geo-distributed end-systems (each with private weights and
+// private data) while a centralized server owns the remaining layers and a
+// parameter-scheduling queue that absorbs arrival skew. Raw data never
+// leaves an end-system; only first-block activations travel.
+//
+// The implementation lives in internal packages; this package re-exports
+// the user-facing surface as type aliases so downstream code imports one
+// path:
+//
+//	deployment, _ := stsl.NewDeployment(stsl.Config{ ... }, shards)
+//	sim, _ := stsl.NewSimulation(deployment, stsl.SimConfig{ ... })
+//	result, _ := sim.Run()
+//
+// See examples/ for runnable end-to-end programs and DESIGN.md for the
+// architecture and experiment map.
+package stsl
+
+import (
+	"github.com/stsl/stsl/internal/baseline"
+	"github.com/stsl/stsl/internal/compress"
+	"github.com/stsl/stsl/internal/core"
+	"github.com/stsl/stsl/internal/data"
+	"github.com/stsl/stsl/internal/expt"
+	"github.com/stsl/stsl/internal/mathx"
+	"github.com/stsl/stsl/internal/nn"
+	"github.com/stsl/stsl/internal/privacy"
+	"github.com/stsl/stsl/internal/queue"
+	"github.com/stsl/stsl/internal/simnet"
+	"github.com/stsl/stsl/internal/tensor"
+	"github.com/stsl/stsl/internal/transport"
+)
+
+// Core split-learning types.
+type (
+	// Config describes a spatio-temporal split-learning deployment.
+	Config = core.Config
+	// Deployment is a wired system of M end-systems plus the server.
+	Deployment = core.Deployment
+	// EndSystem is one client: private lower layers + local data.
+	EndSystem = core.EndSystem
+	// Server is the centralized upper stack with the scheduling queue.
+	Server = core.Server
+	// SimConfig parameterises the virtual-time simulation.
+	SimConfig = core.SimConfig
+	// Simulation drives a deployment over simulated links.
+	Simulation = core.Simulation
+	// SimResult summarises a simulation run.
+	SimResult = core.SimResult
+)
+
+// U-shaped (no label sharing) variant types.
+type (
+	// UShapedConfig parameterises the label-private variant.
+	UShapedConfig = core.UShapedConfig
+	// UShapedDeployment wires U-shaped clients to a middle-only server.
+	UShapedDeployment = core.UShapedDeployment
+)
+
+// Deployment and simulation constructors.
+var (
+	// NewDeployment builds a deployment from a config and data shards.
+	NewDeployment = core.NewDeployment
+	// NewUShaped builds the U-shaped (no-label-sharing) variant.
+	NewUShaped = core.NewUShaped
+	// SplitModelU cuts a CNN into lower/middle/head stacks.
+	SplitModelU = core.SplitU
+	// NewSimulation wires a deployment to simulated network paths.
+	NewSimulation = core.NewSimulation
+	// SplitModel cuts a built CNN into client and server stacks.
+	SplitModel = core.Split
+	// RunClient drives an end-system over a real connection.
+	RunClient = core.RunClient
+	// Serve runs the server over real connections.
+	Serve = core.Serve
+)
+
+// Model types.
+type (
+	// PaperCNNConfig parameterises the paper's Fig-3 CNN.
+	PaperCNNConfig = nn.PaperCNNConfig
+	// PaperCNN is the built Fig-3 network with cut-point metadata.
+	PaperCNN = nn.PaperCNN
+	// Layer is one differentiable network stage.
+	Layer = nn.Layer
+	// Sequential chains layers.
+	Sequential = nn.Sequential
+)
+
+// BuildPaperCNN constructs the Fig-3 CNN.
+var BuildPaperCNN = nn.BuildPaperCNN
+
+// Data types.
+type (
+	// Dataset is a labelled image set.
+	Dataset = data.Dataset
+	// SynthCIFAR generates the procedural CIFAR-10 stand-in.
+	SynthCIFAR = data.SynthCIFAR
+)
+
+// Data helpers.
+var (
+	// DefaultSynthCIFAR returns the CIFAR-10-geometry generator.
+	DefaultSynthCIFAR = data.DefaultSynthCIFAR
+	// LoadCIFAR10Dir loads the real CIFAR-10 binary distribution.
+	LoadCIFAR10Dir = data.LoadCIFAR10Dir
+	// PartitionIID shards a dataset uniformly across clients.
+	PartitionIID = data.PartitionIID
+	// PartitionDirichlet shards with label skew (non-IID).
+	PartitionDirichlet = data.PartitionDirichlet
+)
+
+// Network simulation types.
+type (
+	// LatencyModel samples link delays.
+	LatencyModel = simnet.LatencyModel
+	// ConstantLatency is a fixed delay.
+	ConstantLatency = simnet.Constant
+	// UniformLatency draws uniformly from a range.
+	UniformLatency = simnet.Uniform
+	// LogNormalLatency is a heavy-tailed WAN model.
+	LogNormalLatency = simnet.LogNormal
+	// Path is a bidirectional client↔server network path.
+	Path = simnet.Path
+)
+
+// NewSymmetricPath builds a path with shared latency model.
+var NewSymmetricPath = simnet.NewSymmetricPath
+
+// Transport types for real deployments.
+type (
+	// Conn is a bidirectional message channel.
+	Conn = transport.Conn
+	// Message is one protocol datagram.
+	Message = transport.Message
+)
+
+// Transport constructors.
+var (
+	// NewConnPair returns in-memory connection endpoints.
+	NewConnPair = transport.NewPair
+	// Dial connects to a TCP server endpoint.
+	Dial = transport.Dial
+	// Listen opens a TCP listener.
+	Listen = transport.Listen
+)
+
+// Queue scheduling types.
+type (
+	// QueuePolicy is a scheduling discipline.
+	QueuePolicy = queue.Policy
+	// QueueMetrics records service statistics.
+	QueueMetrics = queue.Metrics
+)
+
+// NewQueuePolicy constructs "fifo", "staleness" or "fair-rr" policies.
+var NewQueuePolicy = queue.NewPolicy
+
+// Baselines.
+type (
+	// TrainConfig parameterises centralized training.
+	TrainConfig = baseline.TrainConfig
+	// FedAvgConfig parameterises the FedAvg baseline.
+	FedAvgConfig = baseline.FedAvgConfig
+)
+
+// Baseline trainers.
+var (
+	// TrainCentralized trains the monolithic upper bound.
+	TrainCentralized = baseline.TrainCentralized
+	// TrainFedAvg runs federated averaging over shards.
+	TrainFedAvg = baseline.TrainFedAvg
+	// EvaluateModel evaluates a monolithic model.
+	EvaluateModel = baseline.Evaluate
+)
+
+// Privacy (Fig 4) helpers.
+type (
+	// LeakReport aggregates image-leakage metrics.
+	LeakReport = privacy.LeakReport
+	// AttackConfig parameterises the reconstruction attack.
+	AttackConfig = privacy.AttackConfig
+)
+
+// Privacy entry points.
+var (
+	// RunFig4 measures leakage through the first block of a model.
+	RunFig4 = privacy.RunFig4
+	// ReconstructionAttack mounts the trained-decoder attack.
+	ReconstructionAttack = privacy.ReconstructionAttack
+	// SaveImagePNG writes a tensor as a PNG image.
+	SaveImagePNG = privacy.SaveImagePNG
+)
+
+// Experiments (tables and figures).
+type (
+	// Scale trades experiment fidelity for runtime.
+	Scale = expt.Scale
+)
+
+// Experiment runners; each reproduces one paper artifact.
+var (
+	// ScaleByName resolves "tiny", "small", "paper".
+	ScaleByName = expt.ScaleByName
+	// RunTableI reproduces Table I.
+	RunTableI = expt.RunTableI
+	// RunFig1Experiment reproduces Fig 1.
+	RunFig1Experiment = expt.RunFig1
+	// RunFig2Experiment reproduces Fig 2.
+	RunFig2Experiment = expt.RunFig2
+	// RunFig3Experiment audits the Fig-3 CNN.
+	RunFig3Experiment = expt.RunFig3
+	// RunFig4Experiment reproduces Fig 4 with aggregate metrics.
+	RunFig4Experiment = expt.RunFig4
+	// RunQueueAblation compares scheduling policies (§II).
+	RunQueueAblation = expt.RunQueueAblation
+	// RunCutSweep maps the accuracy/privacy tradeoff surface.
+	RunCutSweep = expt.RunCutSweep
+	// RunQuantizeAblation measures the uplink-compression tradeoff.
+	RunQuantizeAblation = expt.RunQuantizeAblation
+	// RunRobustness sweeps link loss rates (failure injection).
+	RunRobustness = expt.RunRobustness
+)
+
+// Compression types for the activation uplink.
+type (
+	// QuantizedTensor is a linearly quantized tensor.
+	QuantizedTensor = compress.Quantized
+	// QuantizeBits selects 8- or 16-bit width.
+	QuantizeBits = compress.Bits
+)
+
+// Quantization widths and helpers.
+const (
+	// Quantize8 packs activations into one byte per element.
+	Quantize8 = compress.Bits8
+	// Quantize16 packs activations into two bytes per element.
+	Quantize16 = compress.Bits16
+)
+
+// Quantize compresses a tensor; QuantizeRoundTrip compresses and
+// immediately reconstructs (straight-through training).
+var (
+	Quantize          = compress.Quantize
+	QuantizeRoundTrip = compress.RoundTrip
+)
+
+// Tensor and RNG utilities.
+type (
+	// Tensor is the dense N-d array underlying all computation.
+	Tensor = tensor.Tensor
+	// RNG is the deterministic random generator.
+	RNG = mathx.RNG
+)
+
+// NewRNG seeds a deterministic generator.
+var NewRNG = mathx.NewRNG
