@@ -8,10 +8,13 @@ package stsl_test
 
 import (
 	"bytes"
+	"context"
+	"fmt"
 	"testing"
 	"time"
 
 	"github.com/stsl/stsl/internal/baseline"
+	"github.com/stsl/stsl/internal/cluster"
 	"github.com/stsl/stsl/internal/compress"
 	"github.com/stsl/stsl/internal/core"
 	"github.com/stsl/stsl/internal/data"
@@ -368,6 +371,48 @@ func BenchmarkSplitProtocolStep(b *testing.B) {
 		if err := client.ApplyGradient(reply); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkClusterThroughput measures the live-concurrency runtime's
+// server throughput (training steps/sec) as the number of concurrent
+// end-system goroutines grows, over net.Pipe with full wire
+// encode/decode — the perf trajectory of the real deployment path, next
+// to BenchmarkSimulationEventLoop's virtual-time twin.
+func BenchmarkClusterThroughput(b *testing.B) {
+	for _, clients := range []int{1, 4, 16} {
+		clients := clients
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			const steps = 8
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				ds, err := (data.SynthCIFAR{Height: 8, Width: 8, Classes: 4}).Generate(16*clients, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				shards, err := data.PartitionIID(ds, clients, mathx.NewRNG(2))
+				if err != nil {
+					b.Fatal(err)
+				}
+				dep, err := core.NewDeployment(core.Config{
+					Model: nn.PaperCNNConfig{Height: 8, Width: 8, Filters: []int{4, 8}, Hidden: 16, Classes: 4},
+					Cut:   1, Clients: clients, Seed: 3, BatchSize: 8, LR: 0.05,
+				}, shards)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				res, err := cluster.Run(context.Background(), dep, cluster.RunnerConfig{
+					StepsPerClient: steps, Transport: cluster.TransportPipe,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(res.ServerSteps)/res.WallDuration.Seconds(), "steps/s")
+				b.StartTimer()
+			}
+		})
 	}
 }
 

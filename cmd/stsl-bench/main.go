@@ -1,21 +1,31 @@
 // Command stsl-bench regenerates every table and figure of the paper's
-// evaluation at a chosen scale, printing paper-vs-measured tables.
+// evaluation at a chosen scale, printing paper-vs-measured tables. With
+// --live it instead measures the real-concurrency cluster runtime:
+// training throughput (steps/sec) versus concurrent end-system count
+// over the wire protocol, so the perf trajectory tracks the deployment
+// path and not just the virtual-time simulator.
 //
 // Usage:
 //
 //	stsl-bench -exp all -scale small
 //	stsl-bench -exp table1 -scale paper -seed 7
 //	stsl-bench -exp fig4 -out /tmp/fig4
+//	stsl-bench -live -scale tiny -steps 16
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"time"
 
+	"github.com/stsl/stsl/internal/cluster"
+	"github.com/stsl/stsl/internal/core"
+	"github.com/stsl/stsl/internal/data"
 	"github.com/stsl/stsl/internal/expt"
+	"github.com/stsl/stsl/internal/mathx"
 	"github.com/stsl/stsl/internal/nn"
 )
 
@@ -27,12 +37,21 @@ func main() {
 		outDir  = flag.String("out", "", "directory for Fig-4 PNG output (optional)")
 		horizon = flag.Duration("horizon", 10*time.Second, "virtual-time horizon for the queue ablation")
 		csvDir  = flag.String("csv", "", "directory to also write each table as <exp>.csv (optional)")
+		live    = flag.Bool("live", false, "benchmark the live cluster runtime instead of the paper experiments")
+		steps   = flag.Int("steps", 16, "per-client batches for the --live benchmark")
 	)
 	flag.Parse()
 
 	s, err := expt.ScaleByName(*scale)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *live {
+		if err := runLive(s, *seed, *steps); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	run := func(name string, f func() error) {
@@ -162,6 +181,41 @@ func main() {
 		}
 		return nil
 	})
+}
+
+// runLive measures live-cluster training throughput versus concurrent
+// end-system count over net.Pipe with full wire encode/decode.
+func runLive(s expt.Scale, seed uint64, steps int) error {
+	fmt.Printf("live cluster throughput — scale=%s, %d steps/client, wire framing over net.Pipe\n\n", s.Name, steps)
+	fmt.Printf("%8s %12s %12s %12s %10s\n", "clients", "steps/s", "wall", "maxdepth", "loss")
+	for _, clients := range []int{1, 4, 16} {
+		gen := data.SynthCIFAR{Height: s.Model.Height, Width: s.Model.Width, Classes: s.Model.Classes}
+		ds, err := gen.Generate(s.BatchSize*2*clients, seed)
+		if err != nil {
+			return err
+		}
+		shards, err := data.PartitionIID(ds, clients, mathx.NewRNG(seed+1))
+		if err != nil {
+			return err
+		}
+		dep, err := core.NewDeployment(core.Config{
+			Model: s.Model, Cut: 1, Clients: clients, Seed: seed,
+			BatchSize: s.BatchSize, LR: s.LR,
+		}, shards)
+		if err != nil {
+			return err
+		}
+		res, err := cluster.Run(context.Background(), dep, cluster.RunnerConfig{
+			StepsPerClient: steps, Transport: cluster.TransportPipe,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%8d %12.1f %12v %12d %10.4f\n",
+			clients, float64(res.ServerSteps)/res.WallDuration.Seconds(),
+			res.WallDuration.Round(time.Millisecond), res.Snapshot.MaxQueueDepth, res.FinalLoss)
+	}
+	return nil
 }
 
 func fatal(err error) {

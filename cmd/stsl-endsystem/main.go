@@ -1,17 +1,24 @@
 // Command stsl-endsystem runs one end-system of the split-learning
-// protocol over real TCP: it holds the layers below the cut and its local
-// (synthetic) data shard, sends first-block activations to the server,
-// and applies the gradients that come back. Raw images never leave the
-// process.
+// protocol over real TCP, as a live cluster client: it joins the server
+// with a session handshake, holds the layers below the cut and its local
+// (synthetic) data shard, sends first-block activations, applies the
+// gradients that come back, resends on backpressure rejection, and bails
+// out if the server goes silent past the gradient timeout. Raw images
+// never leave the process.
 //
 // See cmd/stsl-server for a full invocation example.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
+	"github.com/stsl/stsl/internal/cluster"
 	"github.com/stsl/stsl/internal/core"
 	"github.com/stsl/stsl/internal/data"
 	"github.com/stsl/stsl/internal/expt"
@@ -23,15 +30,16 @@ import (
 
 func main() {
 	var (
-		addr  = flag.String("addr", "127.0.0.1:9000", "server address")
-		id    = flag.Int("id", 0, "end-system id (unique per client)")
-		cut   = flag.Int("cut", 1, "split point (must match the server)")
-		scale = flag.String("scale", "small", "model scale: tiny|small|paper")
-		seed  = flag.Uint64("seed", 1, "server weight seed")
-		local = flag.Uint64("local-seed", 0, "private lower-layer seed (0 = derive from id)")
-		steps = flag.Int("steps", 100, "batches to contribute")
-		batch = flag.Int("batch", 0, "batch size (0 = scale default)")
-		lr    = flag.Float64("lr", 0.05, "learning rate")
+		addr    = flag.String("addr", "127.0.0.1:9000", "server address")
+		id      = flag.Int("id", 0, "end-system id (unique per client)")
+		cut     = flag.Int("cut", 1, "split point (must match the server)")
+		scale   = flag.String("scale", "small", "model scale: tiny|small|paper")
+		seed    = flag.Uint64("seed", 1, "server weight seed")
+		local   = flag.Uint64("local-seed", 0, "private lower-layer seed (0 = derive from id)")
+		steps   = flag.Int("steps", 100, "batches to contribute")
+		batch   = flag.Int("batch", 0, "batch size (0 = scale default)")
+		lr      = flag.Float64("lr", 0.05, "learning rate")
+		timeout = flag.Duration("grad-timeout", time.Minute, "max wait for any gradient (0 = forever)")
 	)
 	flag.Parse()
 
@@ -75,17 +83,22 @@ func main() {
 		fatal(err)
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	conn, err := transport.Dial(*addr)
 	if err != nil {
 		fatal(err)
 	}
 	defer conn.Close()
 	fmt.Printf("stsl-endsystem %d: connected to %s, cut=%d, %d steps\n", *id, *addr, *cut, *steps)
-	if err := core.RunClient(es, conn, *steps, nil); err != nil {
+	res, err := cluster.RunClient(ctx, es, conn, cluster.ClientConfig{
+		Steps: *steps, GradTimeout: *timeout,
+	})
+	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("stsl-endsystem %d: done — %d batches over %d local epochs\n",
-		*id, es.Steps(), es.Epoch()+1)
+	fmt.Printf("stsl-endsystem %d: done — %d batches over %d local epochs (%d backpressure resends)\n",
+		*id, res.Steps, res.Epochs+1, res.Rejected)
 }
 
 func fatal(err error) {

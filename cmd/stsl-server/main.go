@@ -1,8 +1,11 @@
 // Command stsl-server runs the centralized server of the split-learning
-// protocol over real TCP. It owns the layers above the cut, the output
-// layer, and the parameter-scheduling queue; it accepts the configured
-// number of end-systems, trains until every client announces completion,
-// then writes the learned server weights.
+// protocol over real TCP, on the live cluster runtime: sessions join via
+// handshake, every arriving activation is admitted into one thread-safe
+// scheduling queue with bounded backpressure, a single worker goroutine
+// owns the model, stragglers are dropped after a configurable silence,
+// and SIGINT triggers a graceful drain. It accepts the configured number
+// of end-systems, trains until every client announces completion, then
+// writes the learned server weights.
 //
 // Usage (server plus two end-systems on one machine):
 //
@@ -12,10 +15,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
+	"github.com/stsl/stsl/internal/cluster"
 	"github.com/stsl/stsl/internal/core"
 	"github.com/stsl/stsl/internal/expt"
 	"github.com/stsl/stsl/internal/mathx"
@@ -27,14 +35,18 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":9000", "listen address")
-		clients = flag.Int("clients", 1, "number of end-systems to accept")
-		cut     = flag.Int("cut", 1, "split point (must match the end-systems)")
-		scale   = flag.String("scale", "small", "model scale: tiny|small|paper")
-		seed    = flag.Uint64("seed", 1, "weight seed (must match the end-systems)")
-		lr      = flag.Float64("lr", 0.05, "learning rate")
-		policy  = flag.String("policy", "fifo", "queue policy: fifo|staleness|fair-rr")
-		weights = flag.String("weights", "", "path to write learned server weights (optional)")
+		addr      = flag.String("addr", ":9000", "listen address")
+		clients   = flag.Int("clients", 1, "number of end-systems to await")
+		cut       = flag.Int("cut", 1, "split point (must match the end-systems)")
+		scale     = flag.String("scale", "small", "model scale: tiny|small|paper")
+		seed      = flag.Uint64("seed", 1, "weight seed (must match the end-systems)")
+		lr        = flag.Float64("lr", 0.05, "learning rate")
+		policy    = flag.String("policy", "fifo", "queue policy: fifo|staleness|fair-rr")
+		queueCap  = flag.Int("queue-cap", 64, "scheduling queue depth cap (-1 = unbounded)")
+		overflow  = flag.String("overflow", "park", "behaviour at the cap: park|reject")
+		straggler = flag.Duration("straggler-timeout", 0, "drop silent clients after this long (0 = never)")
+		snapEvery = flag.Duration("snapshot-every", 5*time.Second, "live metrics print interval (0 = off)")
+		weights   = flag.String("weights", "", "path to write learned server weights (optional)")
 	)
 	flag.Parse()
 
@@ -58,8 +70,22 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	srv, err := core.NewServer(upper, optim, pol)
+	coreSrv, err := core.NewServer(upper, optim, pol)
 	if err != nil {
+		fatal(err)
+	}
+	srv, err := cluster.NewServer(coreSrv, cluster.Config{
+		QueueCap:         *queueCap,
+		Overflow:         cluster.Overflow(*overflow),
+		StragglerTimeout: *straggler,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := srv.Start(ctx); err != nil {
 		fatal(err)
 	}
 
@@ -68,36 +94,67 @@ func main() {
 		fatal(err)
 	}
 	defer lis.Close()
-	fmt.Printf("stsl-server: listening on %s for %d end-system(s), cut=%d policy=%s\n",
-		lis.Addr(), *clients, *cut, *policy)
+	fmt.Printf("stsl-server: listening on %s for %d end-system(s), cut=%d policy=%s cap=%d overflow=%s\n",
+		lis.Addr(), *clients, *cut, *policy, *queueCap, *overflow)
+	go srv.ServeListener(lis)
 
-	conns := make([]transport.Conn, *clients)
-	for i := range conns {
-		c, err := lis.Accept()
-		if err != nil {
-			fatal(err)
+	// The ticker stops when training ends, not at process exit, so late
+	// snapshots cannot interleave with the final report.
+	tickCtx, tickStop := context.WithCancel(ctx)
+	if *snapEvery > 0 {
+		go func() {
+			t := time.NewTicker(*snapEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-tickCtx.Done():
+					return
+				case <-t.C:
+					fmt.Printf("stsl-server: %s\n", srv.Snapshot())
+				}
+			}
+		}()
+	}
+
+	err = srv.AwaitClients(ctx, *clients)
+	tickStop()
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if sderr := srv.Shutdown(shutCtx); sderr != nil {
+		fmt.Fprintln(os.Stderr, "stsl-server:", sderr)
+	}
+	exitCode := 0
+	if err != nil {
+		if ctx.Err() != nil {
+			fmt.Println("stsl-server: interrupted — shutting down gracefully")
+		} else {
+			// Still print the summary and save weights below — partial
+			// training is worth keeping — but fail the process so
+			// scripts gating on exit status see the broken run.
+			fmt.Fprintln(os.Stderr, "stsl-server: session errors:", err)
+			exitCode = 1
 		}
-		conns[i] = c
-		fmt.Printf("stsl-server: end-system %d/%d connected\n", i+1, *clients)
 	}
-	if err := core.Serve(srv, conns, nil); err != nil {
-		fatal(err)
-	}
-	fmt.Printf("stsl-server: training complete — %d batches, final loss %.4f\n",
-		srv.Steps(), srv.Losses.Last())
-	fmt.Printf("stsl-server: queue %s\n", srv.QueueMetrics)
+
+	snap := srv.Snapshot()
+	fmt.Printf("stsl-server: training complete — %s\n", snap)
+	fmt.Printf("stsl-server: queue %s\n", coreSrv.QueueMetrics)
 
 	if *weights != "" {
 		f, err := os.Create(*weights)
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
-		if err := srv.Stack.SaveWeights(f); err != nil {
+		if err := coreSrv.Stack.SaveWeights(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("stsl-server: weights written to %s\n", *weights)
 	}
+	os.Exit(exitCode)
 }
 
 func fatal(err error) {

@@ -1,0 +1,3 @@
+module github.com/stsl/stsl
+
+go 1.22

@@ -1,0 +1,167 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/stsl/stsl/internal/core"
+	"github.com/stsl/stsl/internal/transport"
+)
+
+// ClientConfig parameterises one live end-system actor.
+type ClientConfig struct {
+	// Steps is the number of batches to contribute (required).
+	Steps int
+	// GradTimeout bounds how long the client waits for any single
+	// gradient (and for the join welcome) before declaring the server a
+	// straggler (0 = wait forever).
+	GradTimeout time.Duration
+	// RejectBackoff is the pause before resending an activation the
+	// server bounced for backpressure (default 2ms).
+	RejectBackoff time.Duration
+	// Now supplies protocol timestamps; nil uses a monotonic wall clock
+	// started at the first batch.
+	Now func() time.Duration
+}
+
+// ClientResult summarises one client's run.
+type ClientResult struct {
+	// Steps is the number of batches contributed (gradient applied).
+	Steps int
+	// Epochs is the number of completed local epochs.
+	Epochs int
+	// Rejected counts backpressure bounces that forced a resend.
+	Rejected int
+}
+
+// RunClient drives one end-system over a live connection: join
+// handshake, then the lock-step produce → upload → await gradient →
+// apply loop, then a done announcement. The network send/receive runs in
+// a separate goroutine from the compute, so a slow or dead server is
+// detected by GradTimeout (or ctx) instead of hanging the actor forever.
+func RunClient(ctx context.Context, es *core.EndSystem, conn transport.Conn, cfg ClientConfig) (*ClientResult, error) {
+	if es == nil || conn == nil {
+		return nil, fmt.Errorf("cluster: RunClient needs an end-system and a connection")
+	}
+	if cfg.Steps <= 0 {
+		return nil, fmt.Errorf("cluster: RunClient needs positive steps, got %d", cfg.Steps)
+	}
+	now := cfg.Now
+	if now == nil {
+		start := time.Now()
+		now = func() time.Duration { return time.Since(start) }
+	}
+	backoff := cfg.RejectBackoff
+	if backoff <= 0 {
+		backoff = 2 * time.Millisecond
+	}
+
+	// Unblock any pending Send/Recv when the caller gives up.
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+
+	// The receive pump: gradient and control replies flow through inCh
+	// so the compute loop can select against ctx and the timeout.
+	inCh := make(chan *transport.Message, 4)
+	errCh := make(chan error, 1)
+	pumpDone := make(chan struct{})
+	defer close(pumpDone)
+	go func() {
+		for {
+			msg, err := conn.Recv()
+			if err != nil {
+				select {
+				case errCh <- err:
+				case <-pumpDone:
+				}
+				return
+			}
+			select {
+			case inCh <- msg:
+			case <-pumpDone:
+				return
+			}
+		}
+	}()
+
+	await := func() (*transport.Message, error) {
+		var timeout <-chan time.Time
+		if cfg.GradTimeout > 0 {
+			t := time.NewTimer(cfg.GradTimeout)
+			defer t.Stop()
+			timeout = t.C
+		}
+		select {
+		case msg := <-inCh:
+			return msg, nil
+		case err := <-errCh:
+			return nil, fmt.Errorf("cluster: client %d connection lost: %w", es.ID, err)
+		case <-timeout:
+			return nil, fmt.Errorf("cluster: client %d timed out after %v awaiting server", es.ID, cfg.GradTimeout)
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+
+	// Join handshake.
+	if err := conn.Send(&transport.Message{
+		Type: transport.MsgControl, ClientID: es.ID, Note: core.JoinNote, SentAt: now(),
+	}); err != nil {
+		return nil, fmt.Errorf("cluster: client %d join: %w", es.ID, err)
+	}
+	welcome, err := await()
+	if err != nil {
+		return nil, err
+	}
+	if welcome.Type != transport.MsgControl || welcome.Note != core.WelcomeNote {
+		return nil, fmt.Errorf("cluster: client %d join refused: %s", es.ID, welcome.Note)
+	}
+
+	res := &ClientResult{}
+	for i := 0; i < cfg.Steps; i++ {
+		msg, err := es.ProduceBatch(now())
+		if err != nil {
+			return res, fmt.Errorf("cluster: client %d produce step %d: %w", es.ID, i, err)
+		}
+		for {
+			if err := conn.Send(msg); err != nil {
+				return res, fmt.Errorf("cluster: client %d send step %d: %w", es.ID, i, err)
+			}
+			reply, err := await()
+			if err != nil {
+				return res, err
+			}
+			if reply.Type == transport.MsgControl {
+				if reply.Note == core.RejectedNote {
+					// Backpressure: give the queue a moment and resend
+					// the same batch.
+					res.Rejected++
+					select {
+					case <-time.After(backoff):
+					case <-ctx.Done():
+						return res, ctx.Err()
+					}
+					continue
+				}
+				if strings.HasPrefix(reply.Note, core.AbortNote) {
+					return res, fmt.Errorf("cluster: client %d: server aborted: %s", es.ID, reply.Note)
+				}
+				return res, fmt.Errorf("cluster: client %d: unexpected control %q", es.ID, reply.Note)
+			}
+			if err := es.ApplyGradient(reply); err != nil {
+				return res, fmt.Errorf("cluster: client %d apply step %d: %w", es.ID, i, err)
+			}
+			break
+		}
+		res.Steps = es.Steps()
+		res.Epochs = es.Epoch()
+	}
+	if err := conn.Send(&transport.Message{
+		Type: transport.MsgControl, ClientID: es.ID, Note: core.DoneNote, SentAt: now(),
+	}); err != nil {
+		return res, fmt.Errorf("cluster: client %d done: %w", es.ID, err)
+	}
+	return res, nil
+}

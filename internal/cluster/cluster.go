@@ -1,0 +1,84 @@
+// Package cluster is the live, real-concurrency runtime for
+// spatio-temporal split learning: the production counterpart of the
+// event-driven virtual-time Simulation in internal/core.
+//
+// In the simulation, end-systems are entries in an event heap and
+// "arrival skew" is a scheduled timestamp. Here they are real concurrent
+// actors: each end-system runs in its own goroutine (or OS process, via
+// cmd/stsl-endsystem) and talks to a live Server over the
+// internal/transport wire protocol — real TCP, net.Pipe with the binary
+// framing, or in-memory channel pairs. The server feeds every arriving
+// activation into a single mutex-guarded instance of the paper's
+// scheduling queue (queue.Safe wrapping any queue.Policy) and drains it
+// with one worker goroutine that owns all model state, so the paper's
+// parameter-scheduling discipline absorbs actual wall-clock arrival
+// skew.
+//
+// The pieces:
+//
+//   - Server: accepts end-system sessions, runs the join/leave
+//     handshake, admits activations with bounded backpressure
+//     (park or reject past a queue-depth cap), detects stragglers,
+//     shuts down gracefully via context, and publishes live metric
+//     Snapshots (throughput, queue depth, per-client staleness).
+//   - RunClient: drives one core.EndSystem over a connection with the
+//     lock-step split-learning semantics, a gradient straggler timeout,
+//     and automatic resend on backpressure rejection.
+//   - Run (the ClusterRunner): wires M client goroutines to an
+//     in-process Server over a chosen transport and runs the whole
+//     deployment to completion — the harness tests and benchmarks use
+//     to compare live-concurrent training against the virtual-time
+//     simulation on the same seed.
+package cluster
+
+import (
+	"time"
+)
+
+// Overflow selects what the server does with an activation that arrives
+// while the scheduling queue is at its depth cap.
+type Overflow string
+
+const (
+	// OverflowPark holds the arriving activation in the session
+	// goroutine until the queue has headroom — backpressure propagates
+	// to the client through the transport (its next Send blocks).
+	OverflowPark Overflow = "park"
+	// OverflowReject refuses the activation with a control message; the
+	// client backs off and resends.
+	OverflowReject Overflow = "reject"
+)
+
+// Config parameterises a cluster Server.
+type Config struct {
+	// QueueCap bounds the scheduling queue depth; arrivals beyond it
+	// hit the Overflow policy. 0 defaults to 64; negative = unbounded.
+	// With a gated policy (sync-rounds) the cap is lifted automatically
+	// — capping below the client count would deadlock (park) or livelock
+	// (reject) the gate, and lock-step already bounds depth to M.
+	QueueCap int
+	// Overflow selects park (default) or reject behaviour at the cap.
+	Overflow Overflow
+	// StragglerTimeout drops a session whose client has been silent for
+	// this long (0 = never). Dropped clients are deactivated in gated
+	// queue policies so they cannot stall a synchronous round.
+	StragglerTimeout time.Duration
+	// Now supplies protocol timestamps. nil uses a monotonic wall clock
+	// started at Server.Start; the in-process runner injects one shared
+	// clock across server and clients so staleness ordering is
+	// consistent.
+	Now func() time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueCap == 0 {
+		c.QueueCap = 64
+	}
+	if c.QueueCap < 0 {
+		c.QueueCap = 0 // unbounded for queue.Safe.TryPush
+	}
+	if c.Overflow == "" {
+		c.Overflow = OverflowPark
+	}
+	return c
+}

@@ -1,0 +1,370 @@
+package cluster
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/stsl/stsl/internal/core"
+	"github.com/stsl/stsl/internal/data"
+	"github.com/stsl/stsl/internal/mathx"
+	"github.com/stsl/stsl/internal/nn"
+	"github.com/stsl/stsl/internal/transport"
+)
+
+func smallModel() nn.PaperCNNConfig {
+	return nn.PaperCNNConfig{
+		InChannels: 3, Height: 8, Width: 8,
+		Filters: []int{4, 8},
+		Hidden:  16,
+		Classes: 4,
+	}
+}
+
+// buildDeployment wires an n-client deployment on the tiny model.
+func buildDeployment(t testing.TB, clients int, policy string) *core.Deployment {
+	t.Helper()
+	ds, err := (data.SynthCIFAR{Height: 8, Width: 8, Classes: 4}).Generate(32*clients, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards, err := data.PartitionIID(ds, clients, mathx.NewRNG(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := core.NewDeployment(core.Config{
+		Model: smallModel(), Cut: 1, Clients: clients, Seed: 5,
+		BatchSize: 8, LR: 0.05, QueuePolicy: policy,
+	}, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dep
+}
+
+// startServer builds and starts a cluster server over a deployment's
+// core server, with cleanup registered.
+func startServer(t *testing.T, dep *core.Deployment, cfg Config) *Server {
+	t.Helper()
+	srv, err := NewServer(dep.Server, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return srv
+}
+
+// TestSessionLifecycle drives two concurrent clients through the full
+// join → train → done handshake over in-memory connections.
+func TestSessionLifecycle(t *testing.T) {
+	dep := buildDeployment(t, 2, "fifo")
+	srv := startServer(t, dep, Config{})
+
+	// 2×6 = 12 server steps fills the loss curve's 10-step window.
+	const steps = 6
+	errs := make(chan error, 2)
+	for i, es := range dep.Clients {
+		es := es
+		client, server := transport.NewPair(1)
+		srv.Attach(server)
+		go func() {
+			_, err := RunClient(context.Background(), es, client, ClientConfig{
+				Steps: steps, GradTimeout: 5 * time.Second,
+			})
+			client.Close()
+			errs <- err
+		}()
+		_ = i
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.AwaitClients(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	snap := srv.Snapshot()
+	if snap.ServerSteps != 2*steps {
+		t.Fatalf("server processed %d batches, want %d", snap.ServerSteps, 2*steps)
+	}
+	for _, c := range snap.Clients {
+		if c.Served != steps {
+			t.Errorf("client %d served %d, want %d", c.ID, c.Served, steps)
+		}
+		if !c.Done {
+			t.Errorf("client %d not marked done", c.ID)
+		}
+	}
+	if snap.LastLoss <= 0 {
+		t.Errorf("no loss recorded: %v", snap.LastLoss)
+	}
+}
+
+// TestDuplicateJoinRejected verifies a second session with a live id is
+// refused at the handshake.
+func TestDuplicateJoinRejected(t *testing.T) {
+	dep := buildDeployment(t, 1, "fifo")
+	srv := startServer(t, dep, Config{})
+
+	first, firstSrv := transport.NewPair(1)
+	srv.Attach(firstSrv)
+	if err := first.Send(&transport.Message{
+		Type: transport.MsgControl, ClientID: 0, Note: core.JoinNote,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if msg, err := first.Recv(); err != nil || msg.Note != core.WelcomeNote {
+		t.Fatalf("first join: msg=%v err=%v", msg, err)
+	}
+
+	second, secondSrv := transport.NewPair(1)
+	srv.Attach(secondSrv)
+	if err := second.Send(&transport.Message{
+		Type: transport.MsgControl, ClientID: 0, Note: core.JoinNote,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := second.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(msg.Note, core.AbortNote) {
+		t.Fatalf("duplicate join got %q, want abort", msg.Note)
+	}
+}
+
+// TestBackpressureReject floods a cap-1 queue in reject mode and checks
+// that bounced batches are resent and training still completes.
+func TestBackpressureReject(t *testing.T) {
+	dep := buildDeployment(t, 3, "fifo")
+	srv := startServer(t, dep, Config{QueueCap: 1, Overflow: OverflowReject})
+
+	const steps = 3
+	errs := make(chan error, 3)
+	for _, es := range dep.Clients {
+		es := es
+		client, server := transport.NewPair(1)
+		srv.Attach(server)
+		go func() {
+			_, err := RunClient(context.Background(), es, client, ClientConfig{
+				Steps: steps, GradTimeout: 5 * time.Second, RejectBackoff: time.Millisecond,
+			})
+			client.Close()
+			errs <- err
+		}()
+	}
+	for i := 0; i < 3; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.AwaitClients(ctx, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Snapshot().ServerSteps; got != 3*steps {
+		t.Fatalf("server processed %d batches, want %d", got, 3*steps)
+	}
+}
+
+// TestBackpressurePark does the same with parking: the session goroutine
+// stalls admission instead of bouncing, and nothing is lost.
+func TestBackpressurePark(t *testing.T) {
+	dep := buildDeployment(t, 3, "fifo")
+	srv := startServer(t, dep, Config{QueueCap: 1, Overflow: OverflowPark})
+
+	const steps = 3
+	errs := make(chan error, 3)
+	for _, es := range dep.Clients {
+		es := es
+		client, server := transport.NewPair(1)
+		srv.Attach(server)
+		go func() {
+			_, err := RunClient(context.Background(), es, client, ClientConfig{
+				Steps: steps, GradTimeout: 5 * time.Second,
+			})
+			client.Close()
+			errs <- err
+		}()
+	}
+	for i := 0; i < 3; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.AwaitClients(ctx, 3); err != nil {
+		t.Fatal(err)
+	}
+	snap := srv.Snapshot()
+	if snap.ServerSteps != 3*steps {
+		t.Fatalf("server processed %d batches, want %d", snap.ServerSteps, 3*steps)
+	}
+	if snap.Rejected != 0 {
+		t.Fatalf("park mode rejected %d batches", snap.Rejected)
+	}
+}
+
+// TestStragglerDropped verifies a silent client is evicted and does not
+// stall a gated (sync-rounds) policy for the healthy one.
+func TestStragglerDropped(t *testing.T) {
+	dep := buildDeployment(t, 2, "sync-rounds")
+	srv := startServer(t, dep, Config{StragglerTimeout: 100 * time.Millisecond})
+
+	// Client 1 joins, then goes silent forever.
+	silent, silentSrv := transport.NewPair(1)
+	srv.Attach(silentSrv)
+	if err := silent.Send(&transport.Message{
+		Type: transport.MsgControl, ClientID: 1, Note: core.JoinNote,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if msg, err := silent.Recv(); err != nil || msg.Note != core.WelcomeNote {
+		t.Fatalf("silent join: msg=%v err=%v", msg, err)
+	}
+
+	// Client 0 trains normally; sync-rounds would deadlock on client 1
+	// unless the janitor deactivates it.
+	const steps = 3
+	healthy, healthySrv := transport.NewPair(1)
+	srv.Attach(healthySrv)
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunClient(context.Background(), dep.Clients[0], healthy, ClientConfig{
+			Steps: steps, GradTimeout: 10 * time.Second,
+		})
+		healthy.Close()
+		done <- err
+	}()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	err := srv.AwaitClients(ctx, 2)
+	if err == nil {
+		t.Fatal("expected straggler error from AwaitClients")
+	}
+	if !strings.Contains(err.Error(), "straggler") {
+		t.Fatalf("error %v does not mention straggler", err)
+	}
+	var dropped bool
+	for _, c := range srv.Snapshot().Clients {
+		if c.ID == 1 && c.Err != "" {
+			dropped = true
+		}
+		if c.ID == 0 && c.Served != steps {
+			t.Errorf("healthy client served %d, want %d", c.Served, steps)
+		}
+	}
+	if !dropped {
+		t.Fatal("silent client not recorded as dropped")
+	}
+	silent.Close()
+}
+
+// TestGracefulShutdown cancels the server mid-training and checks every
+// goroutine unwinds and the client surfaces a connection error.
+func TestGracefulShutdown(t *testing.T) {
+	dep := buildDeployment(t, 1, "fifo")
+	srv, err := NewServer(dep.Server, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	client, server := transport.NewPair(1)
+	srv.Attach(server)
+	clientErr := make(chan error, 1)
+	go func() {
+		// More steps than will ever complete: shutdown interrupts.
+		_, err := RunClient(context.Background(), dep.Clients[0], client, ClientConfig{
+			Steps: 1_000_000, GradTimeout: 10 * time.Second,
+		})
+		clientErr <- err
+	}()
+
+	// Let some training happen, then pull the plug.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Snapshot().ServerSteps < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-clientErr:
+		if err == nil {
+			t.Fatal("client finished 1M steps impossibly fast")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("client did not unwind after shutdown")
+	}
+}
+
+// TestSnapshotDuringTraining takes snapshots concurrently with training
+// — under -race this proves the metrics path is data-race free.
+func TestSnapshotDuringTraining(t *testing.T) {
+	dep := buildDeployment(t, 2, "fair-rr")
+	srv := startServer(t, dep, Config{})
+
+	const steps = 5
+	errs := make(chan error, 2)
+	for _, es := range dep.Clients {
+		es := es
+		client, server := transport.NewPair(1)
+		srv.Attach(server)
+		go func() {
+			_, err := RunClient(context.Background(), es, client, ClientConfig{
+				Steps: steps, GradTimeout: 5 * time.Second,
+			})
+			client.Close()
+			errs <- err
+		}()
+	}
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = srv.Snapshot().String()
+			}
+		}
+	}()
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.AwaitClients(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Snapshot().ServerSteps; got != 2*steps {
+		t.Fatalf("server processed %d, want %d", got, 2*steps)
+	}
+}

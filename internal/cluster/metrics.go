@@ -1,0 +1,82 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Snapshot is a point-in-time view of a live Server, safe to take from
+// any goroutine while training runs.
+type Snapshot struct {
+	// Uptime is the wall time since Start.
+	Uptime time.Duration
+	// ServerSteps is the number of batches processed so far.
+	ServerSteps int
+	// StepsPerSec is the lifetime throughput (ServerSteps / Uptime).
+	StepsPerSec float64
+	// QueueDepth is the current scheduling-queue occupancy.
+	QueueDepth int
+	// MaxQueueDepth is the occupancy high-water mark over the run.
+	MaxQueueDepth int
+	// Rejected counts activations refused for backpressure.
+	Rejected int
+	// LastLoss is the most recent window-averaged training loss.
+	LastLoss float64
+	// Clients holds per-session service state, sorted by id.
+	Clients []ClientStatus
+}
+
+// ClientStatus is one session's slice of a Snapshot.
+type ClientStatus struct {
+	// ID is the end-system id from the join handshake.
+	ID int
+	// Served counts this client's batches processed by the server.
+	Served int
+	// LastStaleness is the queue wait of this client's most recently
+	// served batch — the live analogue of the paper's staleness concern.
+	LastStaleness time.Duration
+	// Done reports the client announced completion.
+	Done bool
+	// Err is the terminal session error, if any ("" while healthy).
+	Err string
+}
+
+// String renders a one-line operational summary.
+func (s Snapshot) String() string {
+	parts := make([]string, 0, len(s.Clients))
+	for _, c := range s.Clients {
+		state := ""
+		if c.Done {
+			state = "✓"
+		}
+		if c.Err != "" {
+			state = "!"
+		}
+		parts = append(parts, fmt.Sprintf("c%d:%d%s", c.ID, c.Served, state))
+	}
+	return fmt.Sprintf("steps=%d (%.1f/s) depth=%d/%d rejected=%d loss=%.4f per-client[%s]",
+		s.ServerSteps, s.StepsPerSec, s.QueueDepth, s.MaxQueueDepth, s.Rejected, s.LastLoss,
+		strings.Join(parts, " "))
+}
+
+// snapshotClients assembles the per-client slice from the session map.
+// Caller must hold s.mu.
+func (s *Server) snapshotClients() []ClientStatus {
+	out := make([]ClientStatus, 0, len(s.sessions))
+	for id, sess := range s.sessions {
+		cs := ClientStatus{
+			ID:            id,
+			Served:        sess.served,
+			LastStaleness: sess.lastStaleness,
+			Done:          sess.done,
+		}
+		if sess.err != nil {
+			cs.Err = sess.err.Error()
+		}
+		out = append(out, cs)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -1,0 +1,202 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"github.com/stsl/stsl/internal/core"
+	"github.com/stsl/stsl/internal/transport"
+)
+
+// Transport selects how in-process runner clients reach the server.
+type Transport string
+
+const (
+	// TransportPair uses in-memory channel connections (fastest; no
+	// serialisation).
+	TransportPair Transport = "pair"
+	// TransportPipe uses net.Pipe under the binary wire framing — full
+	// encode/decode fidelity without sockets; the standard test harness.
+	TransportPipe Transport = "pipe"
+	// TransportTCP uses real loopback TCP sockets.
+	TransportTCP Transport = "tcp"
+)
+
+// RunnerConfig parameterises an in-process live-cluster run.
+type RunnerConfig struct {
+	// StepsPerClient is each end-system's batch budget (required).
+	StepsPerClient int
+	// Transport selects the carrier (default pair).
+	Transport Transport
+	// Cluster holds the server-side knobs (cap, overflow, straggler).
+	Cluster Config
+	// GradTimeout bounds each client's wait for a gradient (default 30s
+	// — a liveness backstop, not a tuning knob).
+	GradTimeout time.Duration
+}
+
+// RunnerResult summarises a live run, shaped for side-by-side comparison
+// with core.SimResult.
+type RunnerResult struct {
+	// WallDuration is the real elapsed time of the run.
+	WallDuration time.Duration
+	// StepsPerClient counts batches contributed by each client.
+	StepsPerClient []int
+	// ServerSteps is the total number of batches the server processed.
+	ServerSteps int
+	// FinalLoss is the last window-averaged training loss.
+	FinalLoss float64
+	// Rejected counts backpressure bounces across all clients.
+	Rejected int
+	// Snapshot is the server's final metrics snapshot.
+	Snapshot Snapshot
+}
+
+// Run executes a deployment on the live cluster runtime: one goroutine
+// per end-system, a live server draining the shared scheduling queue,
+// real concurrency end to end. It is the wall-clock counterpart of
+// core.Simulation.Run — same deployment, same protocol, but arrival skew
+// comes from goroutine and network timing instead of an event heap.
+func Run(ctx context.Context, dep *core.Deployment, cfg RunnerConfig) (*RunnerResult, error) {
+	if dep == nil {
+		return nil, fmt.Errorf("cluster: nil deployment")
+	}
+	if cfg.StepsPerClient <= 0 {
+		return nil, fmt.Errorf("cluster: runner needs positive StepsPerClient")
+	}
+	if cfg.Transport == "" {
+		cfg.Transport = TransportPair
+	}
+	if cfg.GradTimeout == 0 {
+		cfg.GradTimeout = 30 * time.Second
+	}
+
+	// One clock shared by the server and every client keeps SentAt and
+	// ArrivedAt on the same axis, so staleness-ordered policies see
+	// consistent timestamps.
+	start := time.Now()
+	now := func() time.Duration { return time.Since(start) }
+	serverCfg := cfg.Cluster
+	if serverCfg.Now == nil {
+		serverCfg.Now = now
+	}
+
+	srv, err := NewServer(dep.Server, serverCfg)
+	if err != nil {
+		return nil, err
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	if err := srv.Start(runCtx); err != nil {
+		return nil, err
+	}
+
+	conns, cleanup, err := dialAll(srv, cfg.Transport, len(dep.Clients))
+	if err != nil {
+		cancel()
+		_ = srv.Shutdown(context.Background())
+		return nil, err
+	}
+	defer cleanup()
+
+	type outcome struct {
+		idx int
+		res *ClientResult
+		err error
+	}
+	outcomes := make(chan outcome, len(dep.Clients))
+	for i := range dep.Clients {
+		i := i
+		go func() {
+			res, err := RunClient(runCtx, dep.Clients[i], conns[i], ClientConfig{
+				Steps:       cfg.StepsPerClient,
+				GradTimeout: cfg.GradTimeout,
+				Now:         now,
+			})
+			conns[i].Close()
+			outcomes <- outcome{idx: i, res: res, err: err}
+		}()
+	}
+
+	var errs []error
+	result := &RunnerResult{StepsPerClient: make([]int, len(dep.Clients))}
+	for range dep.Clients {
+		o := <-outcomes
+		if o.err != nil {
+			errs = append(errs, fmt.Errorf("client %d: %w", o.idx, o.err))
+		}
+		if o.res != nil {
+			result.StepsPerClient[o.idx] = o.res.Steps
+			result.Rejected += o.res.Rejected
+		}
+	}
+	// All client goroutines have returned, so the server either has n
+	// finished sessions already or never will (a client that died before
+	// its join registered cannot satisfy AwaitClients) — bound the wait
+	// so Run reports the collected errors instead of hanging.
+	awaitBudget := cfg.GradTimeout
+	if len(errs) > 0 {
+		awaitBudget = 2 * time.Second
+	}
+	awaitCtx, awaitCancel := context.WithTimeout(ctx, awaitBudget)
+	err = srv.AwaitClients(awaitCtx, len(dep.Clients))
+	awaitCancel()
+	if err != nil && !(len(errs) > 0 && errors.Is(err, context.DeadlineExceeded)) {
+		errs = append(errs, err)
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		errs = append(errs, err)
+	}
+	result.WallDuration = time.Since(start)
+	result.Snapshot = srv.Snapshot()
+	result.ServerSteps = result.Snapshot.ServerSteps
+	result.FinalLoss = dep.Server.Losses.Last()
+	if len(errs) > 0 {
+		return result, errors.Join(errs...)
+	}
+	return result, nil
+}
+
+// dialAll builds n client connections to srv over the chosen transport,
+// attaching the server side of each. cleanup releases any listener.
+func dialAll(srv *Server, tr Transport, n int) ([]transport.Conn, func(), error) {
+	conns := make([]transport.Conn, n)
+	cleanup := func() {}
+	switch tr {
+	case TransportPair:
+		for i := range conns {
+			client, server := transport.NewPair(1)
+			srv.Attach(server)
+			conns[i] = client
+		}
+	case TransportPipe:
+		for i := range conns {
+			clientNC, serverNC := net.Pipe()
+			srv.Attach(transport.NewTCPConn(serverNC))
+			conns[i] = transport.NewTCPConn(clientNC)
+		}
+	case TransportTCP:
+		lis, err := transport.Listen("127.0.0.1:0")
+		if err != nil {
+			return nil, cleanup, err
+		}
+		cleanup = func() { lis.Close() }
+		go srv.ServeListener(lis)
+		for i := range conns {
+			c, err := transport.Dial(lis.Addr())
+			if err != nil {
+				for _, open := range conns[:i] {
+					open.Close()
+				}
+				return nil, cleanup, fmt.Errorf("cluster: dial client %d: %w", i, err)
+			}
+			conns[i] = c
+		}
+	default:
+		return nil, cleanup, fmt.Errorf("cluster: unknown transport %q", tr)
+	}
+	return conns, cleanup, nil
+}

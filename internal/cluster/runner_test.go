@@ -1,0 +1,165 @@
+package cluster
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"github.com/stsl/stsl/internal/core"
+	"github.com/stsl/stsl/internal/data"
+	"github.com/stsl/stsl/internal/mathx"
+	"github.com/stsl/stsl/internal/simnet"
+)
+
+// TestRunnerTransports runs a small live cluster over every carrier —
+// in-memory pairs, net.Pipe under the wire framing, and real loopback
+// TCP — and checks the full batch budget is trained on each.
+func TestRunnerTransports(t *testing.T) {
+	for _, tr := range []Transport{TransportPair, TransportPipe, TransportTCP} {
+		tr := tr
+		t.Run(string(tr), func(t *testing.T) {
+			dep := buildDeployment(t, 2, "fifo")
+			const steps = 4
+			res, err := Run(context.Background(), dep, RunnerConfig{
+				StepsPerClient: steps, Transport: tr, GradTimeout: 10 * time.Second,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.ServerSteps != 2*steps {
+				t.Fatalf("server processed %d batches, want %d", res.ServerSteps, 2*steps)
+			}
+			for i, s := range res.StepsPerClient {
+				if s != steps {
+					t.Errorf("client %d contributed %d steps, want %d", i, s, steps)
+				}
+			}
+		})
+	}
+}
+
+// TestRunnerAllPolicies exercises each scheduling policy end to end on
+// the live runtime, including the gated sync-rounds discipline.
+func TestRunnerAllPolicies(t *testing.T) {
+	for _, policy := range []string{"fifo", "staleness", "fair-rr", "sync-rounds"} {
+		policy := policy
+		t.Run(policy, func(t *testing.T) {
+			dep := buildDeployment(t, 3, policy)
+			const steps = 4
+			res, err := Run(context.Background(), dep, RunnerConfig{
+				StepsPerClient: steps, GradTimeout: 10 * time.Second,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.ServerSteps != 3*steps {
+				t.Fatalf("server processed %d batches, want %d", res.ServerSteps, 3*steps)
+			}
+		})
+	}
+}
+
+// TestGatedPolicyOverCap regresses two hangs: sync-rounds refuses to
+// pop until every active client has queued an item, so a cap below the
+// client count would wedge park mode forever and spin reject mode in a
+// resend livelock. NewServer lifts the cap for gated policies; both
+// runs must complete.
+func TestGatedPolicyOverCap(t *testing.T) {
+	for _, ov := range []Overflow{OverflowPark, OverflowReject} {
+		ov := ov
+		t.Run(string(ov), func(t *testing.T) {
+			dep := buildDeployment(t, 3, "sync-rounds")
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			res, err := Run(ctx, dep, RunnerConfig{
+				StepsPerClient: 3,
+				Cluster:        Config{QueueCap: 1, Overflow: ov},
+				GradTimeout:    10 * time.Second,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.ServerSteps != 9 {
+				t.Fatalf("server processed %d batches, want 9", res.ServerSteps)
+			}
+		})
+	}
+}
+
+// TestLiveMatchesSimulation is the subsystem's ground truth: a live
+// concurrent run with 4 clients must reach the same final loss (±5%) as
+// the virtual-time simulation of the identical deployment and seed. The
+// two runtimes share all model code; they differ only in whether arrival
+// skew comes from an event heap or from real goroutine concurrency, so a
+// larger gap would mean the cluster runtime corrupts training.
+func TestLiveMatchesSimulation(t *testing.T) {
+	const (
+		clients = 4
+		steps   = 30
+		seed    = 7
+	)
+	build := func() *core.Deployment {
+		ds, err := (data.SynthCIFAR{Height: 8, Width: 8, Classes: 4}).Generate(32*clients, 41)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards, err := data.PartitionIID(ds, clients, mathx.NewRNG(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dep, err := core.NewDeployment(core.Config{
+			Model: smallModel(), Cut: 1, Clients: clients, Seed: seed,
+			BatchSize: 8, LR: 0.05, QueuePolicy: "fifo",
+		}, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dep
+	}
+
+	// Virtual-time reference.
+	simDep := build()
+	paths := make([]*simnet.Path, clients)
+	for i := range paths {
+		p, err := simnet.NewSymmetricPath(simnet.Constant{D: 5 * time.Millisecond}, 0,
+			mathx.NewRNG(uint64(1000+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		paths[i] = p
+	}
+	sim, err := core.NewSimulation(simDep, core.SimConfig{
+		Paths: paths, MaxStepsPerClient: steps,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simRes, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Live concurrent run of the identical deployment.
+	liveDep := build()
+	liveRes, err := Run(context.Background(), liveDep, RunnerConfig{
+		StepsPerClient: steps, Transport: TransportPipe, GradTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if liveRes.ServerSteps != simRes.ServerSteps {
+		t.Fatalf("live processed %d batches, sim %d", liveRes.ServerSteps, simRes.ServerSteps)
+	}
+	if simRes.FinalLoss <= 0 || liveRes.FinalLoss <= 0 {
+		t.Fatalf("degenerate losses: sim %.4f live %.4f", simRes.FinalLoss, liveRes.FinalLoss)
+	}
+	relGap := math.Abs(liveRes.FinalLoss-simRes.FinalLoss) / simRes.FinalLoss
+	t.Logf("final loss: sim %.4f live %.4f (gap %.2f%%); live wall %v",
+		simRes.FinalLoss, liveRes.FinalLoss, relGap*100, liveRes.WallDuration)
+	if relGap > 0.05 {
+		t.Fatalf("live final loss %.4f deviates %.1f%% from simulation %.4f (tolerance 5%%)",
+			liveRes.FinalLoss, relGap*100, simRes.FinalLoss)
+	}
+}

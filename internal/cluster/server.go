@@ -1,0 +1,531 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/stsl/stsl/internal/core"
+	"github.com/stsl/stsl/internal/queue"
+	"github.com/stsl/stsl/internal/transport"
+)
+
+// session is the server-side state of one attached end-system.
+type session struct {
+	id   int
+	conn transport.Conn
+
+	// lastActive is the server-clock time (nanoseconds) of the last
+	// message received — the straggler janitor's evidence of life.
+	lastActive atomic.Int64
+	// closed is set by the janitor before force-closing the connection,
+	// so a goroutine parked on backpressure abandons instead of pushing
+	// work for a dead client.
+	closed atomic.Bool
+	// pending counts activations admitted to the queue but not yet
+	// replied to. A session with pending work is waiting on the server
+	// (a gated policy, a deep queue), so the janitor must not mistake
+	// that silence for straggling.
+	pending atomic.Int64
+
+	// The remaining fields are guarded by Server.mu.
+	served        int
+	lastStaleness time.Duration
+	done          bool
+	ended         bool
+	err           error
+}
+
+// Server is the live centralized side of the framework: it accepts
+// end-system sessions over any transport.Conn, feeds one mutex-guarded
+// scheduling queue, and drains it with a single worker goroutine that
+// owns all model state. Session receive goroutines touch only the queue
+// and per-session bookkeeping, so the paper's scheduling discipline —
+// not goroutine scheduling luck — decides the service order of
+// concurrently arriving activations.
+type Server struct {
+	cfg  Config
+	core *core.Server
+	q    *queue.Safe
+	now  func() time.Duration
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	startWall time.Time
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	sessions map[int]*session
+	joined   int
+	steps    int
+	rejected int
+	lastLoss float64
+	started  bool
+}
+
+// NewServer wraps a wired core.Server for live concurrent use. The core
+// server's queue is replaced with a thread-safe wrapper; the core server
+// must not be driven by anyone else afterwards.
+func NewServer(srv *core.Server, cfg Config) (*Server, error) {
+	if srv == nil {
+		return nil, fmt.Errorf("cluster: nil core server")
+	}
+	switch cfg.Overflow {
+	case "", OverflowPark, OverflowReject:
+	default:
+		return nil, fmt.Errorf("cluster: unknown overflow mode %q (want park or reject)", cfg.Overflow)
+	}
+	safe, ok := srv.Queue.(*queue.Safe)
+	if !ok {
+		safe = queue.NewSafe(srv.Queue)
+		srv.Queue = safe
+	}
+	cfg = cfg.withDefaults()
+	if safe.Gated() && cfg.QueueCap > 0 {
+		// A gated policy (sync-rounds) refuses to pop until every active
+		// client has an item queued, so a cap below the client count can
+		// never fill the gate: park wedges the excess sessions forever
+		// and reject spins them in a resend livelock. The lock-step
+		// protocol already bounds depth to the client count, so lift the
+		// cap rather than wedge.
+		cfg.QueueCap = 0
+	}
+	s := &Server{
+		cfg:      cfg,
+		core:     srv,
+		q:        safe,
+		sessions: make(map[int]*session),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s, nil
+}
+
+// Start launches the worker loop (and the straggler janitor, when
+// configured). It must be called exactly once, before any Attach. The
+// server stops when ctx is cancelled or Shutdown is called.
+func (s *Server) Start(ctx context.Context) error {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return fmt.Errorf("cluster: server already started")
+	}
+	s.started = true
+	s.mu.Unlock()
+
+	s.ctx, s.cancel = context.WithCancel(ctx)
+	s.startWall = time.Now()
+	s.now = s.cfg.Now
+	if s.now == nil {
+		start := s.startWall
+		s.now = func() time.Duration { return time.Since(start) }
+	}
+	// Wake AwaitClients waiters when the server stops for any reason.
+	context.AfterFunc(s.ctx, func() {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+	s.wg.Add(1)
+	go s.worker()
+	if s.cfg.StragglerTimeout > 0 {
+		s.wg.Add(1)
+		go s.janitor()
+	}
+	return nil
+}
+
+// worker is the single goroutine that owns the shared model: it pops per
+// the scheduling policy, runs forward/backward/step, and sends the
+// gradient reply to the originating session.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		it, ok := s.q.Pop(s.now())
+		if !ok {
+			select {
+			case <-s.q.Pushed():
+				continue
+			case <-s.ctx.Done():
+				return
+			}
+		}
+		now := s.now()
+		reply, err := s.process(it, now)
+		s.mu.Lock()
+		sess := s.sessions[it.ClientID()]
+		s.mu.Unlock()
+		if sess != nil {
+			sess.pending.Add(-1) // the item left the queue either way
+			// The straggler clock measures the *client's* silence. An
+			// item can sit in a congested queue longer than the timeout;
+			// restart the window at serve time or a healthy lock-step
+			// client would look idle the instant its wait ended.
+			sess.lastActive.Store(int64(s.now()))
+		}
+		if err != nil {
+			// A malformed contribution (wrong cut point, corrupt batch)
+			// must not take the whole cluster down: evict the offending
+			// client and keep serving the others.
+			s.evict(it.ClientID(), err)
+			continue
+		}
+		s.mu.Lock()
+		s.steps++
+		s.lastLoss = s.core.Losses.Last()
+		if sess != nil {
+			sess.served++
+			sess.lastStaleness = it.Staleness(now)
+		}
+		s.mu.Unlock()
+		if sess == nil {
+			continue // client left before its item was served
+		}
+		if err := sess.conn.Send(reply); err != nil {
+			// The client died between enqueue and reply; record it on
+			// the session and keep serving the others.
+			s.mu.Lock()
+			if sess.err == nil && !sess.done {
+				sess.err = fmt.Errorf("cluster: send gradient to client %d: %w", sess.id, err)
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
+// process runs one item through the shared model, converting the nn
+// package's shape-assertion panics (a client trained with the wrong cut
+// point sends activations the server stack cannot consume) into errors
+// attributable to the offending client.
+func (s *Server) process(it queue.Item, now time.Duration) (reply *transport.Message, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("cluster: processing client %d seq %d: %v",
+				it.ClientID(), it.Msg.Seq, r)
+		}
+	}()
+	return s.core.Process(it, now)
+}
+
+// evict terminates one client's session after a processing failure,
+// keeping the rest of the cluster alive.
+func (s *Server) evict(clientID int, cause error) {
+	s.mu.Lock()
+	sess := s.sessions[clientID]
+	if sess != nil && sess.err == nil {
+		sess.err = cause
+	}
+	if sess != nil {
+		sess.closed.Store(true)
+	}
+	s.mu.Unlock()
+	if sess != nil {
+		sess.conn.Close()
+	}
+	s.q.Deactivate(clientID)
+}
+
+// janitor drops sessions that have been silent past StragglerTimeout.
+func (s *Server) janitor() {
+	defer s.wg.Done()
+	period := s.cfg.StragglerTimeout / 4
+	if period < 5*time.Millisecond {
+		period = 5 * time.Millisecond
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case <-t.C:
+		}
+		now := s.now()
+		var drop []*session
+		s.mu.Lock()
+		for _, sess := range s.sessions {
+			if sess.ended || sess.done || sess.pending.Load() > 0 {
+				// A session with queued work is waiting on the server,
+				// not the other way round.
+				continue
+			}
+			idle := now - time.Duration(sess.lastActive.Load())
+			if idle > s.cfg.StragglerTimeout {
+				sess.err = fmt.Errorf("cluster: client %d dropped as straggler after %v silence",
+					sess.id, idle.Round(time.Millisecond))
+				sess.closed.Store(true)
+				drop = append(drop, sess)
+			}
+		}
+		s.mu.Unlock()
+		for _, sess := range drop {
+			sess.conn.Close()
+			s.q.Deactivate(sess.id)
+		}
+	}
+}
+
+// Attach hands a freshly accepted connection to the server. The session
+// goroutine performs the join handshake and then pumps activations into
+// the scheduling queue until the client leaves.
+func (s *Server) Attach(conn transport.Conn) {
+	s.wg.Add(1)
+	go s.sessionLoop(conn)
+}
+
+// ServeListener accepts connections until the listener fails or the
+// server stops, attaching each. It blocks; run it in a goroutine when
+// combined with AwaitClients.
+func (s *Server) ServeListener(lis *transport.Listener) {
+	stop := context.AfterFunc(s.ctx, func() { lis.Close() })
+	defer stop()
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		s.Attach(conn)
+	}
+}
+
+func (s *Server) sessionLoop(conn transport.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	// A blocked Recv must not outlive the server.
+	stop := context.AfterFunc(s.ctx, func() { conn.Close() })
+	defer stop()
+
+	// A connection that never introduces itself is a pre-join straggler
+	// the janitor cannot see (it only scans joined sessions), so the
+	// handshake wait gets its own timeout bound.
+	var joinTimer *time.Timer
+	if s.cfg.StragglerTimeout > 0 {
+		joinTimer = time.AfterFunc(s.cfg.StragglerTimeout, func() { conn.Close() })
+	}
+	first, err := conn.Recv()
+	if joinTimer != nil {
+		joinTimer.Stop()
+	}
+	if err != nil {
+		return // connection died before introducing itself
+	}
+	if first.Type != transport.MsgControl || first.Note != core.JoinNote {
+		_ = conn.Send(&transport.Message{
+			Type: transport.MsgControl, Note: core.AbortNote + ": expected join", SentAt: s.now(),
+		})
+		return
+	}
+	sess := &session{id: first.ClientID, conn: conn}
+	sess.lastActive.Store(int64(s.now()))
+
+	s.mu.Lock()
+	if old, exists := s.sessions[sess.id]; exists && !old.ended {
+		s.mu.Unlock()
+		_ = conn.Send(&transport.Message{
+			Type: transport.MsgControl, ClientID: sess.id,
+			Note: core.AbortNote + ": duplicate client id", SentAt: s.now(),
+		})
+		return
+	}
+	s.sessions[sess.id] = sess
+	s.joined++
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	if err := conn.Send(&transport.Message{
+		Type: transport.MsgControl, ClientID: sess.id, Note: core.WelcomeNote, SentAt: s.now(),
+	}); err != nil {
+		s.finishSession(sess, err)
+		return
+	}
+	s.finishSession(sess, s.receive(sess))
+}
+
+// receive pumps one joined session until the client leaves or errors.
+func (s *Server) receive(sess *session) error {
+	for {
+		msg, err := sess.conn.Recv()
+		if err != nil {
+			return err
+		}
+		sess.lastActive.Store(int64(s.now()))
+		switch msg.Type {
+		case transport.MsgActivation:
+			if msg.ClientID != sess.id {
+				return fmt.Errorf("cluster: session %d sent activation for client %d", sess.id, msg.ClientID)
+			}
+			if err := s.admit(sess, msg); err != nil {
+				return err
+			}
+		case transport.MsgControl:
+			if msg.Note == core.DoneNote {
+				s.mu.Lock()
+				sess.done = true
+				s.cond.Broadcast()
+				s.mu.Unlock()
+				s.q.Deactivate(sess.id)
+			}
+		default:
+			return fmt.Errorf("cluster: session %d sent unexpected %v", sess.id, msg.Type)
+		}
+	}
+}
+
+// admit pushes one activation into the scheduling queue, honouring the
+// depth cap: park blocks this session (backpressure propagates to the
+// client through the transport), reject bounces the batch back.
+func (s *Server) admit(sess *session, msg *transport.Message) error {
+	it := queue.Item{Msg: msg, ArrivedAt: s.now()}
+	// Count the work as pending before it becomes poppable, so the
+	// janitor never sees a gap between push and accounting.
+	sess.pending.Add(1)
+	for !s.q.TryPush(it, s.cfg.QueueCap) {
+		if s.cfg.Overflow == OverflowReject {
+			sess.pending.Add(-1)
+			s.mu.Lock()
+			s.rejected++
+			s.mu.Unlock()
+			return sess.conn.Send(&transport.Message{
+				Type: transport.MsgControl, ClientID: sess.id, Seq: msg.Seq,
+				Note: core.RejectedNote, SentAt: s.now(),
+			})
+		}
+		select {
+		case <-s.q.Popped():
+		case <-time.After(5 * time.Millisecond):
+			// Popped is edge-triggered and shared; poll so a dropped
+			// wakeup cannot park a session forever.
+		case <-s.ctx.Done():
+			sess.pending.Add(-1)
+			return s.ctx.Err()
+		}
+		if sess.closed.Load() {
+			sess.pending.Add(-1)
+			return fmt.Errorf("cluster: session %d closed while parked", sess.id)
+		}
+	}
+	s.core.QueueMetrics.ObserveOccupancy(s.q.Len())
+	return nil
+}
+
+// finishSession records a session's terminal state. A clean disconnect
+// (peer closed, or server shutdown) is not an error.
+func (s *Server) finishSession(sess *session, err error) {
+	if errors.Is(err, transport.ErrClosed) || errors.Is(err, context.Canceled) {
+		err = nil
+	}
+	s.mu.Lock()
+	sess.ended = true
+	if sess.err == nil {
+		sess.err = err
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.q.Deactivate(sess.id)
+}
+
+// AwaitClients blocks until at least n clients have joined and every
+// joined session has finished (announced done, or left), then returns
+// the combined session errors (nil when all completed cleanly). It
+// returns early on server shutdown or ctx cancellation.
+func (s *Server) AwaitClients(ctx context.Context, n int) error {
+	stop := context.AfterFunc(ctx, func() {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+	defer stop()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := s.ctx.Err(); err != nil {
+			return fmt.Errorf("cluster: server stopped: %w", err)
+		}
+		if s.joined >= n && s.allFinishedLocked() {
+			return s.sessionErrsLocked()
+		}
+		s.cond.Wait()
+	}
+}
+
+// allFinishedLocked reports whether every joined session is done or gone.
+// Caller must hold s.mu.
+func (s *Server) allFinishedLocked() bool {
+	for _, sess := range s.sessions {
+		if !sess.done && !sess.ended {
+			return false
+		}
+	}
+	return true
+}
+
+// sessionErrsLocked joins the terminal errors of all sessions. Caller
+// must hold s.mu.
+func (s *Server) sessionErrsLocked() error {
+	var errs []error
+	for _, sess := range s.sessions {
+		if sess.err != nil {
+			errs = append(errs, sess.err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Shutdown stops the server: cancels the worker and janitor, closes all
+// session connections, and waits (bounded by ctx) for every goroutine to
+// exit.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.cancel()
+	s.mu.Lock()
+	conns := make([]transport.Conn, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		if !sess.ended {
+			conns = append(conns, sess.conn)
+		}
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("cluster: shutdown timed out: %w", ctx.Err())
+	}
+}
+
+// Core exposes the wrapped model server for evaluation after training.
+// It must not be touched while the worker is live — Shutdown first.
+func (s *Server) Core() *core.Server { return s.core }
+
+// Snapshot captures live metrics; safe from any goroutine at any time.
+func (s *Server) Snapshot() Snapshot {
+	s.mu.Lock()
+	snap := Snapshot{
+		ServerSteps: s.steps,
+		Rejected:    s.rejected,
+		LastLoss:    s.lastLoss,
+		Clients:     s.snapshotClients(),
+	}
+	s.mu.Unlock()
+	snap.Uptime = time.Since(s.startWall)
+	if snap.Uptime > 0 {
+		snap.StepsPerSec = float64(snap.ServerSteps) / snap.Uptime.Seconds()
+	}
+	snap.QueueDepth = s.q.Len()
+	snap.MaxQueueDepth = s.core.QueueMetrics.MaxOccupancy()
+	return snap
+}

@@ -8,9 +8,24 @@ import (
 	"github.com/stsl/stsl/internal/transport"
 )
 
-// DoneNote is the control-message note a client sends when it has no more
-// batches to contribute.
-const DoneNote = "done"
+// Control-message notes of the session protocol. DoneNote is understood
+// by both the legacy Serve loop and the cluster runtime; the remaining
+// notes form the join/leave handshake and backpressure vocabulary of the
+// live cluster protocol (internal/cluster).
+const (
+	// DoneNote announces a client has no more batches to contribute.
+	DoneNote = "done"
+	// JoinNote is the first message of a session: a control message
+	// carrying the client's id.
+	JoinNote = "join"
+	// WelcomeNote is the server's accept reply to a join.
+	WelcomeNote = "welcome"
+	// RejectedNote tells a client its activation was refused for
+	// backpressure (queue over cap); the client should resend.
+	RejectedNote = "rejected"
+	// AbortNote tells a client the server is shutting down.
+	AbortNote = "abort"
+)
 
 // RunClient drives an end-system over a real connection for the given
 // number of steps: produce → send activation → await gradient → apply,

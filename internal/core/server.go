@@ -71,6 +71,19 @@ func (s *Server) ProcessNext(now time.Duration) (reply *transport.Message, ok bo
 	if !ok {
 		return nil, false, nil
 	}
+	reply, err = s.Process(it, now)
+	if err != nil {
+		return nil, false, err
+	}
+	return reply, true, nil
+}
+
+// Process runs the shared forward/backward pass for one already-dequeued
+// item, steps the shared optimiser, and returns the gradient reply. It is
+// the compute half of ProcessNext, exposed so callers that own the
+// dequeue (the live cluster worker) can observe the popped item — its
+// client, staleness, arrival time — before handing it to the model.
+func (s *Server) Process(it queue.Item, now time.Duration) (*transport.Message, error) {
 	s.QueueMetrics.ObserveServe(it, now)
 
 	act := it.Msg.Payload
@@ -78,7 +91,7 @@ func (s *Server) ProcessNext(now time.Duration) (reply *transport.Message, ok bo
 	logits := s.Stack.Forward(act, true)
 	loss, dlogits, err := nn.SoftmaxCrossEntropy(logits, it.Msg.Labels)
 	if err != nil {
-		return nil, false, fmt.Errorf("core: server loss for client %d seq %d: %w",
+		return nil, fmt.Errorf("core: server loss for client %d seq %d: %w",
 			it.Msg.ClientID, it.Msg.Seq, err)
 	}
 	dact := s.Stack.Backward(dlogits)
@@ -93,5 +106,5 @@ func (s *Server) ProcessNext(now time.Duration) (reply *transport.Message, ok bo
 		Epoch:    it.Msg.Epoch,
 		SentAt:   now,
 		Payload:  dact,
-	}, true, nil
+	}, nil
 }

@@ -4,13 +4,18 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 )
 
 // Metrics accumulates service statistics for one training run: how long
 // items waited, how many each client had served, and the queue's occupancy
 // high-water mark. It answers the paper's §II concern quantitatively.
+// All methods are safe for concurrent use — the live cluster runtime
+// observes occupancy from session goroutines while the worker observes
+// serves.
 type Metrics struct {
+	mu           sync.Mutex
 	waits        []time.Duration
 	servedBy     map[int]int
 	maxOccupancy int
@@ -23,28 +28,46 @@ func NewMetrics() *Metrics {
 
 // ObserveServe records one served item.
 func (m *Metrics) ObserveServe(it Item, now time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.waits = append(m.waits, it.Staleness(now))
 	m.servedBy[it.ClientID()]++
 }
 
 // ObserveOccupancy records the queue length after a push.
 func (m *Metrics) ObserveOccupancy(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if n > m.maxOccupancy {
 		m.maxOccupancy = n
 	}
 }
 
 // Served returns the number of items served for the given client.
-func (m *Metrics) Served(clientID int) int { return m.servedBy[clientID] }
+func (m *Metrics) Served(clientID int) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.servedBy[clientID]
+}
 
 // TotalServed returns the total items served.
-func (m *Metrics) TotalServed() int { return len(m.waits) }
+func (m *Metrics) TotalServed() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.waits)
+}
 
 // MaxOccupancy returns the queue-length high-water mark.
-func (m *Metrics) MaxOccupancy() int { return m.maxOccupancy }
+func (m *Metrics) MaxOccupancy() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.maxOccupancy
+}
 
 // MeanWait returns the average queue wait.
 func (m *Metrics) MeanWait() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if len(m.waits) == 0 {
 		return 0
 	}
@@ -57,6 +80,8 @@ func (m *Metrics) MeanWait() time.Duration {
 
 // P99Wait returns the 99th-percentile queue wait.
 func (m *Metrics) P99Wait() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if len(m.waits) == 0 {
 		return 0
 	}
@@ -73,6 +98,8 @@ func (m *Metrics) P99Wait() time.Duration {
 // clients — 0 means perfectly fair service, →1 means some client was
 // starved. Returns 0 with fewer than two clients.
 func (m *Metrics) ServiceImbalance() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if len(m.servedBy) < 2 {
 		return 0
 	}
@@ -91,16 +118,21 @@ func (m *Metrics) ServiceImbalance() float64 {
 	return float64(maxV-minV) / float64(maxV)
 }
 
-// String renders a one-line summary.
+// String renders a one-line summary. It copies the per-client counts
+// under the lock, then delegates to the (self-locking) accessors.
 func (m *Metrics) String() string {
-	var ids []int
-	for id := range m.servedBy {
+	m.mu.Lock()
+	ids := make([]int, 0, len(m.servedBy))
+	counts := make(map[int]int, len(m.servedBy))
+	for id, c := range m.servedBy {
 		ids = append(ids, id)
+		counts[id] = c
 	}
+	m.mu.Unlock()
 	sort.Ints(ids)
 	var parts []string
 	for _, id := range ids {
-		parts = append(parts, fmt.Sprintf("c%d:%d", id, m.servedBy[id]))
+		parts = append(parts, fmt.Sprintf("c%d:%d", id, counts[id]))
 	}
 	return fmt.Sprintf("served=%d meanWait=%v p99Wait=%v maxOcc=%d imbalance=%.3f per-client[%s]",
 		m.TotalServed(), m.MeanWait(), m.P99Wait(), m.MaxOccupancy(), m.ServiceImbalance(), strings.Join(parts, " "))

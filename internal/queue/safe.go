@@ -1,0 +1,127 @@
+package queue
+
+import (
+	"sync"
+	"time"
+)
+
+// Safe wraps any Policy for concurrent use: many producer goroutines may
+// Push while one (or more) consumers Pop. It is the bridge between the
+// paper's single-threaded scheduling disciplines and the live cluster
+// runtime, where end-systems are real concurrent actors and arrival skew
+// is wall-clock real rather than simulated.
+//
+// Beyond mutual exclusion, Safe exposes two edge-triggered notification
+// channels so a consumer can block until the queue state may have
+// changed instead of spinning: Pushed() fires after every Push (and
+// after Deactivate, which can open a gated policy), and Popped() fires
+// after every successful Pop (which is what a parked producer waiting
+// for queue headroom cares about).
+type Safe struct {
+	mu    sync.Mutex
+	inner Policy
+
+	pushed chan struct{}
+	popped chan struct{}
+}
+
+// NewSafe wraps a policy. The policy must not be used directly once
+// wrapped.
+func NewSafe(p Policy) *Safe {
+	return &Safe{
+		inner:  p,
+		pushed: make(chan struct{}, 1),
+		popped: make(chan struct{}, 1),
+	}
+}
+
+// signal makes an edge-triggered, non-blocking notification.
+func signal(ch chan struct{}) {
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
+}
+
+// Name implements Policy.
+func (s *Safe) Name() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.Name()
+}
+
+// Push implements Policy.
+func (s *Safe) Push(it Item) {
+	s.mu.Lock()
+	s.inner.Push(it)
+	s.mu.Unlock()
+	signal(s.pushed)
+}
+
+// TryPush pushes only if the queue currently holds fewer than cap items,
+// reporting whether the push happened. cap <= 0 means unbounded. The
+// check and push are atomic, so concurrent producers cannot overshoot
+// the cap.
+func (s *Safe) TryPush(it Item, cap int) bool {
+	s.mu.Lock()
+	if cap > 0 && s.inner.Len() >= cap {
+		s.mu.Unlock()
+		return false
+	}
+	s.inner.Push(it)
+	s.mu.Unlock()
+	signal(s.pushed)
+	return true
+}
+
+// Pop implements Policy.
+func (s *Safe) Pop(now time.Duration) (Item, bool) {
+	s.mu.Lock()
+	it, ok := s.inner.Pop(now)
+	s.mu.Unlock()
+	if ok {
+		signal(s.popped)
+	}
+	return it, ok
+}
+
+// Len implements Policy.
+func (s *Safe) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.Len()
+}
+
+// Deactivate forwards to a gated inner policy (e.g. SyncRounds) and
+// wakes consumers, since removing a client can open the gate. It is a
+// no-op for ungated policies.
+func (s *Safe) Deactivate(clientID int) {
+	s.mu.Lock()
+	if g, ok := s.inner.(interface{ Deactivate(int) }); ok {
+		g.Deactivate(clientID)
+	}
+	s.mu.Unlock()
+	signal(s.pushed)
+}
+
+// Gated reports whether the wrapped policy is gated (can refuse to pop
+// while non-empty, like SyncRounds). Consumers use this to size
+// backpressure: capping admission below the client count would starve a
+// gate that needs one item from every client.
+func (s *Safe) Gated() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.inner.(interface{ Deactivate(int) })
+	return ok
+}
+
+// Pushed returns the channel signalled after pushes (and deactivations).
+// It is edge-triggered with capacity 1: a receive means "state may have
+// changed since you last looked", not "exactly one item arrived".
+func (s *Safe) Pushed() <-chan struct{} { return s.pushed }
+
+// Popped returns the channel signalled after successful pops — the
+// headroom signal a producer parked on a full queue waits for.
+func (s *Safe) Popped() <-chan struct{} { return s.popped }
+
+var _ Policy = (*Safe)(nil)

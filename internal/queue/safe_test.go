@@ -1,0 +1,156 @@
+package queue
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/stsl/stsl/internal/transport"
+)
+
+// TestSafeConcurrentStress hammers the thread-safe wrapper from N
+// producer goroutines with one concurrent consumer, for every scheduling
+// policy, and asserts exactly-once delivery: no item lost, none served
+// twice. Run with -race (CI does) to also prove memory safety.
+func TestSafeConcurrentStress(t *testing.T) {
+	const (
+		producers    = 8
+		perProducer  = 500
+		totalItems   = producers * perProducer
+		consumerIdle = time.Microsecond
+	)
+	for _, name := range []string{"fifo", "staleness", "fair-rr"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			inner, err := NewPolicy(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			q := NewSafe(inner)
+
+			var wg sync.WaitGroup
+			for p := 0; p < producers; p++ {
+				p := p
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < perProducer; i++ {
+						q.Push(Item{
+							Msg: &transport.Message{
+								Type:     transport.MsgControl,
+								ClientID: p,
+								Seq:      i,
+								SentAt:   time.Duration(p*perProducer + i),
+							},
+							ArrivedAt: time.Duration(p*perProducer + i),
+						})
+					}
+				}()
+			}
+			producersDone := make(chan struct{})
+			go func() {
+				wg.Wait()
+				close(producersDone)
+			}()
+
+			seen := make(map[[2]int]int, totalItems)
+			popped := 0
+			drained := false
+			for popped < totalItems {
+				it, ok := q.Pop(time.Duration(popped))
+				if !ok {
+					if drained {
+						t.Fatalf("queue empty after producers done: %d/%d items", popped, totalItems)
+					}
+					select {
+					case <-producersDone:
+						// One more full drain pass, then emptiness is loss.
+						if q.Len() == 0 {
+							drained = true
+						}
+					case <-time.After(consumerIdle):
+					}
+					continue
+				}
+				key := [2]int{it.ClientID(), it.Msg.Seq}
+				seen[key]++
+				if seen[key] > 1 {
+					t.Fatalf("item %v served %d times", key, seen[key])
+				}
+				popped++
+			}
+			if it, ok := q.Pop(0); ok {
+				t.Fatalf("phantom extra item %v after full drain", [2]int{it.ClientID(), it.Msg.Seq})
+			}
+			if len(seen) != totalItems {
+				t.Fatalf("served %d distinct items, want %d", len(seen), totalItems)
+			}
+		})
+	}
+}
+
+// TestSafeTryPushCap checks the cap is enforced atomically under
+// concurrent producers: the queue never exceeds the cap.
+func TestSafeTryPushCap(t *testing.T) {
+	const cap = 4
+	q := NewSafe(NewFIFO())
+	var wg sync.WaitGroup
+	var over sync.Map
+	for p := 0; p < 8; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				q.TryPush(Item{Msg: &transport.Message{Type: transport.MsgControl, ClientID: p, Seq: i}}, cap)
+				if n := q.Len(); n > cap {
+					over.Store(n, true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	over.Range(func(k, v any) bool {
+		t.Errorf("queue depth %v exceeded cap %d", k, cap)
+		return true
+	})
+}
+
+// TestSafeNotifications checks the edge-triggered wakeup channels fire
+// on push and pop.
+func TestSafeNotifications(t *testing.T) {
+	q := NewSafe(NewFIFO())
+	q.Push(Item{Msg: &transport.Message{Type: transport.MsgControl}})
+	select {
+	case <-q.Pushed():
+	default:
+		t.Fatal("no pushed signal after Push")
+	}
+	if _, ok := q.Pop(0); !ok {
+		t.Fatal("pop failed")
+	}
+	select {
+	case <-q.Popped():
+	default:
+		t.Fatal("no popped signal after Pop")
+	}
+}
+
+// TestSafeDeactivateOpensGate verifies Deactivate forwards to a gated
+// policy and signals consumers.
+func TestSafeDeactivateOpensGate(t *testing.T) {
+	q := NewSafe(NewSyncRounds([]int{0, 1}))
+	q.Push(Item{Msg: &transport.Message{Type: transport.MsgControl, ClientID: 0}})
+	if _, ok := q.Pop(0); ok {
+		t.Fatal("gate should hold until every active client has an item")
+	}
+	q.Deactivate(1)
+	select {
+	case <-q.Pushed():
+	default:
+		t.Fatal("no wakeup signal after Deactivate")
+	}
+	if _, ok := q.Pop(0); !ok {
+		t.Fatal("gate should open once client 1 is deactivated")
+	}
+}

@@ -28,6 +28,7 @@ type chanConn struct {
 
 	mu       sync.Mutex
 	closed   bool
+	closedCh chan struct{} // closed by Close; unblocks local Send/Recv
 	closeOut func()
 }
 
@@ -35,12 +36,18 @@ type chanConn struct {
 // sent on one endpoint are received by the other, in order. buffer sets
 // the per-direction channel capacity (0 gives rendezvous semantics; 1 is
 // the usual choice per the style guide).
+//
+// Close on an endpoint unblocks both that endpoint's own pending
+// Send/Recv and, once the buffer drains, the peer's Recv — so a server
+// can force a session open on either kind of carrier to terminate.
 func NewPair(buffer int) (Conn, Conn) {
 	ab := make(chan *Message, buffer)
 	ba := make(chan *Message, buffer)
 	var onceAB, onceBA sync.Once
-	a := &chanConn{send: ab, recv: ba, closeOut: func() { onceAB.Do(func() { close(ab) }) }}
-	b := &chanConn{send: ba, recv: ab, closeOut: func() { onceBA.Do(func() { close(ba) }) }}
+	a := &chanConn{send: ab, recv: ba, closedCh: make(chan struct{}),
+		closeOut: func() { onceAB.Do(func() { close(ab) }) }}
+	b := &chanConn{send: ba, recv: ab, closedCh: make(chan struct{}),
+		closeOut: func() { onceBA.Do(func() { close(ba) }) }}
 	return a, b
 }
 
@@ -61,17 +68,35 @@ func (c *chanConn) Send(m *Message) error {
 		// guards the race where we close concurrently with Send.
 		_ = recover()
 	}()
-	c.send <- m
-	return nil
+	select {
+	case c.send <- m:
+		return nil
+	case <-c.closedCh:
+		return ErrClosed
+	}
 }
 
-// Recv implements Conn.
+// Recv implements Conn. Messages buffered before a local Close are still
+// delivered; the closed path only wins once nothing is immediately
+// readable.
 func (c *chanConn) Recv() (*Message, error) {
-	m, ok := <-c.recv
-	if !ok {
+	select {
+	case m, ok := <-c.recv:
+		if !ok {
+			return nil, ErrClosed
+		}
+		return m, nil
+	default:
+	}
+	select {
+	case m, ok := <-c.recv:
+		if !ok {
+			return nil, ErrClosed
+		}
+		return m, nil
+	case <-c.closedCh:
 		return nil, ErrClosed
 	}
-	return m, nil
 }
 
 // Close implements Conn.
@@ -82,6 +107,7 @@ func (c *chanConn) Close() error {
 		return nil
 	}
 	c.closed = true
+	close(c.closedCh)
 	c.closeOut()
 	return nil
 }

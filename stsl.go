@@ -10,11 +10,25 @@
 //
 // The implementation lives in internal packages; this package re-exports
 // the user-facing surface as type aliases so downstream code imports one
-// path:
+// path. Two runtimes drive the same deployment: the event-driven
+// virtual-time simulation, and the live cluster runtime where every
+// end-system is a real concurrent actor over the wire protocol.
 //
 //	deployment, _ := stsl.NewDeployment(stsl.Config{ ... }, shards)
+//
+//	// Virtual time — deterministic, simulated links:
 //	sim, _ := stsl.NewSimulation(deployment, stsl.SimConfig{ ... })
 //	result, _ := sim.Run()
+//
+//	// Real concurrency — one goroutine per end-system, live scheduling
+//	// queue, in-memory / net.Pipe / TCP transports:
+//	live, _ := stsl.RunCluster(ctx, deployment, stsl.ClusterRunnerConfig{
+//		StepsPerClient: 100,
+//	})
+//	fmt.Println(live.Snapshot) // throughput, queue depth, staleness
+//
+// For separate OS processes, cmd/stsl-server and cmd/stsl-endsystem run
+// the cluster protocol over real TCP.
 //
 // See examples/ for runnable end-to-end programs and DESIGN.md for the
 // architecture and experiment map.
@@ -22,6 +36,7 @@ package stsl
 
 import (
 	"github.com/stsl/stsl/internal/baseline"
+	"github.com/stsl/stsl/internal/cluster"
 	"github.com/stsl/stsl/internal/compress"
 	"github.com/stsl/stsl/internal/core"
 	"github.com/stsl/stsl/internal/data"
@@ -155,10 +170,46 @@ type (
 	QueuePolicy = queue.Policy
 	// QueueMetrics records service statistics.
 	QueueMetrics = queue.Metrics
+	// SafeQueue wraps any policy for concurrent producers/consumers.
+	SafeQueue = queue.Safe
 )
 
-// NewQueuePolicy constructs "fifo", "staleness" or "fair-rr" policies.
-var NewQueuePolicy = queue.NewPolicy
+// Queue constructors.
+var (
+	// NewQueuePolicy constructs "fifo", "staleness" or "fair-rr" policies.
+	NewQueuePolicy = queue.NewPolicy
+	// NewSafeQueue wraps a policy for concurrent use.
+	NewSafeQueue = queue.NewSafe
+)
+
+// Live cluster runtime types (real concurrency, wire protocol).
+type (
+	// ClusterConfig holds the live server's knobs: queue cap, overflow
+	// policy (park/reject), straggler timeout.
+	ClusterConfig = cluster.Config
+	// ClusterServer is the live centralized server.
+	ClusterServer = cluster.Server
+	// ClusterClientConfig parameterises one live end-system actor.
+	ClusterClientConfig = cluster.ClientConfig
+	// ClusterRunnerConfig parameterises an in-process live run.
+	ClusterRunnerConfig = cluster.RunnerConfig
+	// ClusterResult summarises a live run (compare core.SimResult).
+	ClusterResult = cluster.RunnerResult
+	// ClusterSnapshot is a live metrics snapshot.
+	ClusterSnapshot = cluster.Snapshot
+	// ClusterTransport selects pair | pipe | tcp carriers.
+	ClusterTransport = cluster.Transport
+)
+
+// Live cluster entry points.
+var (
+	// NewClusterServer wraps a core server for live concurrent serving.
+	NewClusterServer = cluster.NewServer
+	// RunClusterClient drives one end-system over a live connection.
+	RunClusterClient = cluster.RunClient
+	// RunCluster executes a deployment on the live runtime in-process.
+	RunCluster = cluster.Run
+)
 
 // Baselines.
 type (
