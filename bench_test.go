@@ -376,27 +376,36 @@ func BenchmarkSplitProtocolStep(b *testing.B) {
 
 // BenchmarkClusterThroughput measures the live-concurrency runtime's
 // server throughput (training steps/sec) as the number of concurrent
-// end-system goroutines grows, over net.Pipe with full wire
-// encode/decode — the perf trajectory of the real deployment path, next
-// to BenchmarkSimulationEventLoop's virtual-time twin.
+// end-system goroutines and the micro-batch coalescing cap grow, over
+// net.Pipe with full wire encode/decode — the perf trajectory of the
+// real deployment path, next to BenchmarkSimulationEventLoop's
+// virtual-time twin. At 8+ clients the coalesced passes (b>1) amortise
+// the server's conv/matmul hot path across clients and beat b=1.
 func BenchmarkClusterThroughput(b *testing.B) {
-	for _, clients := range []int{1, 4, 16} {
-		clients := clients
-		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+	cases := []struct{ clients, coalesce int }{
+		{1, 1},
+		{4, 1}, {4, 4},
+		{8, 1}, {8, 4},
+		{16, 1}, {16, 4}, {16, 8},
+	}
+	for _, tc := range cases {
+		tc := tc
+		b.Run(fmt.Sprintf("clients=%d/b=%d", tc.clients, tc.coalesce), func(b *testing.B) {
 			const steps = 8
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
-				ds, err := (data.SynthCIFAR{Height: 8, Width: 8, Classes: 4}).Generate(16*clients, 1)
+				ds, err := (data.SynthCIFAR{Height: 8, Width: 8, Classes: 4}).Generate(16*tc.clients, 1)
 				if err != nil {
 					b.Fatal(err)
 				}
-				shards, err := data.PartitionIID(ds, clients, mathx.NewRNG(2))
+				shards, err := data.PartitionIID(ds, tc.clients, mathx.NewRNG(2))
 				if err != nil {
 					b.Fatal(err)
 				}
 				dep, err := core.NewDeployment(core.Config{
 					Model: nn.PaperCNNConfig{Height: 8, Width: 8, Filters: []int{4, 8}, Hidden: 16, Classes: 4},
-					Cut:   1, Clients: clients, Seed: 3, BatchSize: 8, LR: 0.05,
+					Cut:   1, Clients: tc.clients, Seed: 3, BatchSize: 8, LR: 0.05,
+					BatchCoalesce: tc.coalesce,
 				}, shards)
 				if err != nil {
 					b.Fatal(err)

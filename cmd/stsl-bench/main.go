@@ -11,6 +11,7 @@
 //	stsl-bench -exp table1 -scale paper -seed 7
 //	stsl-bench -exp fig4 -out /tmp/fig4
 //	stsl-bench -live -scale tiny -steps 16
+//	stsl-bench -live -clients 8 -policy fair-rr -coalesce 4
 package main
 
 import (
@@ -31,14 +32,17 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1|fig1|fig2|fig3|fig4|queue|sweep|quantize|robustness|all")
-		scale   = flag.String("scale", "small", "scale: tiny|small|paper")
-		seed    = flag.Uint64("seed", 42, "experiment seed")
-		outDir  = flag.String("out", "", "directory for Fig-4 PNG output (optional)")
-		horizon = flag.Duration("horizon", 10*time.Second, "virtual-time horizon for the queue ablation")
-		csvDir  = flag.String("csv", "", "directory to also write each table as <exp>.csv (optional)")
-		live    = flag.Bool("live", false, "benchmark the live cluster runtime instead of the paper experiments")
-		steps   = flag.Int("steps", 16, "per-client batches for the --live benchmark")
+		exp      = flag.String("exp", "all", "experiment: table1|fig1|fig2|fig3|fig4|queue|sweep|quantize|robustness|all")
+		scale    = flag.String("scale", "small", "scale: tiny|small|paper")
+		seed     = flag.Uint64("seed", 42, "experiment seed")
+		outDir   = flag.String("out", "", "directory for Fig-4 PNG output (optional)")
+		horizon  = flag.Duration("horizon", 10*time.Second, "virtual-time horizon for the queue ablation")
+		csvDir   = flag.String("csv", "", "directory to also write each table as <exp>.csv (optional)")
+		live     = flag.Bool("live", false, "benchmark the live cluster runtime instead of the paper experiments")
+		steps    = flag.Int("steps", 16, "per-client batches for the --live benchmark")
+		clients  = flag.Int("clients", 0, "end-system count for the --live benchmark (0 = sweep 1,4,16)")
+		policy   = flag.String("policy", "fifo", "queue policy for the --live benchmark: fifo|staleness|fair-rr|sync-rounds")
+		coalesce = flag.Int("coalesce", 0, "micro-batch coalescing cap for the --live benchmark (0 = sweep 1,2,4,8)")
 	)
 	flag.Parse()
 
@@ -48,7 +52,7 @@ func main() {
 	}
 
 	if *live {
-		if err := runLive(s, *seed, *steps); err != nil {
+		if err := runLive(s, *seed, *steps, *clients, *policy, *coalesce); err != nil {
 			fatal(err)
 		}
 		return
@@ -183,37 +187,50 @@ func main() {
 	})
 }
 
-// runLive measures live-cluster training throughput versus concurrent
-// end-system count over net.Pipe with full wire encode/decode.
-func runLive(s expt.Scale, seed uint64, steps int) error {
-	fmt.Printf("live cluster throughput — scale=%s, %d steps/client, wire framing over net.Pipe\n\n", s.Name, steps)
-	fmt.Printf("%8s %12s %12s %12s %10s\n", "clients", "steps/s", "wall", "maxdepth", "loss")
-	for _, clients := range []int{1, 4, 16} {
+// runLive measures live-cluster training throughput — steps/sec versus
+// concurrent end-system count and micro-batch coalescing cap — over
+// net.Pipe with full wire encode/decode, under any scheduling policy.
+func runLive(s expt.Scale, seed uint64, steps, clients int, policy string, coalesce int) error {
+	clientCounts := []int{1, 4, 16}
+	if clients > 0 {
+		clientCounts = []int{clients}
+	}
+	coalesceCaps := []int{1, 2, 4, 8}
+	if coalesce > 0 {
+		coalesceCaps = []int{coalesce}
+	}
+	fmt.Printf("live cluster throughput — scale=%s, %d steps/client, policy=%s, wire framing over net.Pipe\n\n",
+		s.Name, steps, policy)
+	fmt.Printf("%8s %10s %12s %12s %12s %10s\n", "clients", "coalesce", "steps/s", "wall", "maxdepth", "loss")
+	for _, m := range clientCounts {
 		gen := data.SynthCIFAR{Height: s.Model.Height, Width: s.Model.Width, Classes: s.Model.Classes}
-		ds, err := gen.Generate(s.BatchSize*2*clients, seed)
+		ds, err := gen.Generate(s.BatchSize*2*m, seed)
 		if err != nil {
 			return err
 		}
-		shards, err := data.PartitionIID(ds, clients, mathx.NewRNG(seed+1))
+		shards, err := data.PartitionIID(ds, m, mathx.NewRNG(seed+1))
 		if err != nil {
 			return err
 		}
-		dep, err := core.NewDeployment(core.Config{
-			Model: s.Model, Cut: 1, Clients: clients, Seed: seed,
-			BatchSize: s.BatchSize, LR: s.LR,
-		}, shards)
-		if err != nil {
-			return err
+		for _, b := range coalesceCaps {
+			dep, err := core.NewDeployment(core.Config{
+				Model: s.Model, Cut: 1, Clients: m, Seed: seed,
+				BatchSize: s.BatchSize, LR: s.LR,
+				QueuePolicy: policy, BatchCoalesce: b,
+			}, shards)
+			if err != nil {
+				return err
+			}
+			res, err := cluster.Run(context.Background(), dep, cluster.RunnerConfig{
+				StepsPerClient: steps, Transport: cluster.TransportPipe,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%8d %10d %12.1f %12v %12d %10.4f\n",
+				m, b, float64(res.ServerSteps)/res.WallDuration.Seconds(),
+				res.WallDuration.Round(time.Millisecond), res.Snapshot.MaxQueueDepth, res.FinalLoss)
 		}
-		res, err := cluster.Run(context.Background(), dep, cluster.RunnerConfig{
-			StepsPerClient: steps, Transport: cluster.TransportPipe,
-		})
-		if err != nil {
-			return err
-		}
-		fmt.Printf("%8d %12.1f %12v %12d %10.4f\n",
-			clients, float64(res.ServerSteps)/res.WallDuration.Seconds(),
-			res.WallDuration.Round(time.Millisecond), res.Snapshot.MaxQueueDepth, res.FinalLoss)
 	}
 	return nil
 }

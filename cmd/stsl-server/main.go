@@ -44,6 +44,7 @@ func main() {
 		policy    = flag.String("policy", "fifo", "queue policy: fifo|staleness|fair-rr")
 		queueCap  = flag.Int("queue-cap", 64, "scheduling queue depth cap (-1 = unbounded)")
 		overflow  = flag.String("overflow", "park", "behaviour at the cap: park|reject")
+		coalesce  = flag.Int("coalesce", 1, "micro-batch coalescing cap: stack up to this many queued activations per pass")
 		straggler = flag.Duration("straggler-timeout", 0, "drop silent clients after this long (0 = never)")
 		snapEvery = flag.Duration("snapshot-every", 5*time.Second, "live metrics print interval (0 = off)")
 		weights   = flag.String("weights", "", "path to write learned server weights (optional)")
@@ -78,6 +79,7 @@ func main() {
 		QueueCap:         *queueCap,
 		Overflow:         cluster.Overflow(*overflow),
 		StragglerTimeout: *straggler,
+		BatchCoalesce:    *coalesce,
 	})
 	if err != nil {
 		fatal(err)
@@ -94,8 +96,8 @@ func main() {
 		fatal(err)
 	}
 	defer lis.Close()
-	fmt.Printf("stsl-server: listening on %s for %d end-system(s), cut=%d policy=%s cap=%d overflow=%s\n",
-		lis.Addr(), *clients, *cut, *policy, *queueCap, *overflow)
+	fmt.Printf("stsl-server: listening on %s for %d end-system(s), cut=%d policy=%s cap=%d overflow=%s coalesce=%d\n",
+		lis.Addr(), *clients, *cut, *policy, *queueCap, *overflow, *coalesce)
 	go srv.ServeListener(lis)
 
 	// The ticker stops when training ends, not at process exit, so late

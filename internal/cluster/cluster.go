@@ -12,7 +12,10 @@
 // scheduling queue (queue.Safe wrapping any queue.Policy) and drains it
 // with one worker goroutine that owns all model state, so the paper's
 // parameter-scheduling discipline absorbs actual wall-clock arrival
-// skew.
+// skew. With Config.BatchCoalesce the worker drains up to B queued
+// activations per pick and runs them as one stacked forward/backward
+// pass, scattering per-client gradient slices back to their sessions —
+// the throughput lever for serving many concurrent end-systems.
 //
 // The pieces:
 //
@@ -63,6 +66,16 @@ type Config struct {
 	// this long (0 = never). Dropped clients are deactivated in gated
 	// queue policies so they cannot stall a synchronous round.
 	StragglerTimeout time.Duration
+	// BatchCoalesce caps how many queued activations the worker drains
+	// per PopBatch and stacks into one coalesced forward/backward pass
+	// (0 or 1 = serve one at a time). Coalescing amortises the model's
+	// conv/matmul hot path across concurrently arriving clients — the
+	// server's throughput lever under heavy traffic. One coalesced pass
+	// is one optimiser step over the combined batch; the virtual-time
+	// simulation applies the same semantics, so live and simulated
+	// training stay loss-equivalent at equal settings. With sync-rounds
+	// the gated round is atomic and may exceed this cap.
+	BatchCoalesce int
 	// Now supplies protocol timestamps. nil uses a monotonic wall clock
 	// started at Server.Start; the in-process runner injects one shared
 	// clock across server and clients so staleness ordering is

@@ -31,7 +31,10 @@ type RunnerConfig struct {
 	StepsPerClient int
 	// Transport selects the carrier (default pair).
 	Transport Transport
-	// Cluster holds the server-side knobs (cap, overflow, straggler).
+	// Cluster holds the server-side knobs (cap, overflow, straggler,
+	// coalescing). Cluster.BatchCoalesce == 0 inherits the deployment's
+	// core.Config.BatchCoalesce so one config drives both runtimes; set
+	// it to 1 to force serial service regardless of the deployment.
 	Cluster Config
 	// GradTimeout bounds each client's wait for a gradient (default 30s
 	// — a liveness backstop, not a tuning knob).
@@ -82,6 +85,11 @@ func Run(ctx context.Context, dep *core.Deployment, cfg RunnerConfig) (*RunnerRe
 	serverCfg := cfg.Cluster
 	if serverCfg.Now == nil {
 		serverCfg.Now = now
+	}
+	if serverCfg.BatchCoalesce == 0 {
+		// The deployment-level knob is the default, so a config that
+		// drives the simulation coalesces identically on the live path.
+		serverCfg.BatchCoalesce = dep.Config.BatchCoalesce
 	}
 
 	srv, err := NewServer(dep.Server, serverCfg)

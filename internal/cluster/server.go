@@ -139,14 +139,21 @@ func (s *Server) Start(ctx context.Context) error {
 	return nil
 }
 
-// worker is the single goroutine that owns the shared model: it pops per
-// the scheduling policy, runs forward/backward/step, and sends the
-// gradient reply to the originating session.
+// worker is the single goroutine that owns the shared model: it drains
+// the queue per the scheduling policy — up to BatchCoalesce items per
+// PopBatch — runs one stacked forward/backward/step over the coalesced
+// batch, and scatters each client's gradient slice back to its session.
+// A batch that fails falls back to serving its items one at a time, so
+// only the offending client is evicted, never its batchmates.
 func (s *Server) worker() {
 	defer s.wg.Done()
+	batchMax := s.cfg.BatchCoalesce
+	if batchMax < 1 {
+		batchMax = 1
+	}
 	for {
-		it, ok := s.q.Pop(s.now())
-		if !ok {
+		items := s.q.PopBatch(s.now(), batchMax)
+		if len(items) == 0 {
 			select {
 			case <-s.q.Pushed():
 				continue
@@ -154,46 +161,70 @@ func (s *Server) worker() {
 				return
 			}
 		}
-		now := s.now()
-		reply, err := s.process(it, now)
-		s.mu.Lock()
-		sess := s.sessions[it.ClientID()]
-		s.mu.Unlock()
-		if sess != nil {
-			sess.pending.Add(-1) // the item left the queue either way
-			// The straggler clock measures the *client's* silence. An
-			// item can sit in a congested queue longer than the timeout;
-			// restart the window at serve time or a healthy lock-step
-			// client would look idle the instant its wait ended.
-			sess.lastActive.Store(int64(s.now()))
-		}
-		if err != nil {
-			// A malformed contribution (wrong cut point, corrupt batch)
-			// must not take the whole cluster down: evict the offending
-			// client and keep serving the others.
-			s.evict(it.ClientID(), err)
-			continue
-		}
-		s.mu.Lock()
-		s.steps++
-		s.lastLoss = s.core.Losses.Last()
-		if sess != nil {
-			sess.served++
-			sess.lastStaleness = it.Staleness(now)
-		}
-		s.mu.Unlock()
-		if sess == nil {
-			continue // client left before its item was served
-		}
-		if err := sess.conn.Send(reply); err != nil {
-			// The client died between enqueue and reply; record it on
-			// the session and keep serving the others.
-			s.mu.Lock()
-			if sess.err == nil && !sess.done {
-				sess.err = fmt.Errorf("cluster: send gradient to client %d: %w", sess.id, err)
+		if len(items) > 1 {
+			now := s.now()
+			replies, err := s.processBatch(items, now)
+			if err == nil {
+				for i, it := range items {
+					s.deliver(it, replies[i], now, nil)
+				}
+				continue
 			}
-			s.mu.Unlock()
+			// The coalesced pass failed during pre-flight, before any
+			// model state mutated (ProcessBatch guarantees it — no
+			// optimiser step, no BatchNorm statistics update), so
+			// retrying item by item cannot double-apply anything — and
+			// it pins the failure on the malformed contribution
+			// instead of the batch.
 		}
+		for _, it := range items {
+			now := s.now()
+			reply, err := s.process(it, now)
+			s.deliver(it, reply, now, err)
+		}
+	}
+}
+
+// deliver finishes one served item: per-session bookkeeping, eviction on
+// a processing error, and the gradient send.
+func (s *Server) deliver(it queue.Item, reply *transport.Message, now time.Duration, procErr error) {
+	s.mu.Lock()
+	sess := s.sessions[it.ClientID()]
+	s.mu.Unlock()
+	if sess != nil {
+		sess.pending.Add(-1) // the item left the queue either way
+		// The straggler clock measures the *client's* silence. An
+		// item can sit in a congested queue longer than the timeout;
+		// restart the window at serve time or a healthy lock-step
+		// client would look idle the instant its wait ended.
+		sess.lastActive.Store(int64(s.now()))
+	}
+	if procErr != nil {
+		// A malformed contribution (wrong cut point, corrupt batch)
+		// must not take the whole cluster down: evict the offending
+		// client and keep serving the others.
+		s.evict(it.ClientID(), procErr)
+		return
+	}
+	s.mu.Lock()
+	s.steps++
+	s.lastLoss = s.core.Losses.Last()
+	if sess != nil {
+		sess.served++
+		sess.lastStaleness = it.Staleness(now)
+	}
+	s.mu.Unlock()
+	if sess == nil {
+		return // client left before its item was served
+	}
+	if err := sess.conn.Send(reply); err != nil {
+		// The client died between enqueue and reply; record it on
+		// the session and keep serving the others.
+		s.mu.Lock()
+		if sess.err == nil && !sess.done {
+			sess.err = fmt.Errorf("cluster: send gradient to client %d: %w", sess.id, err)
+		}
+		s.mu.Unlock()
 	}
 }
 
@@ -209,6 +240,19 @@ func (s *Server) process(it queue.Item, now time.Duration) (reply *transport.Mes
 		}
 	}()
 	return s.core.Process(it, now)
+}
+
+// processBatch runs one coalesced pass over already-popped items,
+// converting panics into an error. A batch failure is not attributable
+// to a single client — the worker retries the items individually to
+// find the offender.
+func (s *Server) processBatch(items []queue.Item, now time.Duration) (replies []*transport.Message, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("cluster: processing coalesced batch of %d: %v", len(items), r)
+		}
+	}()
+	return s.core.ProcessBatch(items, now)
 }
 
 // evict terminates one client's session after a processing failure,

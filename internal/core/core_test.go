@@ -1,6 +1,7 @@
 package core
 
 import (
+	"strings"
 	"testing"
 	"time"
 
@@ -8,7 +9,9 @@ import (
 	"github.com/stsl/stsl/internal/mathx"
 	"github.com/stsl/stsl/internal/nn"
 	"github.com/stsl/stsl/internal/opt"
+	"github.com/stsl/stsl/internal/queue"
 	"github.com/stsl/stsl/internal/simnet"
+	"github.com/stsl/stsl/internal/tensor"
 	"github.com/stsl/stsl/internal/transport"
 )
 
@@ -181,6 +184,114 @@ func TestServerProcessing(t *testing.T) {
 	if err := srv.Enqueue(reply, 0); err == nil {
 		t.Fatal("gradient enqueued as activation")
 	}
+}
+
+// TestServerProcessBatch covers the coalesced pass: a compatible batch
+// yields one reply per item with per-client gradient slices, and every
+// failure path — incompatible stacking, geometry the stack rejects,
+// out-of-range labels — is caught in pre-flight, before the model
+// mutates at all (checked through BatchNorm running statistics, which a
+// training forward would update).
+func TestServerProcessBatch(t *testing.T) {
+	cfg := smallModel()
+	cfg.BatchNorm = true // running stats make hidden state mutation observable
+	r := mathx.NewRNG(11)
+	m, err := nn.BuildPaperCNN(cfg, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lower, upper, err := Split(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := opt.NewSGD(opt.Config{LR: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(upper, o, newTestPolicy(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	makeItem := func(client, n int, seed uint64) queue.Item {
+		act := lower.Forward(smallData(t, n, seed).X, false)
+		labels := make([]int, n)
+		for i := range labels {
+			labels[i] = i % 4
+		}
+		return queue.Item{Msg: &transport.Message{
+			Type: transport.MsgActivation, ClientID: client, Seq: client,
+			Payload: act, Labels: labels,
+		}}
+	}
+
+	// Success: two items, one stacked pass, per-item replies.
+	items := []queue.Item{makeItem(0, 2, 21), makeItem(1, 3, 22)}
+	replies, err := srv.ProcessBatch(items, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replies) != 2 {
+		t.Fatalf("%d replies for 2 items", len(replies))
+	}
+	for i, reply := range replies {
+		if reply.ClientID != i || !reply.Payload.SameShape(items[i].Msg.Payload) {
+			t.Fatalf("reply %d: client %d, gradient shape %v for activation %v",
+				i, reply.ClientID, reply.Payload.Shape(), items[i].Msg.Payload.Shape())
+		}
+	}
+	if srv.Steps() != 2 {
+		t.Fatalf("Steps = %d after a coalesced pass over 2 items", srv.Steps())
+	}
+
+	// Every failure must leave the model bitwise-untouched — inference
+	// forwards read the BatchNorm running statistics, so identical probe
+	// outputs prove no training forward ran.
+	probe := items[0].Msg.Payload
+	before := srv.Stack.Forward(probe, false)
+	stepsBefore := srv.Steps()
+	bad := []struct {
+		name, wantErr string
+		items         []queue.Item
+	}{
+		{"incompatible-stack", "incompatible", []queue.Item{
+			makeItem(0, 2, 23),
+			{Msg: &transport.Message{Type: transport.MsgActivation, ClientID: 1,
+				Payload: tensor.New(2, 7), Labels: []int{0, 1}}},
+		}},
+		{"wrong-geometry", "does not fit", []queue.Item{
+			{Msg: &transport.Message{Type: transport.MsgActivation, ClientID: 0,
+				Payload: tensor.New(2, 9, 4, 4), Labels: []int{0, 1}}},
+			{Msg: &transport.Message{Type: transport.MsgActivation, ClientID: 1,
+				Payload: tensor.New(2, 9, 4, 4), Labels: []int{0, 1}}},
+		}},
+		{"label-out-of-range", "out of range", func() []queue.Item {
+			poisoned := makeItem(1, 2, 24)
+			poisoned.Msg.Labels[1] = 99
+			return []queue.Item{makeItem(0, 2, 25), poisoned}
+		}()},
+	}
+	for _, tc := range bad {
+		_, err := srv.ProcessBatch(tc.items, 0)
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Fatalf("%s: err = %v, want mention of %q", tc.name, err, tc.wantErr)
+		}
+	}
+	after := srv.Stack.Forward(probe, false)
+	if !after.Equal(before, 0) {
+		t.Fatal("failed coalesced batches mutated model state (BatchNorm statistics)")
+	}
+	if srv.Steps() != stepsBefore {
+		t.Fatalf("failed batches advanced Steps from %d to %d", stepsBefore, srv.Steps())
+	}
+}
+
+func newTestPolicy(t *testing.T) queue.Policy {
+	t.Helper()
+	pol, err := newQueuePolicy("fifo", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pol
 }
 
 // TestSplitEquivalentToMonolithic is invariant #1 from DESIGN.md: one

@@ -39,6 +39,15 @@ type Config struct {
 	// linear quantization (0 = raw float64). Gradients flow back through
 	// the dequantized values (straight-through estimator).
 	QuantizeBits int
+	// BatchCoalesce caps how many compatible queued activations the
+	// server stacks into one coalesced forward/backward pass (0 or 1 =
+	// serve one at a time). Coalescing amortises the conv/matmul hot
+	// path across clients; one coalesced pass is one optimiser step over
+	// the combined batch. Both runtimes honour it: the virtual-time
+	// simulation directly, the live cluster runtime as the default for
+	// cluster.Config.BatchCoalesce. With sync-rounds the gated round is
+	// atomic and may exceed this cap.
+	BatchCoalesce int
 }
 
 func (c Config) withDefaults() Config {

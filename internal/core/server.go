@@ -8,6 +8,7 @@ import (
 	"github.com/stsl/stsl/internal/nn"
 	"github.com/stsl/stsl/internal/opt"
 	"github.com/stsl/stsl/internal/queue"
+	"github.com/stsl/stsl/internal/tensor"
 	"github.com/stsl/stsl/internal/transport"
 )
 
@@ -107,4 +108,131 @@ func (s *Server) Process(it queue.Item, now time.Duration) (*transport.Message, 
 		SentAt:   now,
 		Payload:  dact,
 	}, nil
+}
+
+// ProcessNextBatch is the coalescing counterpart of ProcessNext: it
+// drains up to max items per the scheduling policy in one PopBatch,
+// runs them through a single stacked pass, and returns one gradient
+// reply per item in pop order. ok is false when the policy yields
+// nothing. max <= 1 degenerates to ProcessNext's semantics.
+func (s *Server) ProcessNextBatch(now time.Duration, max int) (replies []*transport.Message, ok bool, err error) {
+	items := s.Queue.PopBatch(now, max)
+	if len(items) == 0 {
+		return nil, false, nil
+	}
+	replies, err = s.ProcessBatch(items, now)
+	if err != nil {
+		return nil, false, err
+	}
+	return replies, true, nil
+}
+
+// ProcessBatch runs already-dequeued items through one coalesced
+// forward/backward pass: per-client activation batches are stacked
+// along the batch axis, the shared stack runs once over the combined
+// batch, the optimiser takes a single step, and the input gradient is
+// scattered back into per-item slices. The loss is averaged over the
+// combined batch, so one coalesced pass is one SGD step over B
+// micro-batches — a deliberate semantic of coalescing, identical in
+// the live and virtual-time runtimes.
+//
+// Failure paths are pre-flighted before the forward pass: stacking
+// compatibility, the combined shape against the stack's shape
+// inference, and label ranges are all checked first, so a failing
+// coalesced batch returns before the model mutates at all — no
+// optimiser step, and no BatchNorm running-statistics update either.
+// A caller that owns fault attribution (the live cluster worker) can
+// therefore retry the items one at a time without double-applying
+// updates or double-counting normalisation statistics.
+func (s *Server) ProcessBatch(items []queue.Item, now time.Duration) ([]*transport.Message, error) {
+	switch len(items) {
+	case 0:
+		return nil, nil
+	case 1:
+		reply, err := s.Process(items[0], now)
+		if err != nil {
+			return nil, err
+		}
+		return []*transport.Message{reply}, nil
+	}
+
+	acts := make([]*tensor.Tensor, len(items))
+	rows := make([]int, len(items))
+	var labels []int
+	for i, it := range items {
+		act := it.Msg.Payload
+		if act == nil || act.Dims() == 0 {
+			return nil, fmt.Errorf("core: batch item %d (client %d seq %d) has no activation payload",
+				i, it.Msg.ClientID, it.Msg.Seq)
+		}
+		if i > 0 && !tensor.SameTrailing(acts[0], act) {
+			return nil, fmt.Errorf("core: batch item %d (client %d seq %d) activation shape %v incompatible with %v",
+				i, it.Msg.ClientID, it.Msg.Seq, act.Shape(), acts[0].Shape())
+		}
+		if len(it.Msg.Labels) != act.Dim(0) {
+			return nil, fmt.Errorf("core: batch item %d (client %d seq %d) has %d labels for %d rows",
+				i, it.Msg.ClientID, it.Msg.Seq, len(it.Msg.Labels), act.Dim(0))
+		}
+		acts[i] = act
+		rows[i] = act.Dim(0)
+		labels = append(labels, it.Msg.Labels...)
+	}
+
+	// Thread the per-sample shape through the stack's shape inference
+	// and range-check every label before running anything:
+	// Forward(train) mutates BatchNorm running statistics, so a batch
+	// that would fail later (bad geometry, out-of-range label) must be
+	// rejected while the model is still untouched — that is what makes
+	// the serial retry safe.
+	logitShape, err := s.Stack.OutShape(acts[0].Shape()[1:])
+	if err != nil {
+		return nil, fmt.Errorf("core: coalesced batch of %d does not fit the server stack: %w", len(items), err)
+	}
+	if len(logitShape) != 1 {
+		// The loss needs (N,classes) logits; a stack that cannot produce
+		// them would fail only after the training forward had mutated
+		// state, so reject it here where retrying stays safe.
+		return nil, fmt.Errorf("core: server stack emits per-sample shape %v, want (classes)", logitShape)
+	}
+	classes := logitShape[0]
+	for i, it := range items {
+		for _, y := range it.Msg.Labels {
+			if y < 0 || y >= classes {
+				return nil, fmt.Errorf("core: batch item %d (client %d seq %d) label %d out of range [0,%d)",
+					i, it.Msg.ClientID, it.Msg.Seq, y, classes)
+			}
+		}
+	}
+
+	stacked := tensor.ConcatRows(acts...)
+	s.Stack.ZeroGrad()
+	logits := s.Stack.Forward(stacked, true)
+	loss, dlogits, err := nn.SoftmaxCrossEntropy(logits, labels)
+	if err != nil {
+		return nil, fmt.Errorf("core: server loss for coalesced batch of %d: %w", len(items), err)
+	}
+	dact := s.Stack.Backward(dlogits)
+	s.Optim.Step(s.Stack.Params())
+	// The batch-mean loss applies to every stacked micro-batch: observe
+	// it once per item so the loss curve's step axis stays "client
+	// batches served" at any coalescing setting.
+	for range items {
+		s.Losses.Observe(loss)
+	}
+	s.steps += len(items)
+
+	grads := tensor.SplitRows(dact, rows...)
+	replies := make([]*transport.Message, len(items))
+	for i, it := range items {
+		s.QueueMetrics.ObserveServe(it, now)
+		replies[i] = &transport.Message{
+			Type:     transport.MsgGradient,
+			ClientID: it.Msg.ClientID,
+			Seq:      it.Msg.Seq,
+			Epoch:    it.Msg.Epoch,
+			SentAt:   now,
+			Payload:  grads[i],
+		}
+	}
+	return replies, nil
 }

@@ -105,6 +105,10 @@ type event struct {
 	seq  int // insertion order, breaks ties deterministically
 	kind eventKind
 	msg  *transport.Message
+	// batch carries every gradient reply of a coalesced server pass for
+	// evServerDone events; msg doubles as its first entry so tracing and
+	// tie-breaking stay uniform. nil for single-reply and client events.
+	batch []*transport.Message
 }
 
 type eventHeap []event
@@ -161,6 +165,22 @@ func NewSimulation(dep *Deployment, cfg SimConfig) (*Simulation, error) {
 func (s *Simulation) schedule(at time.Duration, kind eventKind, msg *transport.Message) {
 	s.eventSeq++
 	heap.Push(&s.events, event{at: at, seq: s.eventSeq, kind: kind, msg: msg})
+}
+
+// scheduleBatch schedules one server-done event carrying every reply of
+// a coalesced pass.
+func (s *Simulation) scheduleBatch(at time.Duration, replies []*transport.Message) {
+	s.eventSeq++
+	heap.Push(&s.events, event{at: at, seq: s.eventSeq, kind: evServerDone, msg: replies[0], batch: replies})
+}
+
+// batchCoalesce returns the deployment's coalescing cap, clamped to a
+// minimum of one item per pass.
+func (s *Simulation) batchCoalesce() int {
+	if b := s.dep.Config.BatchCoalesce; b > 1 {
+		return b
+	}
+	return 1
 }
 
 // payloadBytes estimates a message's wire size for bandwidth delay,
@@ -231,12 +251,14 @@ func (s *Simulation) markDone(i int) {
 }
 
 // tryServe pops and processes queue items while the server is free and
-// the policy yields work.
+// the policy yields work. With BatchCoalesce > 1 a single pass consumes
+// up to that many queued activations, mirroring the live cluster
+// worker's micro-batch coalescing in virtual time.
 func (s *Simulation) tryServe(now time.Duration) error {
 	if s.serverBusy {
 		return nil
 	}
-	reply, ok, err := s.dep.Server.ProcessNext(now)
+	replies, ok, err := s.dep.Server.ProcessNextBatch(now, s.batchCoalesce())
 	if err != nil {
 		return err
 	}
@@ -244,7 +266,7 @@ func (s *Simulation) tryServe(now time.Duration) error {
 		return nil
 	}
 	s.serverBusy = true
-	s.schedule(now+s.cfg.ServerProcTime, evServerDone, reply)
+	s.scheduleBatch(now+s.cfg.ServerProcTime, replies)
 	return nil
 }
 
@@ -293,12 +315,20 @@ func (s *Simulation) Run() (*SimResult, error) {
 			}
 		case evServerDone:
 			s.serverBusy = false
-			cid := ev.msg.ClientID
-			delay, err := s.linkDelay(s.cfg.Paths[cid].Down, payloadBytes(ev.msg))
-			if err != nil {
-				return nil, err
+			replies := ev.batch
+			if replies == nil {
+				replies = []*transport.Message{ev.msg}
 			}
-			s.schedule(now+delay, evGradientArrive, ev.msg)
+			// Every reply of a coalesced pass departs when the pass ends;
+			// each rides its own client's downlink.
+			for _, reply := range replies {
+				cid := reply.ClientID
+				delay, err := s.linkDelay(s.cfg.Paths[cid].Down, payloadBytes(reply))
+				if err != nil {
+					return nil, err
+				}
+				s.schedule(now+delay, evGradientArrive, reply)
+			}
 			if err := s.tryServe(now); err != nil {
 				return nil, err
 			}

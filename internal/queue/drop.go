@@ -45,6 +45,10 @@ func (q *StalenessDrop) Pop(now time.Duration) (Item, bool) {
 	}
 }
 
+// PopBatch implements Policy: up to max fresh items, expired ones
+// discarded along the way exactly as repeated Pops would.
+func (q *StalenessDrop) PopBatch(now time.Duration, max int) []Item { return popN(q, now, max) }
+
 // Len implements Policy.
 func (q *StalenessDrop) Len() int { return q.inner.Len() }
 

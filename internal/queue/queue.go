@@ -41,8 +41,32 @@ type Policy interface {
 	// Pop dequeues the next item per the discipline, reporting false on
 	// an empty queue.
 	Pop(now time.Duration) (Item, bool)
+	// PopBatch dequeues up to max items — the same picks max consecutive
+	// Pops would make — returning an empty slice when the discipline
+	// yields nothing. max <= 1 disables coalescing and is exactly one
+	// Pop for every policy. A gated policy may redraw a larger batch's
+	// boundary: SyncRounds treats a synchronous round as atomic and,
+	// when max > 1, returns the whole round even when it exceeds max.
+	PopBatch(now time.Duration, max int) []Item
 	// Len returns the number of queued items.
 	Len() int
+}
+
+// popN drains up to max items from p via repeated Pop — the default
+// PopBatch for any discipline whose batch is just its next max picks.
+func popN(p Policy, now time.Duration, max int) []Item {
+	if max <= 0 {
+		max = 1
+	}
+	var out []Item
+	for len(out) < max {
+		it, ok := p.Pop(now)
+		if !ok {
+			break
+		}
+		out = append(out, it)
+	}
+	return out
 }
 
 // FIFO serves items strictly in arrival order. Pop is amortised O(1): a
@@ -82,6 +106,9 @@ func (q *FIFO) Pop(time.Duration) (Item, bool) {
 	return it, true
 }
 
+// PopBatch implements Policy: the next max items in arrival order.
+func (q *FIFO) PopBatch(now time.Duration, max int) []Item { return popN(q, now, max) }
+
 // Len implements Policy.
 func (q *FIFO) Len() int { return len(q.items) - q.head }
 
@@ -112,6 +139,9 @@ func (q *StalenessPriority) Pop(time.Duration) (Item, bool) {
 	}
 	return it, true
 }
+
+// PopBatch implements Policy: the max oldest items by SentAt.
+func (q *StalenessPriority) PopBatch(now time.Duration, max int) []Item { return popN(q, now, max) }
 
 // Len implements Policy.
 func (q *StalenessPriority) Len() int { return q.h.Len() }
@@ -181,6 +211,10 @@ func (q *FairRoundRobin) Pop(now time.Duration) (Item, bool) {
 	}
 	return Item{}, false
 }
+
+// PopBatch implements Policy: the next max picks of the rotation, so a
+// batch spreads across clients exactly as consecutive pops would.
+func (q *FairRoundRobin) PopBatch(now time.Duration, max int) []Item { return popN(q, now, max) }
 
 // Len implements Policy.
 func (q *FairRoundRobin) Len() int {

@@ -151,6 +151,128 @@ func TestPoliciesConserveItems(t *testing.T) {
 	}
 }
 
+func TestPopBatchMatchesConsecutivePops(t *testing.T) {
+	// Property: for ungated policies, PopBatch(now, k) returns exactly
+	// the items k consecutive Pops would, in the same order.
+	build := func(name string) Policy {
+		q, err := NewPolicy(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return q
+	}
+	for _, name := range []string{"fifo", "staleness", "fair-rr"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			ref, batched := build(name), build(name)
+			for i := 0; i < 17; i++ {
+				it := item(i%3, i, time.Duration(1000-i), time.Duration(i))
+				ref.Push(it)
+				batched.Push(it)
+			}
+			for batched.Len() > 0 {
+				batch := batched.PopBatch(0, 4)
+				if len(batch) == 0 {
+					t.Fatal("PopBatch empty with items queued")
+				}
+				for _, got := range batch {
+					want, ok := ref.Pop(0)
+					if !ok || want.Msg.Seq != got.Msg.Seq {
+						t.Fatalf("batch pick seq %d, consecutive pop seq %d (ok=%v)",
+							got.Msg.Seq, want.Msg.Seq, ok)
+					}
+				}
+			}
+			if len(batched.PopBatch(0, 4)) != 0 {
+				t.Fatal("PopBatch from empty queue returned items")
+			}
+		})
+	}
+}
+
+func TestPopBatchMaxClamp(t *testing.T) {
+	q := NewFIFO()
+	for i := 0; i < 3; i++ {
+		q.Push(item(0, i, 0, 0))
+	}
+	if got := len(q.PopBatch(0, 0)); got != 1 {
+		t.Fatalf("max<=0 popped %d items, want 1", got)
+	}
+	if got := len(q.PopBatch(0, 10)); got != 2 {
+		t.Fatalf("oversized max popped %d items, want the 2 remaining", got)
+	}
+}
+
+func TestSyncRoundsPopBatchAtomicRound(t *testing.T) {
+	q := NewSyncRounds([]int{0, 1, 2})
+	q.Push(item(0, 1, 0, 0))
+	q.Push(item(1, 2, 0, 0))
+	if batch := q.PopBatch(0, 8); len(batch) != 0 {
+		t.Fatalf("gate held but PopBatch returned %d items", len(batch))
+	}
+	q.Push(item(2, 3, 0, 0))
+	q.Push(item(0, 4, 0, 0))  // second item for client 0 — next round's
+	batch := q.PopBatch(0, 2) // max below the round size: round is atomic
+	if len(batch) != 3 {
+		t.Fatalf("open gate returned %d items, want the whole round of 3", len(batch))
+	}
+	seen := map[int]int{}
+	for _, it := range batch {
+		seen[it.ClientID()]++
+	}
+	for id := 0; id < 3; id++ {
+		if seen[id] != 1 {
+			t.Fatalf("round served client %d %d times, want exactly once (%v)", id, seen[id], seen)
+		}
+	}
+	// Client 0's second item alone cannot open the next round.
+	if batch := q.PopBatch(0, 8); len(batch) != 0 {
+		t.Fatalf("partial next round returned %d items", len(batch))
+	}
+}
+
+func TestSyncRoundsPopBatchSerialWhenCoalescingOff(t *testing.T) {
+	// max <= 1 must behave exactly like Pop: one item per call, so a
+	// deployment without coalescing keeps the serial discipline's
+	// one-optimiser-step-per-item semantics.
+	q := NewSyncRounds([]int{0, 1})
+	q.Push(item(0, 1, 0, 0))
+	if batch := q.PopBatch(0, 1); len(batch) != 0 {
+		t.Fatalf("gate held but serial PopBatch returned %d items", len(batch))
+	}
+	q.Push(item(1, 2, 0, 0))
+	if batch := q.PopBatch(0, 1); len(batch) != 1 {
+		t.Fatalf("serial PopBatch returned %d items, want exactly 1", len(batch))
+	}
+	if batch := q.PopBatch(0, 1); len(batch) != 0 {
+		t.Fatalf("second serial PopBatch returned %d items with the gate closed", len(batch))
+	}
+}
+
+func TestSyncRoundsPopBatchDrainsAfterDeactivation(t *testing.T) {
+	q := NewSyncRounds([]int{0, 1})
+	q.Push(item(0, 1, 0, 0))
+	q.Push(item(0, 2, 0, 0))
+	q.Deactivate(0)
+	q.Deactivate(1)
+	if got := len(q.PopBatch(0, 8)); got != 2 {
+		t.Fatalf("drain mode popped %d items, want 2", got)
+	}
+}
+
+func TestStalenessDropPopBatchDiscardsExpired(t *testing.T) {
+	q := NewStalenessDrop(NewFIFO(), 10*time.Millisecond)
+	q.Push(item(0, 1, 0, 0))                    // stale at now=1s
+	q.Push(item(0, 2, 999*time.Millisecond, 0)) // fresh
+	batch := q.PopBatch(time.Second, 4)
+	if len(batch) != 1 || batch[0].Msg.Seq != 2 {
+		t.Fatalf("batch %v, want only the fresh item", batch)
+	}
+	if q.Dropped() != 1 {
+		t.Fatalf("Dropped = %d, want 1", q.Dropped())
+	}
+}
+
 func TestNewPolicy(t *testing.T) {
 	for _, name := range []string{"fifo", "staleness", "fair-rr"} {
 		q, err := NewPolicy(name)

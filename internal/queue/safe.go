@@ -85,6 +85,20 @@ func (s *Safe) Pop(now time.Duration) (Item, bool) {
 	return it, ok
 }
 
+// PopBatch implements Policy: the inner policy's batch is drawn under
+// one critical section, so concurrent producers can never interleave
+// into the middle of a batch (a sync-rounds round stays atomic). One
+// headroom signal covers the whole batch — parked producers poll.
+func (s *Safe) PopBatch(now time.Duration, max int) []Item {
+	s.mu.Lock()
+	items := s.inner.PopBatch(now, max)
+	s.mu.Unlock()
+	if len(items) > 0 {
+		signal(s.popped)
+	}
+	return items
+}
+
 // Len implements Policy.
 func (s *Safe) Len() int {
 	s.mu.Lock()

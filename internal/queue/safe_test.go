@@ -89,6 +89,106 @@ func TestSafeConcurrentStress(t *testing.T) {
 	}
 }
 
+// TestSafePopBatchConcurrentStress is the batched-worker analogue of
+// TestSafeConcurrentStress, covering all four policies including the
+// gated sync-rounds: one consumer drains in batches of varying size
+// while producer goroutines push concurrently, and each producer
+// deactivates itself once exhausted — so deactivation races live pops
+// and pushes, exactly as a straggler eviction races the live worker.
+// Exactly-once: no pushed item is lost or served twice. Run with -race.
+func TestSafePopBatchConcurrentStress(t *testing.T) {
+	const (
+		producers    = 8
+		perProducer  = 400
+		totalItems   = producers * perProducer
+		consumerIdle = time.Microsecond
+	)
+	clientIDs := make([]int, producers)
+	for i := range clientIDs {
+		clientIDs[i] = i
+	}
+	builders := []struct {
+		name  string
+		build func() Policy
+	}{
+		{"fifo", func() Policy { return NewFIFO() }},
+		{"staleness", func() Policy { return NewStalenessPriority() }},
+		{"fair-rr", func() Policy { return NewFairRoundRobin() }},
+		{"sync-rounds", func() Policy { return NewSyncRounds(clientIDs) }},
+	}
+	for _, b := range builders {
+		b := b
+		t.Run(b.name, func(t *testing.T) {
+			q := NewSafe(b.build())
+
+			var wg sync.WaitGroup
+			for p := 0; p < producers; p++ {
+				p := p
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < perProducer; i++ {
+						q.Push(Item{
+							Msg: &transport.Message{
+								Type:     transport.MsgControl,
+								ClientID: p,
+								Seq:      i,
+								SentAt:   time.Duration(p*perProducer + i),
+							},
+							ArrivedAt: time.Duration(p*perProducer + i),
+						})
+					}
+					// Budget exhausted: leave the gate while the consumer
+					// is mid-drain (no-op for ungated policies).
+					q.Deactivate(p)
+				}()
+			}
+			producersDone := make(chan struct{})
+			go func() {
+				wg.Wait()
+				close(producersDone)
+			}()
+
+			seen := make(map[[2]int]int, totalItems)
+			popped := 0
+			drained := false
+			for popped < totalItems {
+				// Cycle the batch bound so single pops, partial batches
+				// and oversized requests all interleave with pushes.
+				batch := q.PopBatch(time.Duration(popped), 1+popped%5)
+				if len(batch) == 0 {
+					if drained {
+						t.Fatalf("queue empty after producers done: %d/%d items", popped, totalItems)
+					}
+					select {
+					case <-producersDone:
+						// One more full drain pass, then emptiness is loss.
+						if q.Len() == 0 {
+							drained = true
+						}
+					case <-time.After(consumerIdle):
+					}
+					continue
+				}
+				for _, it := range batch {
+					key := [2]int{it.ClientID(), it.Msg.Seq}
+					seen[key]++
+					if seen[key] > 1 {
+						t.Fatalf("item %v served %d times", key, seen[key])
+					}
+					popped++
+				}
+			}
+			if extra := q.PopBatch(0, 8); len(extra) != 0 {
+				t.Fatalf("phantom %d extra items after full drain", len(extra))
+			}
+			if len(seen) != totalItems {
+				t.Fatalf("served %d distinct items, want %d", len(seen), totalItems)
+			}
+		})
+	}
+}
+
 // TestSafeTryPushCap checks the cap is enforced atomically under
 // concurrent producers: the queue never exceeds the cap.
 func TestSafeTryPushCap(t *testing.T) {

@@ -54,6 +54,47 @@ func (q *SyncRounds) Pop(now time.Duration) (Item, bool) {
 	return q.inner.Pop(now)
 }
 
+// PopBatch implements Policy. With max <= 1 coalescing is disabled and
+// the pick is exactly Pop's — one item, one server pass, as the serial
+// discipline always behaved. With coalescing on, a synchronous round is
+// atomic: when the gate is open it returns one item from every client
+// with queued work (every active client by the gate condition, plus any
+// deactivated stragglers' leftovers) even when the round exceeds max —
+// coalescing a partial round would reintroduce exactly the fast-client
+// bias the discipline exists to prevent. Once no clients remain active
+// it drains up to max like an ungated policy.
+func (q *SyncRounds) PopBatch(now time.Duration, max int) []Item {
+	if max <= 1 {
+		if it, ok := q.Pop(now); ok {
+			return []Item{it}
+		}
+		return nil
+	}
+	if len(q.active) == 0 {
+		return popN(q.inner, now, max)
+	}
+	if !q.gateOpen() {
+		return nil
+	}
+	n := 0
+	for _, b := range q.inner.perClient {
+		if b.Len() > 0 {
+			n++
+		}
+	}
+	out := make([]Item, 0, n)
+	for i := 0; i < n; i++ {
+		// n consecutive round-robin pops serve n distinct non-empty
+		// buckets: one item per queued client.
+		it, ok := q.inner.Pop(now)
+		if !ok {
+			break
+		}
+		out = append(out, it)
+	}
+	return out
+}
+
 // Len implements Policy.
 func (q *SyncRounds) Len() int { return q.inner.Len() }
 

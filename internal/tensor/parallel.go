@@ -14,13 +14,16 @@ const parallelThreshold = 1 << 18
 // operands. Each worker writes a disjoint row range, so the result is
 // bitwise identical to the serial kernel regardless of scheduling.
 func MatMulP(a, b *Tensor) *Tensor {
-	m, k := a.shape[0], a.shape[1]
-	n := b.shape[1]
-	if m*k*n < parallelThreshold {
+	if a.Dims() != 2 || b.Dims() != 2 {
+		// Validate before reading shape[1]: a rank-0/1 operand must reach
+		// the serial kernel's descriptive panic, not index out of range.
 		return MatMul(a, b)
 	}
-	if a.Dims() != 2 || b.Dims() != 2 || k != b.shape[0] {
-		// Delegate to the serial kernel's validation panics.
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[1]
+	if k != b.shape[0] || m*k*n < parallelThreshold {
+		// Delegate to the serial kernel: its validation panics for the
+		// mismatch, its tighter loop for the small case.
 		return MatMul(a, b)
 	}
 	out := New(m, n)
@@ -63,12 +66,13 @@ func MatMulP(a, b *Tensor) *Tensor {
 // Output rows are partitioned across workers; results are bitwise equal
 // to the serial kernel.
 func MatMulTransBP(a, b *Tensor) *Tensor {
-	m, k := a.shape[0], a.shape[1]
-	n := b.shape[0]
-	if m*k*n < parallelThreshold {
+	if a.Dims() != 2 || b.Dims() != 2 {
+		// Same validation-first ordering as MatMulP.
 		return MatMulTransB(a, b)
 	}
-	if a.Dims() != 2 || b.Dims() != 2 || k != b.shape[1] {
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[0]
+	if k != b.shape[1] || m*k*n < parallelThreshold {
 		return MatMulTransB(a, b)
 	}
 	out := New(m, n)

@@ -1,6 +1,7 @@
 package tensor
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 
@@ -41,6 +42,71 @@ func TestMatMulPSmallDelegates(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// panicMessage runs f and returns the textual panic it raised, or "" if
+// it returned normally.
+func panicMessage(f func()) (msg string) {
+	defer func() {
+		if r := recover(); r != nil {
+			msg = fmt.Sprint(r)
+		}
+	}()
+	f()
+	return ""
+}
+
+// TestMatMulPBadRankMatchesSerialPanic regresses the validation-order
+// bug: the parallel kernels read shape[1] before the rank guard, so a
+// rank-1 (or rank-3) operand large enough for the fast path panicked
+// with a raw index-out-of-range instead of the serial kernel's
+// descriptive shape panic. The panic text must now be identical to the
+// serial kernel's for every malformed-rank combination.
+func TestMatMulPBadRankMatchesSerialPanic(t *testing.T) {
+	r := mathx.NewRNG(4)
+	rank1 := Randn(r, 1, 600_000)      // would overflow shape[1] pre-fix
+	rank3 := Randn(r, 1, 80, 100, 100) // above threshold as a flat volume
+	rank2 := Randn(r, 1, 600, 600)     // valid partner above threshold
+	cases := []struct {
+		name string
+		a, b *Tensor
+	}{
+		{"rank1-a", rank1, rank2},
+		{"rank1-b", rank2, rank1},
+		{"rank3-a", rank3, rank2},
+		{"rank3-b", rank2, rank3},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			want := panicMessage(func() { MatMul(tc.a, tc.b) })
+			if want == "" {
+				t.Fatal("serial MatMul accepted malformed operands")
+			}
+			if got := panicMessage(func() { MatMulP(tc.a, tc.b) }); got != want {
+				t.Errorf("MatMulP panic %q, want serial kernel's %q", got, want)
+			}
+			wantTB := panicMessage(func() { MatMulTransB(tc.a, tc.b) })
+			if wantTB == "" {
+				t.Fatal("serial MatMulTransB accepted malformed operands")
+			}
+			if got := panicMessage(func() { MatMulTransBP(tc.a, tc.b) }); got != wantTB {
+				t.Errorf("MatMulTransBP panic %q, want serial kernel's %q", got, wantTB)
+			}
+		})
+	}
+}
+
+// TestMatMulPMismatchMatchesSerialPanic checks the inner-dimension
+// mismatch of two large rank-2 operands also reaches the serial panic.
+func TestMatMulPMismatchMatchesSerialPanic(t *testing.T) {
+	r := mathx.NewRNG(5)
+	a := Randn(r, 1, 600, 500)
+	b := Randn(r, 1, 400, 600)
+	want := panicMessage(func() { MatMul(a, b) })
+	if got := panicMessage(func() { MatMulP(a, b) }); got != want || want == "" {
+		t.Errorf("MatMulP mismatch panic %q, want %q", got, want)
 	}
 }
 

@@ -1,0 +1,117 @@
+package tensor
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ConcatRows concatenates tensors along axis 0: parts of shape
+// (n_i, d1, …, dk) become one tensor of shape (Σn_i, d1, …, dk). All
+// parts must share rank and trailing dimensions. It is the stacking half
+// of the server's micro-batch coalescing — per-client activation batches
+// become one batch-axis-stacked operand for a single forward pass.
+// Large concatenations copy the parts in parallel, one goroutine each,
+// reusing the threshold the parallel matmul kernels fan out at.
+func ConcatRows(parts ...*Tensor) *Tensor {
+	if len(parts) == 0 {
+		panic("tensor: ConcatRows needs at least one tensor")
+	}
+	first := parts[0]
+	if first.Dims() == 0 {
+		panic("tensor: ConcatRows needs rank >= 1 operands")
+	}
+	rows := 0
+	for i, p := range parts {
+		if !SameTrailing(first, p) {
+			panic(fmt.Sprintf("tensor: ConcatRows trailing-shape mismatch %v vs %v at part %d",
+				first.shape, p.shape, i))
+		}
+		rows += p.shape[0]
+	}
+	shape := append([]int(nil), first.shape...)
+	shape[0] = rows
+	out := New(shape...)
+	if len(out.data) < parallelThreshold || len(parts) == 1 {
+		off := 0
+		for _, p := range parts {
+			off += copy(out.data[off:], p.data)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	off := 0
+	for _, p := range parts {
+		wg.Add(1)
+		go func(dst []float64, src []float64) {
+			defer wg.Done()
+			copy(dst, src)
+		}(out.data[off:off+len(p.data)], p.data)
+		off += len(p.data)
+	}
+	wg.Wait()
+	return out
+}
+
+// SplitRows splits t along axis 0 into len(sizes) tensors where part i
+// has sizes[i] rows and t's trailing dimensions — the inverse of
+// ConcatRows, used to scatter a batched gradient back into per-client
+// slices. The sizes must be non-negative and sum to t.Dim(0). Large
+// splits copy the parts in parallel like ConcatRows.
+func SplitRows(t *Tensor, sizes ...int) []*Tensor {
+	if t.Dims() == 0 {
+		panic("tensor: SplitRows needs rank >= 1 input")
+	}
+	total := 0
+	for _, n := range sizes {
+		if n < 0 {
+			panic(fmt.Sprintf("tensor: SplitRows negative size in %v", sizes))
+		}
+		total += n
+	}
+	if total != t.shape[0] {
+		panic(fmt.Sprintf("tensor: SplitRows sizes %v sum to %d, want %d rows", sizes, total, t.shape[0]))
+	}
+	rowVol := 1
+	for _, d := range t.shape[1:] {
+		rowVol *= d
+	}
+	out := make([]*Tensor, len(sizes))
+	parallel := len(t.data) >= parallelThreshold && len(sizes) > 1
+	var wg sync.WaitGroup
+	off := 0
+	for i, n := range sizes {
+		shape := append([]int(nil), t.shape...)
+		shape[0] = n
+		part := New(shape...)
+		src := t.data[off : off+n*rowVol]
+		off += n * rowVol
+		out[i] = part
+		if parallel {
+			wg.Add(1)
+			go func(dst, src []float64) {
+				defer wg.Done()
+				copy(dst, src)
+			}(part.data, src)
+		} else {
+			copy(part.data, src)
+		}
+	}
+	wg.Wait()
+	return out
+}
+
+// SameTrailing reports whether a and b share rank and every dimension
+// except axis 0 — the batch-compatibility test ConcatRows enforces,
+// exported so callers can pre-validate and return an error instead of
+// hitting the panic.
+func SameTrailing(a, b *Tensor) bool {
+	if len(a.shape) != len(b.shape) || len(a.shape) == 0 {
+		return false
+	}
+	for i := 1; i < len(a.shape); i++ {
+		if a.shape[i] != b.shape[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,97 @@
+package tensor
+
+import (
+	"testing"
+
+	"github.com/stsl/stsl/internal/mathx"
+)
+
+func TestConcatSplitRowsRoundTrip(t *testing.T) {
+	r := mathx.NewRNG(1)
+	parts := []*Tensor{
+		Randn(r, 1, 3, 4, 5),
+		Randn(r, 1, 1, 4, 5),
+		Randn(r, 1, 6, 4, 5),
+	}
+	stacked := ConcatRows(parts...)
+	if got := stacked.Shape(); got[0] != 10 || got[1] != 4 || got[2] != 5 {
+		t.Fatalf("stacked shape %v, want [10 4 5]", got)
+	}
+	back := SplitRows(stacked, 3, 1, 6)
+	for i, p := range parts {
+		if !back[i].Equal(p, 0) {
+			t.Fatalf("part %d did not round-trip", i)
+		}
+	}
+}
+
+func TestConcatRowsSingle(t *testing.T) {
+	r := mathx.NewRNG(2)
+	p := Randn(r, 1, 4, 3)
+	out := ConcatRows(p)
+	if !out.Equal(p, 0) {
+		t.Fatal("single-part concat must copy the input")
+	}
+	// The copy must be isolated from the original.
+	out.Set(99, 0, 0)
+	if p.At(0, 0) == 99 {
+		t.Fatal("ConcatRows aliased its input")
+	}
+}
+
+// TestConcatSplitRowsParallelPath exercises the goroutine copy path
+// (total volume above the parallel threshold) and checks exactness.
+func TestConcatSplitRowsParallelPath(t *testing.T) {
+	r := mathx.NewRNG(3)
+	parts := []*Tensor{
+		Randn(r, 1, 150, 1024),
+		Randn(r, 1, 90, 1024),
+		Randn(r, 1, 120, 1024),
+	}
+	stacked := ConcatRows(parts...)
+	if stacked.Size() < parallelThreshold {
+		t.Fatalf("test volume %d below parallel threshold %d", stacked.Size(), parallelThreshold)
+	}
+	back := SplitRows(stacked, 150, 90, 120)
+	for i, p := range parts {
+		if !back[i].Equal(p, 0) {
+			t.Fatalf("part %d did not round-trip through the parallel path", i)
+		}
+	}
+}
+
+func TestSplitRowsZeroSizePart(t *testing.T) {
+	r := mathx.NewRNG(4)
+	x := Randn(r, 1, 5, 2)
+	parts := SplitRows(x, 2, 0, 3)
+	if parts[1].Dim(0) != 0 || parts[0].Dim(0) != 2 || parts[2].Dim(0) != 3 {
+		t.Fatalf("split sizes wrong: %v %v %v", parts[0].Shape(), parts[1].Shape(), parts[2].Shape())
+	}
+}
+
+func TestConcatRowsPanics(t *testing.T) {
+	r := mathx.NewRNG(5)
+	if msg := panicMessage(func() { ConcatRows() }); msg == "" {
+		t.Error("empty ConcatRows must panic")
+	}
+	a := Randn(r, 1, 2, 3)
+	b := Randn(r, 1, 2, 4)
+	if msg := panicMessage(func() { ConcatRows(a, b) }); msg == "" {
+		t.Error("trailing-shape mismatch must panic")
+	}
+	c := Randn(r, 1, 6)
+	if msg := panicMessage(func() { ConcatRows(a, c) }); msg == "" {
+		t.Error("rank mismatch must panic")
+	}
+}
+
+func TestSplitRowsPanics(t *testing.T) {
+	r := mathx.NewRNG(6)
+	x := Randn(r, 1, 4, 2)
+	if msg := panicMessage(func() { SplitRows(x, 3, 2) }); msg == "" {
+		t.Error("size-sum mismatch must panic")
+	}
+	if msg := panicMessage(func() { SplitRows(x, 5, -1) }); msg == "" {
+		t.Error("negative size must panic")
+	}
+}

@@ -27,6 +27,12 @@
 //	})
 //	fmt.Println(live.Snapshot) // throughput, queue depth, staleness
 //
+// Config.BatchCoalesce (and ClusterConfig.BatchCoalesce on the live
+// server) enables server-side micro-batch coalescing: up to that many
+// queued activations are stacked into one forward/backward pass and one
+// optimiser step, amortising the server's hot path across clients. Both
+// runtimes apply identical coalescing semantics.
+//
 // For separate OS processes, cmd/stsl-server and cmd/stsl-endsystem run
 // the cluster protocol over real TCP.
 //
@@ -185,7 +191,7 @@ var (
 // Live cluster runtime types (real concurrency, wire protocol).
 type (
 	// ClusterConfig holds the live server's knobs: queue cap, overflow
-	// policy (park/reject), straggler timeout.
+	// policy (park/reject), straggler timeout, micro-batch coalescing.
 	ClusterConfig = cluster.Config
 	// ClusterServer is the live centralized server.
 	ClusterServer = cluster.Server
