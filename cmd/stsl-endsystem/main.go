@@ -3,8 +3,10 @@
 // with a session handshake, holds the layers below the cut and its local
 // (synthetic) data shard, sends first-block activations, applies the
 // gradients that come back, resends on backpressure rejection, and bails
-// out if the server goes silent past the gradient timeout. Raw images
-// never leave the process.
+// out if the server goes silent past the gradient timeout. With -retry
+// it survives churn: a lost connection is redialled, the session resumed
+// by token (or re-joined after a server restart), and the in-flight
+// batch resent. Raw images never leave the process.
 //
 // See cmd/stsl-server for a full invocation example.
 package main
@@ -40,6 +42,8 @@ func main() {
 		batch   = flag.Int("batch", 0, "batch size (0 = scale default)")
 		lr      = flag.Float64("lr", 0.05, "learning rate")
 		timeout = flag.Duration("grad-timeout", time.Minute, "max wait for any gradient (0 = forever)")
+		retry   = flag.Int("retry", 0, "reconnect attempts after a lost connection (0 = fail immediately); reconnects resume the session and resend the in-flight batch")
+		retryBk = flag.Duration("retry-backoff", 250*time.Millisecond, "pause before each reconnect attempt")
 	)
 	flag.Parse()
 
@@ -91,14 +95,20 @@ func main() {
 	}
 	defer conn.Close()
 	fmt.Printf("stsl-endsystem %d: connected to %s, cut=%d, %d steps\n", *id, *addr, *cut, *steps)
-	res, err := cluster.RunClient(ctx, es, conn, cluster.ClientConfig{
+	clientCfg := cluster.ClientConfig{
 		Steps: *steps, GradTimeout: *timeout,
-	})
+	}
+	if *retry > 0 {
+		clientCfg.Dial = func() (transport.Conn, error) { return transport.Dial(*addr) }
+		clientCfg.MaxReconnects = *retry
+		clientCfg.ReconnectBackoff = *retryBk
+	}
+	res, err := cluster.RunClient(ctx, es, conn, clientCfg)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("stsl-endsystem %d: done — %d batches over %d local epochs (%d backpressure resends)\n",
-		*id, res.Steps, res.Epochs+1, res.Rejected)
+	fmt.Printf("stsl-endsystem %d: done — %d batches over %d local epochs (%d backpressure resends, %d reconnects)\n",
+		*id, res.Steps, res.Epochs+1, res.Rejected, res.Reconnects)
 }
 
 func fatal(err error) {

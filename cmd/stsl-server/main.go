@@ -7,11 +7,18 @@
 // of end-systems, trains until every client announces completion, then
 // writes the learned server weights.
 //
+// The server is churn-tolerant: a client whose link drops may reconnect
+// within -resume-grace and resume its session (same id, queued items,
+// reply cache) instead of being evicted. With -checkpoint-dir it also
+// checkpoints its own training state periodically and on shutdown, and
+// -resume restores it — so a restarted server carries on from the last
+// step while clients started with -retry re-handshake on their own.
+//
 // Usage (server plus two end-systems on one machine):
 //
-//	stsl-server   -addr :9000 -clients 2 -cut 1 &
-//	stsl-endsystem -addr 127.0.0.1:9000 -id 0 -cut 1 -steps 100 &
-//	stsl-endsystem -addr 127.0.0.1:9000 -id 1 -cut 1 -steps 100
+//	stsl-server   -addr :9000 -clients 2 -cut 1 -checkpoint-dir /tmp/stsl &
+//	stsl-endsystem -addr 127.0.0.1:9000 -id 0 -cut 1 -steps 100 -retry 10 &
+//	stsl-endsystem -addr 127.0.0.1:9000 -id 1 -cut 1 -steps 100 -retry 10
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -46,10 +54,17 @@ func main() {
 		overflow  = flag.String("overflow", "park", "behaviour at the cap: park|reject")
 		coalesce  = flag.Int("coalesce", 1, "micro-batch coalescing cap: stack up to this many queued activations per pass")
 		straggler = flag.Duration("straggler-timeout", 0, "drop silent clients after this long (0 = never)")
+		grace     = flag.Duration("resume-grace", 30*time.Second, "how long a disconnected client may reconnect and resume its session (0 = evict immediately)")
+		ckptDir   = flag.String("checkpoint-dir", "", "directory for periodic server checkpoints (empty = no checkpointing)")
+		ckptEvery = flag.Int("checkpoint-every", 50, "server steps between checkpoints (with -checkpoint-dir)")
+		resume    = flag.Bool("resume", false, "restore training state from -checkpoint-dir before serving (missing checkpoint = fresh start)")
 		snapEvery = flag.Duration("snapshot-every", 5*time.Second, "live metrics print interval (0 = off)")
 		weights   = flag.String("weights", "", "path to write learned server weights (optional)")
 	)
 	flag.Parse()
+	if *resume && *ckptDir == "" {
+		fatal(fmt.Errorf("-resume needs -checkpoint-dir"))
+	}
 
 	s, err := expt.ScaleByName(*scale)
 	if err != nil {
@@ -75,12 +90,33 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	srv, err := cluster.NewServer(coreSrv, cluster.Config{
+	clusterCfg := cluster.Config{
 		QueueCap:         *queueCap,
 		Overflow:         cluster.Overflow(*overflow),
 		StragglerTimeout: *straggler,
 		BatchCoalesce:    *coalesce,
-	})
+		ResumeGrace:      *grace,
+	}
+	if *ckptDir != "" {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			fatal(err)
+		}
+		ckptPath := filepath.Join(*ckptDir, "server.ckpt")
+		clusterCfg.Checkpoint = cluster.FileCheckpointer(ckptPath)
+		clusterCfg.CheckpointEvery = *ckptEvery
+		if *resume {
+			steps, restored, err := cluster.RestoreFromFile(ckptPath, coreSrv)
+			if err != nil {
+				fatal(err)
+			}
+			if restored {
+				fmt.Printf("stsl-server: resumed from %s at step %d\n", ckptPath, steps)
+			} else {
+				fmt.Printf("stsl-server: no checkpoint at %s — fresh start\n", ckptPath)
+			}
+		}
+	}
+	srv, err := cluster.NewServer(coreSrv, clusterCfg)
 	if err != nil {
 		fatal(err)
 	}

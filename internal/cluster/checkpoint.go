@@ -1,0 +1,55 @@
+package cluster
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/stsl/stsl/internal/core"
+)
+
+// FileCheckpointer returns a Checkpoint sink that persists the server's
+// training state to path atomically: the state is written to a sibling
+// temp file and renamed into place, so a crash mid-write can never leave
+// a truncated checkpoint where a reader (a restarting server with
+// -resume) would trust it.
+func FileCheckpointer(path string) func(*core.Server) error {
+	return func(srv *core.Server) error {
+		dir := filepath.Dir(path)
+		tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+		if err != nil {
+			return fmt.Errorf("cluster: checkpoint temp file: %w", err)
+		}
+		defer os.Remove(tmp.Name()) // no-op after the rename succeeds
+		if err := srv.SaveState(tmp); err != nil {
+			tmp.Close()
+			return err
+		}
+		if err := tmp.Close(); err != nil {
+			return fmt.Errorf("cluster: close checkpoint: %w", err)
+		}
+		if err := os.Rename(tmp.Name(), path); err != nil {
+			return fmt.Errorf("cluster: publish checkpoint: %w", err)
+		}
+		return nil
+	}
+}
+
+// RestoreFromFile loads a checkpoint written by FileCheckpointer into a
+// structurally identical core server, returning the restored step count.
+// A missing file is not an error — it reports (0, false, nil) so callers
+// can pass -resume unconditionally on first boot.
+func RestoreFromFile(path string, srv *core.Server) (steps int, restored bool, err error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, false, fmt.Errorf("cluster: open checkpoint: %w", err)
+	}
+	defer f.Close()
+	if err := srv.LoadState(f); err != nil {
+		return 0, false, err
+	}
+	return srv.Steps(), true, nil
+}

@@ -2,8 +2,10 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/stsl/stsl/internal/core"
@@ -21,6 +23,18 @@ type ClientConfig struct {
 	// RejectBackoff is the pause before resending an activation the
 	// server bounced for backpressure (default 2ms).
 	RejectBackoff time.Duration
+	// Dial, when non-nil, re-establishes a lost connection: the client
+	// redials, resumes its session with the token issued at join, and
+	// resends the in-flight batch — surviving link drops, frame
+	// truncation, and server restarts. nil keeps the original
+	// fail-on-disconnect behaviour.
+	Dial func() (transport.Conn, error)
+	// MaxReconnects bounds reconnection attempts across the whole run
+	// (default 8 when Dial is set). Failed dials count: a server that
+	// stays down exhausts the budget.
+	MaxReconnects int
+	// ReconnectBackoff is the pause before each redial (default 5ms).
+	ReconnectBackoff time.Duration
 	// Now supplies protocol timestamps; nil uses a monotonic wall clock
 	// started at the first batch.
 	Now func() time.Duration
@@ -34,6 +48,64 @@ type ClientResult struct {
 	Epochs int
 	// Rejected counts backpressure bounces that forced a resend.
 	Rejected int
+	// Reconnects counts redial attempts made after connection losses
+	// (successful or not).
+	Reconnects int
+}
+
+// refusedError is a handshake rejection: the server answered, and the
+// answer was no. Retrying cannot help, unlike a connection loss.
+type refusedError struct{ note string }
+
+func (e refusedError) Error() string { return "cluster: server refused session: " + e.note }
+
+// connLostError marks a failure of the carrier itself — the class of
+// error a redial can cure.
+type connLostError struct{ error }
+
+func (e connLostError) Unwrap() error { return e.error }
+
+// pump decouples the network receive from the compute loop for one
+// carrier. A new pump starts per (re)connection, so messages from a dead
+// carrier can never leak into the resumed session.
+type pump struct {
+	conn transport.Conn
+	in   chan *transport.Message
+	errc chan error
+	done chan struct{}
+	once sync.Once
+}
+
+func startPump(conn transport.Conn) *pump {
+	p := &pump{
+		conn: conn,
+		in:   make(chan *transport.Message, 4),
+		errc: make(chan error, 1),
+		done: make(chan struct{}),
+	}
+	go func() {
+		for {
+			msg, err := conn.Recv()
+			if err != nil {
+				select {
+				case p.errc <- err:
+				case <-p.done:
+				}
+				return
+			}
+			select {
+			case p.in <- msg:
+			case <-p.done:
+				return
+			}
+		}
+	}()
+	return p
+}
+
+func (p *pump) stop() {
+	p.once.Do(func() { close(p.done) })
+	p.conn.Close()
 }
 
 // RunClient drives one end-system over a live connection: join
@@ -41,6 +113,9 @@ type ClientResult struct {
 // apply loop, then a done announcement. The network send/receive runs in
 // a separate goroutine from the compute, so a slow or dead server is
 // detected by GradTimeout (or ctx) instead of hanging the actor forever.
+// With Dial configured the client is churn-tolerant: a lost connection
+// is redialled, the session resumed by token, and the in-flight batch
+// resent — the server's dedup-by-seq keeps every batch exactly-once.
 func RunClient(ctx context.Context, es *core.EndSystem, conn transport.Conn, cfg ClientConfig) (*ClientResult, error) {
 	if es == nil || conn == nil {
 		return nil, fmt.Errorf("cluster: RunClient needs an end-system and a connection")
@@ -57,36 +132,40 @@ func RunClient(ctx context.Context, es *core.EndSystem, conn transport.Conn, cfg
 	if backoff <= 0 {
 		backoff = 2 * time.Millisecond
 	}
+	maxReconnects := cfg.MaxReconnects
+	if maxReconnects <= 0 && cfg.Dial != nil {
+		maxReconnects = 8
+	}
+	reconnectBackoff := cfg.ReconnectBackoff
+	if reconnectBackoff <= 0 {
+		reconnectBackoff = 5 * time.Millisecond
+	}
 
-	// Unblock any pending Send/Recv when the caller gives up.
-	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	res := &ClientResult{}
+	var token int // session credential from the welcome; 0 before join
+
+	// The current pump, shared with the ctx hook so a blocked Send/Recv
+	// on whichever carrier is live unblocks when the caller gives up.
+	var mu sync.Mutex
+	p := startPump(conn)
+	setPump := func(np *pump) {
+		mu.Lock()
+		p = np
+		mu.Unlock()
+	}
+	stop := context.AfterFunc(ctx, func() {
+		mu.Lock()
+		defer mu.Unlock()
+		p.conn.Close()
+	})
 	defer stop()
-
-	// The receive pump: gradient and control replies flow through inCh
-	// so the compute loop can select against ctx and the timeout.
-	inCh := make(chan *transport.Message, 4)
-	errCh := make(chan error, 1)
-	pumpDone := make(chan struct{})
-	defer close(pumpDone)
-	go func() {
-		for {
-			msg, err := conn.Recv()
-			if err != nil {
-				select {
-				case errCh <- err:
-				case <-pumpDone:
-				}
-				return
-			}
-			select {
-			case inCh <- msg:
-			case <-pumpDone:
-				return
-			}
-		}
+	defer func() {
+		mu.Lock()
+		defer mu.Unlock()
+		p.stop()
 	}()
 
-	await := func() (*transport.Message, error) {
+	await := func(p *pump) (*transport.Message, error) {
 		var timeout <-chan time.Time
 		if cfg.GradTimeout > 0 {
 			t := time.NewTimer(cfg.GradTimeout)
@@ -94,74 +173,201 @@ func RunClient(ctx context.Context, es *core.EndSystem, conn transport.Conn, cfg
 			timeout = t.C
 		}
 		select {
-		case msg := <-inCh:
+		case msg := <-p.in:
 			return msg, nil
-		case err := <-errCh:
-			return nil, fmt.Errorf("cluster: client %d connection lost: %w", es.ID, err)
+		case err := <-p.errc:
+			return nil, connLostError{fmt.Errorf("cluster: client %d connection lost: %w", es.ID, err)}
 		case <-timeout:
 			return nil, fmt.Errorf("cluster: client %d timed out after %v awaiting server", es.ID, cfg.GradTimeout)
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		}
 	}
+	// send transmits on the current carrier, tagging any failure as a
+	// connection loss — the messages are our own, so the only way a send
+	// fails is the carrier dying under it.
+	send := func(p *pump, m *transport.Message) error {
+		if err := p.conn.Send(m); err != nil {
+			return connLostError{fmt.Errorf("cluster: client %d send: %w", es.ID, err)}
+		}
+		return nil
+	}
+	// connLost reports whether err means the carrier died (redialling
+	// can help) rather than the server answering badly or the caller
+	// giving up.
+	connLost := func(err error) bool {
+		if err == nil || ctx.Err() != nil {
+			return false
+		}
+		var lost connLostError
+		return errors.As(err, &lost) || errors.Is(err, transport.ErrClosed)
+	}
 
-	// Join handshake.
-	if err := conn.Send(&transport.Message{
-		Type: transport.MsgControl, ClientID: es.ID, Note: core.JoinNote, SentAt: now(),
-	}); err != nil {
-		return nil, fmt.Errorf("cluster: client %d join: %w", es.ID, err)
-	}
-	welcome, err := await()
-	if err != nil {
-		return nil, err
-	}
-	if welcome.Type != transport.MsgControl || welcome.Note != core.WelcomeNote {
-		return nil, fmt.Errorf("cluster: client %d join refused: %s", es.ID, welcome.Note)
+	// hello performs the join (first contact) or resume (token in hand)
+	// handshake on a fresh carrier.
+	hello := func(p *pump) error {
+		note, seq := core.JoinNote, 0
+		if token != 0 {
+			note, seq = core.ResumeNote, token
+		}
+		if err := send(p, &transport.Message{
+			Type: transport.MsgControl, ClientID: es.ID, Note: note, Seq: seq, SentAt: now(),
+		}); err != nil {
+			return err
+		}
+		// On a resume the worker may scatter a queued reply onto the
+		// swapped-in carrier before the session loop sends the welcome —
+		// a gradient outrunning the handshake is acceptance, not
+		// refusal. Skip such messages (bounded: the session serves at
+		// most a handful of parked replies); the delivery loop recovers
+		// any needed gradient from the server's reply cache by resending
+		// the in-flight batch.
+		for skipped := 0; ; skipped++ {
+			welcome, err := await(p)
+			if err != nil {
+				return err
+			}
+			if welcome.Type != transport.MsgControl {
+				if skipped > 16 {
+					return refusedError{note: fmt.Sprintf("no welcome within %d messages", skipped)}
+				}
+				continue
+			}
+			if welcome.Note != core.WelcomeNote {
+				return refusedError{note: welcome.Note}
+			}
+			token = welcome.Seq
+			return nil
+		}
 	}
 
-	res := &ClientResult{}
+	// reconnect retires the dead carrier and redials until a handshake
+	// succeeds or the attempt budget runs out.
+	reconnect := func(dead *pump, cause error) error {
+		if cfg.Dial == nil {
+			return cause
+		}
+		dead.stop()
+		lastErr := cause
+		for res.Reconnects < maxReconnects {
+			res.Reconnects++
+			select {
+			case <-time.After(reconnectBackoff):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+			c, err := cfg.Dial()
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			np := startPump(c)
+			setPump(np)
+			if err := hello(np); err != nil {
+				np.stop()
+				var ref refusedError
+				if errors.As(err, &ref) {
+					// The server answered and said no (bad token, done
+					// session): redialling cannot change its mind.
+					return err
+				}
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
+				lastErr = err
+				continue
+			}
+			return nil
+		}
+		return fmt.Errorf("cluster: client %d gave up after %d reconnect attempts: %w",
+			es.ID, res.Reconnects, lastErr)
+	}
+	// recoverConn funnels any carrier failure through the reconnect path.
+	recoverConn := func(err error) error {
+		if !connLost(err) {
+			return err
+		}
+		return reconnect(p, err)
+	}
+
+	// Join handshake (with reconnect recovery — the very first exchange
+	// can hit a fault too). recoverConn returns nil only after reconnect
+	// completed a fresh handshake, so it must not be followed by another
+	// hello: the server ignores handshake notes on an established
+	// session and the client would hang awaiting a second welcome.
+	if err := hello(p); err != nil {
+		if err = recoverConn(err); err != nil {
+			return nil, err
+		}
+	}
+
 	for i := 0; i < cfg.Steps; i++ {
 		msg, err := es.ProduceBatch(now())
 		if err != nil {
 			return res, fmt.Errorf("cluster: client %d produce step %d: %w", es.ID, i, err)
 		}
+		sendNeeded := true
+	delivery:
 		for {
-			if err := conn.Send(msg); err != nil {
-				return res, fmt.Errorf("cluster: client %d send step %d: %w", es.ID, i, err)
-			}
-			reply, err := await()
-			if err != nil {
-				return res, err
-			}
-			if reply.Type == transport.MsgControl {
-				if reply.Note == core.RejectedNote {
-					// Backpressure: give the queue a moment and resend
-					// the same batch.
-					res.Rejected++
-					select {
-					case <-time.After(backoff):
-					case <-ctx.Done():
-						return res, ctx.Err()
+			if sendNeeded {
+				if err := send(p, msg); err != nil {
+					if err = recoverConn(err); err != nil {
+						return res, fmt.Errorf("cluster: client %d send step %d: %w", es.ID, i, err)
 					}
-					continue
+					continue // resumed on a fresh carrier; resend
 				}
-				if strings.HasPrefix(reply.Note, core.AbortNote) {
-					return res, fmt.Errorf("cluster: client %d: server aborted: %s", es.ID, reply.Note)
+				sendNeeded = false
+			}
+			reply, err := await(p)
+			if err != nil {
+				if err = recoverConn(err); err != nil {
+					return res, err
 				}
+				sendNeeded = true // the in-flight batch may be lost; resend
+				continue
+			}
+			switch {
+			case reply.Type == transport.MsgControl && reply.Note == core.RejectedNote:
+				// Backpressure: give the queue a moment and resend the
+				// same batch.
+				res.Rejected++
+				select {
+				case <-time.After(backoff):
+				case <-ctx.Done():
+					return res, ctx.Err()
+				}
+				sendNeeded = true
+			case reply.Type == transport.MsgControl && reply.Note == core.WelcomeNote:
+				// A duplicated welcome replayed by the network; ignore.
+			case reply.Type == transport.MsgControl && strings.HasPrefix(reply.Note, core.AbortNote):
+				return res, fmt.Errorf("cluster: client %d: server aborted: %s", es.ID, reply.Note)
+			case reply.Type == transport.MsgControl:
 				return res, fmt.Errorf("cluster: client %d: unexpected control %q", es.ID, reply.Note)
+			case reply.Type != transport.MsgGradient:
+				return res, fmt.Errorf("cluster: client %d: unexpected %v", es.ID, reply.Type)
+			case !es.HasOutstanding() || reply.Seq != es.Outstanding():
+				// A stale duplicate — the reply cache answering a resend
+				// the worker also served, or a duplicating network.
+				// Drop it and keep waiting for the right seq.
+			default:
+				if err := es.ApplyGradient(reply); err != nil {
+					return res, fmt.Errorf("cluster: client %d apply step %d: %w", es.ID, i, err)
+				}
+				break delivery
 			}
-			if err := es.ApplyGradient(reply); err != nil {
-				return res, fmt.Errorf("cluster: client %d apply step %d: %w", es.ID, i, err)
-			}
-			break
 		}
 		res.Steps = es.Steps()
 		res.Epochs = es.Epoch()
 	}
-	if err := conn.Send(&transport.Message{
-		Type: transport.MsgControl, ClientID: es.ID, Note: core.DoneNote, SentAt: now(),
-	}); err != nil {
-		return res, fmt.Errorf("cluster: client %d done: %w", es.ID, err)
+	for {
+		err := send(p, &transport.Message{
+			Type: transport.MsgControl, ClientID: es.ID, Note: core.DoneNote, SentAt: now(),
+		})
+		if err == nil {
+			return res, nil
+		}
+		if err = recoverConn(err); err != nil {
+			return res, fmt.Errorf("cluster: client %d done: %w", es.ID, err)
+		}
 	}
-	return res, nil
 }

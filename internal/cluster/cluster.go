@@ -24,18 +24,31 @@
 //     (park or reject past a queue-depth cap), detects stragglers,
 //     shuts down gracefully via context, and publishes live metric
 //     Snapshots (throughput, queue depth, per-client staleness).
+//     Sessions are elastic: a client that loses its link within
+//     Config.ResumeGrace reconnects with its session token and resumes
+//     — same id, queued items, reply cache — instead of being evicted
+//     (see DESIGN.md §3.3 for the lifecycle and exactly-once rules).
+//     With Config.Checkpoint the worker persists training state
+//     periodically and at shutdown, so a restarted server resumes from
+//     the last step while retry-enabled clients re-handshake.
 //   - RunClient: drives one core.EndSystem over a connection with the
 //     lock-step split-learning semantics, a gradient straggler timeout,
-//     and automatic resend on backpressure rejection.
+//     automatic resend on backpressure rejection, and — with
+//     ClientConfig.Dial — reconnect/resume across connection losses
+//     and server restarts.
 //   - Run (the ClusterRunner): wires M client goroutines to an
 //     in-process Server over a chosen transport and runs the whole
 //     deployment to completion — the harness tests and benchmarks use
 //     to compare live-concurrent training against the virtual-time
-//     simulation on the same seed.
+//     simulation on the same seed. RunnerConfig.Faults wraps each
+//     client's carrier in a seeded transport.FaultCarrier, which is how
+//     the chaos conformance suite injects deterministic churn.
 package cluster
 
 import (
 	"time"
+
+	"github.com/stsl/stsl/internal/core"
 )
 
 // Overflow selects what the server does with an activation that arrives
@@ -76,6 +89,25 @@ type Config struct {
 	// training stay loss-equivalent at equal settings. With sync-rounds
 	// the gated round is atomic and may exceed this cap.
 	BatchCoalesce int
+	// ResumeGrace keeps a disconnected session's server-side state — id,
+	// token, queued items, reply cache, round position — alive for this
+	// long so the client can reconnect and resume instead of being
+	// evicted. 0 disables resume: a lost connection ends the session
+	// immediately, the pre-churn behaviour. While a session is parked the
+	// worker keeps serving its queued items (replies wait in the cache),
+	// and a gated policy keeps counting it — grace is the knob trading
+	// round stall against eviction.
+	ResumeGrace time.Duration
+	// CheckpointEvery invokes Checkpoint after every this many server
+	// steps. 0 with a non-nil Checkpoint still writes the final
+	// checkpoint at worker exit.
+	CheckpointEvery int
+	// Checkpoint, when non-nil, persists the core server's training
+	// state. It is called only from the worker goroutine — the single
+	// model owner — so it can never observe a half-applied pass; it runs
+	// every CheckpointEvery steps and once more when the worker exits
+	// (shutdown), making a server restart nearly lossless.
+	Checkpoint func(*core.Server) error
 	// Now supplies protocol timestamps. nil uses a monotonic wall clock
 	// started at Server.Start; the in-process runner injects one shared
 	// clock across server and clients so staleness ordering is

@@ -22,6 +22,11 @@ type Snapshot struct {
 	MaxQueueDepth int
 	// Rejected counts activations refused for backpressure.
 	Rejected int
+	// Checkpoints counts checkpoints written by the worker so far.
+	Checkpoints int
+	// CheckpointErr is the most recent checkpoint failure ("" while
+	// healthy; cleared by the next successful write).
+	CheckpointErr string
 	// LastLoss is the most recent window-averaged training loss.
 	LastLoss float64
 	// Clients holds per-session service state, sorted by id.
@@ -39,6 +44,11 @@ type ClientStatus struct {
 	LastStaleness time.Duration
 	// Done reports the client announced completion.
 	Done bool
+	// Parked reports the session lost its connection and is waiting,
+	// within the resume grace window, for the client to reconnect.
+	Parked bool
+	// Resumes counts successful reconnect-and-resume handshakes.
+	Resumes int
 	// Err is the terminal session error, if any ("" while healthy).
 	Err string
 }
@@ -51,13 +61,20 @@ func (s Snapshot) String() string {
 		if c.Done {
 			state = "✓"
 		}
+		if c.Parked {
+			state = "~"
+		}
 		if c.Err != "" {
 			state = "!"
 		}
 		parts = append(parts, fmt.Sprintf("c%d:%d%s", c.ID, c.Served, state))
 	}
-	return fmt.Sprintf("steps=%d (%.1f/s) depth=%d/%d rejected=%d loss=%.4f per-client[%s]",
-		s.ServerSteps, s.StepsPerSec, s.QueueDepth, s.MaxQueueDepth, s.Rejected, s.LastLoss,
+	ckpt := ""
+	if s.Checkpoints > 0 {
+		ckpt = fmt.Sprintf(" ckpt=%d", s.Checkpoints)
+	}
+	return fmt.Sprintf("steps=%d (%.1f/s) depth=%d/%d rejected=%d%s loss=%.4f per-client[%s]",
+		s.ServerSteps, s.StepsPerSec, s.QueueDepth, s.MaxQueueDepth, s.Rejected, ckpt, s.LastLoss,
 		strings.Join(parts, " "))
 }
 
@@ -71,6 +88,8 @@ func (s *Server) snapshotClients() []ClientStatus {
 			Served:        sess.served,
 			LastStaleness: sess.lastStaleness,
 			Done:          sess.done,
+			Parked:        sess.parked,
+			Resumes:       sess.resumes,
 		}
 		if sess.err != nil {
 			cs.Err = sess.err.Error()

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/stsl/stsl/internal/core"
+	"github.com/stsl/stsl/internal/simnet"
 	"github.com/stsl/stsl/internal/transport"
 )
 
@@ -32,13 +33,28 @@ type RunnerConfig struct {
 	// Transport selects the carrier (default pair).
 	Transport Transport
 	// Cluster holds the server-side knobs (cap, overflow, straggler,
-	// coalescing). Cluster.BatchCoalesce == 0 inherits the deployment's
-	// core.Config.BatchCoalesce so one config drives both runtimes; set
-	// it to 1 to force serial service regardless of the deployment.
+	// coalescing, resume grace, checkpointing). Cluster.BatchCoalesce ==
+	// 0 inherits the deployment's core.Config.BatchCoalesce so one
+	// config drives both runtimes; set it to 1 to force serial service
+	// regardless of the deployment.
 	Cluster Config
 	// GradTimeout bounds each client's wait for a gradient (default 30s
 	// — a liveness backstop, not a tuning knob).
 	GradTimeout time.Duration
+	// Faults assigns client i a fault schedule; every carrier that
+	// client dials (including reconnects) is wrapped in a
+	// transport.FaultCarrier driven by it. nil — or a nil schedule for a
+	// given client — injects nothing. The schedule object persists
+	// across that client's reconnects, so seeded plans stay
+	// deterministic for the whole run.
+	Faults func(client int) simnet.FaultSchedule
+	// Retry is each client's reconnect budget after a connection loss
+	// (0 = fail on first loss, the pre-churn behaviour). Pair it with
+	// Cluster.ResumeGrace so the server holds the session open.
+	Retry int
+	// RetryBackoff is the pause before each reconnect attempt
+	// (default 5ms).
+	RetryBackoff time.Duration
 }
 
 // RunnerResult summarises a live run, shaped for side-by-side comparison
@@ -54,6 +70,9 @@ type RunnerResult struct {
 	FinalLoss float64
 	// Rejected counts backpressure bounces across all clients.
 	Rejected int
+	// Reconnects counts redial attempts across all clients — the churn
+	// the run absorbed.
+	Reconnects int
 	// Snapshot is the server's final metrics snapshot.
 	Snapshot Snapshot
 }
@@ -102,7 +121,7 @@ func Run(ctx context.Context, dep *core.Deployment, cfg RunnerConfig) (*RunnerRe
 		return nil, err
 	}
 
-	conns, cleanup, err := dialAll(srv, cfg.Transport, len(dep.Clients))
+	dial, cleanup, err := dialers(srv, cfg.Transport, len(dep.Clients))
 	if err != nil {
 		cancel()
 		_ = srv.Shutdown(context.Background())
@@ -118,13 +137,40 @@ func Run(ctx context.Context, dep *core.Deployment, cfg RunnerConfig) (*RunnerRe
 	outcomes := make(chan outcome, len(dep.Clients))
 	for i := range dep.Clients {
 		i := i
+		// The fault schedule is created once per client and survives
+		// reconnects, so a seeded plan scores the client's whole run.
+		var sched simnet.FaultSchedule
+		if cfg.Faults != nil {
+			sched = cfg.Faults(i)
+		}
+		clientDial := func() (transport.Conn, error) {
+			c, err := dial(i)
+			if err != nil {
+				return nil, err
+			}
+			if sched != nil {
+				return transport.NewFaultCarrier(c, sched), nil
+			}
+			return c, nil
+		}
 		go func() {
-			res, err := RunClient(runCtx, dep.Clients[i], conns[i], ClientConfig{
+			conn, err := clientDial()
+			if err != nil {
+				outcomes <- outcome{idx: i, err: fmt.Errorf("cluster: dial client %d: %w", i, err)}
+				return
+			}
+			clientCfg := ClientConfig{
 				Steps:       cfg.StepsPerClient,
 				GradTimeout: cfg.GradTimeout,
 				Now:         now,
-			})
-			conns[i].Close()
+			}
+			if cfg.Retry > 0 {
+				clientCfg.Dial = clientDial
+				clientCfg.MaxReconnects = cfg.Retry
+				clientCfg.ReconnectBackoff = cfg.RetryBackoff
+			}
+			res, err := RunClient(runCtx, dep.Clients[i], conn, clientCfg)
+			conn.Close()
 			outcomes <- outcome{idx: i, res: res, err: err}
 		}()
 	}
@@ -139,6 +185,7 @@ func Run(ctx context.Context, dep *core.Deployment, cfg RunnerConfig) (*RunnerRe
 		if o.res != nil {
 			result.StepsPerClient[o.idx] = o.res.Steps
 			result.Rejected += o.res.Rejected
+			result.Reconnects += o.res.Reconnects
 		}
 	}
 	// All client goroutines have returned, so the server either has n
@@ -168,24 +215,24 @@ func Run(ctx context.Context, dep *core.Deployment, cfg RunnerConfig) (*RunnerRe
 	return result, nil
 }
 
-// dialAll builds n client connections to srv over the chosen transport,
-// attaching the server side of each. cleanup releases any listener.
-func dialAll(srv *Server, tr Transport, n int) ([]transport.Conn, func(), error) {
-	conns := make([]transport.Conn, n)
+// dialers builds a per-client dial function over the chosen transport —
+// callable repeatedly, which is what lets a churned client reconnect to
+// the same server. cleanup releases any listener.
+func dialers(srv *Server, tr Transport, n int) (func(i int) (transport.Conn, error), func(), error) {
 	cleanup := func() {}
 	switch tr {
 	case TransportPair:
-		for i := range conns {
+		return func(int) (transport.Conn, error) {
 			client, server := transport.NewPair(1)
 			srv.Attach(server)
-			conns[i] = client
-		}
+			return client, nil
+		}, cleanup, nil
 	case TransportPipe:
-		for i := range conns {
+		return func(int) (transport.Conn, error) {
 			clientNC, serverNC := net.Pipe()
 			srv.Attach(transport.NewTCPConn(serverNC))
-			conns[i] = transport.NewTCPConn(clientNC)
-		}
+			return transport.NewTCPConn(clientNC), nil
+		}, cleanup, nil
 	case TransportTCP:
 		lis, err := transport.Listen("127.0.0.1:0")
 		if err != nil {
@@ -193,18 +240,10 @@ func dialAll(srv *Server, tr Transport, n int) ([]transport.Conn, func(), error)
 		}
 		cleanup = func() { lis.Close() }
 		go srv.ServeListener(lis)
-		for i := range conns {
-			c, err := transport.Dial(lis.Addr())
-			if err != nil {
-				for _, open := range conns[:i] {
-					open.Close()
-				}
-				return nil, cleanup, fmt.Errorf("cluster: dial client %d: %w", i, err)
-			}
-			conns[i] = c
-		}
+		return func(int) (transport.Conn, error) {
+			return transport.Dial(lis.Addr())
+		}, cleanup, nil
 	default:
 		return nil, cleanup, fmt.Errorf("cluster: unknown transport %q", tr)
 	}
-	return conns, cleanup, nil
 }

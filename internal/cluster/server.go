@@ -9,14 +9,21 @@ import (
 	"time"
 
 	"github.com/stsl/stsl/internal/core"
+	"github.com/stsl/stsl/internal/mathx"
 	"github.com/stsl/stsl/internal/queue"
 	"github.com/stsl/stsl/internal/transport"
 )
 
-// session is the server-side state of one attached end-system.
+// session is the server-side state of one attached end-system. A session
+// outlives any single connection: with resume enabled it moves through
+// joined → parked (connection lost, state retained) → resumed, and only
+// eviction or grace expiry ends it.
 type session struct {
-	id   int
-	conn transport.Conn
+	id int
+	// token is the resume credential issued at join and echoed in every
+	// welcome; a reconnecting client must present it to reclaim the
+	// session. Immutable after creation.
+	token int
 
 	// lastActive is the server-clock time (nanoseconds) of the last
 	// message received — the straggler janitor's evidence of life.
@@ -32,11 +39,42 @@ type session struct {
 	pending atomic.Int64
 
 	// The remaining fields are guarded by Server.mu.
+
+	// conn is the session's current carrier; resume swaps it in place,
+	// so every send must read it under the lock at send time.
+	conn          transport.Conn
 	served        int
 	lastStaleness time.Duration
 	done          bool
 	ended         bool
 	err           error
+	// parked marks a session whose connection died within the resume
+	// grace window: state is retained, the janitor counts down grace
+	// instead of straggler silence, and the worker caches replies
+	// instead of sending them.
+	parked   bool
+	parkedAt time.Duration
+	resumes  int
+	// maxAdmitted is the highest activation Seq admitted to the queue
+	// (-1 before the first). Reconnecting clients resend their in-flight
+	// batch, and duplicating networks redeliver; admission claims the
+	// seq under the lock so each batch is trained exactly once.
+	maxAdmitted int
+	// lastReply caches the most recent gradient reply. A resend of an
+	// already-served seq is answered from here rather than reprocessed —
+	// the other half of exactly-once.
+	lastReply *transport.Message
+}
+
+// protocolViolation marks receive-loop errors that are the peer's fault.
+// A session that violates the protocol is evicted, never parked: resume
+// exists for flaky links, not misbehaving clients.
+type protocolViolation struct{ error }
+
+func (e protocolViolation) Unwrap() error { return e.error }
+
+func violation(format string, args ...interface{}) error {
+	return protocolViolation{fmt.Errorf(format, args...)}
 }
 
 // Server is the live centralized side of the framework: it accepts
@@ -58,14 +96,20 @@ type Server struct {
 
 	startWall time.Time
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	sessions map[int]*session
-	joined   int
-	steps    int
-	rejected int
-	lastLoss float64
-	started  bool
+	// ckptDue counts steps since the last checkpoint. Worker-only.
+	ckptDue int
+
+	mu          sync.Mutex
+	cond        *sync.Cond
+	sessions    map[int]*session
+	tokens      *mathx.RNG
+	joined      int
+	steps       int
+	rejected    int
+	checkpoints int
+	ckptErr     error
+	lastLoss    float64
+	started     bool
 }
 
 // NewServer wraps a wired core.Server for live concurrent use. The core
@@ -105,9 +149,10 @@ func NewServer(srv *core.Server, cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// Start launches the worker loop (and the straggler janitor, when
-// configured). It must be called exactly once, before any Attach. The
-// server stops when ctx is cancelled or Shutdown is called.
+// Start launches the worker loop (and the janitor, when straggler
+// detection or resume grace is configured). It must be called exactly
+// once, before any Attach. The server stops when ctx is cancelled or
+// Shutdown is called.
 func (s *Server) Start(ctx context.Context) error {
 	s.mu.Lock()
 	if s.started {
@@ -115,6 +160,9 @@ func (s *Server) Start(ctx context.Context) error {
 		return fmt.Errorf("cluster: server already started")
 	}
 	s.started = true
+	// Session tokens need to be unguessable across server restarts, not
+	// cryptographically strong; wall-clock seeding is enough.
+	s.tokens = mathx.NewRNG(uint64(time.Now().UnixNano()) | 1)
 	s.mu.Unlock()
 
 	s.ctx, s.cancel = context.WithCancel(ctx)
@@ -132,7 +180,7 @@ func (s *Server) Start(ctx context.Context) error {
 	})
 	s.wg.Add(1)
 	go s.worker()
-	if s.cfg.StragglerTimeout > 0 {
+	if s.cfg.StragglerTimeout > 0 || s.cfg.ResumeGrace > 0 {
 		s.wg.Add(1)
 		go s.janitor()
 	}
@@ -144,9 +192,17 @@ func (s *Server) Start(ctx context.Context) error {
 // PopBatch — runs one stacked forward/backward/step over the coalesced
 // batch, and scatters each client's gradient slice back to its session.
 // A batch that fails falls back to serving its items one at a time, so
-// only the offending client is evicted, never its batchmates.
+// only the offending client is evicted, never its batchmates. As the
+// sole model owner it is also where checkpoints are written: between
+// passes, and once on exit.
 func (s *Server) worker() {
 	defer s.wg.Done()
+	if s.cfg.Checkpoint != nil {
+		// The final checkpoint at exit makes a graceful restart nearly
+		// lossless: every processed step is persisted, and clients
+		// resend only their unacknowledged in-flight batch.
+		defer s.checkpoint()
+	}
 	batchMax := s.cfg.BatchCoalesce
 	if batchMax < 1 {
 		batchMax = 1
@@ -161,6 +217,14 @@ func (s *Server) worker() {
 				return
 			}
 		}
+		if s.ctx.Err() != nil {
+			// Shutdown raced the pop: return the admitted work so the
+			// final snapshot and checkpoint account for it instead of
+			// silently dropping contributions the clients believe are
+			// in flight.
+			s.q.Requeue(items...)
+			return
+		}
 		if len(items) > 1 {
 			now := s.now()
 			replies, err := s.processBatch(items, now)
@@ -168,6 +232,7 @@ func (s *Server) worker() {
 				for i, it := range items {
 					s.deliver(it, replies[i], now, nil)
 				}
+				s.maybeCheckpoint(len(items))
 				continue
 			}
 			// The coalesced pass failed during pre-flight, before any
@@ -182,11 +247,42 @@ func (s *Server) worker() {
 			reply, err := s.process(it, now)
 			s.deliver(it, reply, now, err)
 		}
+		s.maybeCheckpoint(len(items))
 	}
 }
 
+// maybeCheckpoint writes a checkpoint once enough steps have accumulated
+// since the last one. Worker goroutine only.
+func (s *Server) maybeCheckpoint(n int) {
+	if s.cfg.Checkpoint == nil || s.cfg.CheckpointEvery <= 0 {
+		return
+	}
+	s.ckptDue += n
+	if s.ckptDue < s.cfg.CheckpointEvery {
+		return
+	}
+	s.ckptDue = 0
+	s.checkpoint()
+}
+
+// checkpoint invokes the configured sink and records the outcome. Worker
+// goroutine only (model ownership). Only successful writes count toward
+// Snapshot.Checkpoints; a failing sink shows up as CheckpointErr with
+// the counter frozen.
+func (s *Server) checkpoint() {
+	err := s.cfg.Checkpoint(s.core)
+	s.mu.Lock()
+	if err == nil {
+		s.checkpoints++
+	}
+	s.ckptErr = err
+	s.mu.Unlock()
+}
+
 // deliver finishes one served item: per-session bookkeeping, eviction on
-// a processing error, and the gradient send.
+// a processing error, and the gradient send. The reply is cached before
+// any send attempt, so a session that is parked — or swaps connections
+// mid-batch — can be answered from the cache when the client resends.
 func (s *Server) deliver(it queue.Item, reply *transport.Message, now time.Duration, procErr error) {
 	s.mu.Lock()
 	sess := s.sessions[it.ClientID()]
@@ -209,15 +305,29 @@ func (s *Server) deliver(it queue.Item, reply *transport.Message, now time.Durat
 	s.mu.Lock()
 	s.steps++
 	s.lastLoss = s.core.Losses.Last()
+	var conn transport.Conn
+	parked := false
 	if sess != nil {
 		sess.served++
 		sess.lastStaleness = it.Staleness(now)
+		sess.lastReply = reply
+		conn = sess.conn
+		parked = sess.parked
 	}
 	s.mu.Unlock()
 	if sess == nil {
 		return // client left before its item was served
 	}
-	if err := sess.conn.Send(reply); err != nil {
+	if parked {
+		return // no live carrier; the cached reply waits for the resume
+	}
+	if err := conn.Send(reply); err != nil {
+		if s.cfg.ResumeGrace > 0 {
+			// The carrier died between enqueue and reply. The receive
+			// loop will park the session, and the cached reply covers
+			// the client's resend after resume — not an error yet.
+			return
+		}
 		// The client died between enqueue and reply; record it on
 		// the session and keep serving the others.
 		s.mu.Lock()
@@ -260,23 +370,40 @@ func (s *Server) processBatch(items []queue.Item, now time.Duration) (replies []
 func (s *Server) evict(clientID int, cause error) {
 	s.mu.Lock()
 	sess := s.sessions[clientID]
-	if sess != nil && sess.err == nil {
-		sess.err = cause
-	}
+	var conn transport.Conn
 	if sess != nil {
+		if sess.err == nil {
+			sess.err = cause
+		}
 		sess.closed.Store(true)
+		if sess.parked {
+			// A parked session has no receive loop left to observe the
+			// closed carrier and record the end — do it here.
+			sess.ended = true
+			sess.parked = false
+		}
+		conn = sess.conn
+		s.cond.Broadcast()
 	}
 	s.mu.Unlock()
-	if sess != nil {
-		sess.conn.Close()
+	if conn != nil {
+		conn.Close()
 	}
 	s.q.Deactivate(clientID)
 }
 
-// janitor drops sessions that have been silent past StragglerTimeout.
+// janitor ends sessions that overstayed a deadline: live sessions silent
+// past StragglerTimeout, and parked sessions whose client did not resume
+// within ResumeGrace. The two cases are deliberately distinct — a parked
+// session is *known* disconnected and is judged on grace, never on
+// silence.
 func (s *Server) janitor() {
 	defer s.wg.Done()
-	period := s.cfg.StragglerTimeout / 4
+	deadline := s.cfg.StragglerTimeout
+	if deadline <= 0 || (s.cfg.ResumeGrace > 0 && s.cfg.ResumeGrace < deadline) {
+		deadline = s.cfg.ResumeGrace
+	}
+	period := deadline / 4
 	if period < 5*time.Millisecond {
 		period = 5 * time.Millisecond
 	}
@@ -290,9 +417,26 @@ func (s *Server) janitor() {
 		}
 		now := s.now()
 		var drop []*session
+		var conns []transport.Conn
 		s.mu.Lock()
 		for _, sess := range s.sessions {
-			if sess.ended || sess.done || sess.pending.Load() > 0 {
+			if sess.ended || sess.done {
+				continue
+			}
+			if sess.parked {
+				if offline := now - sess.parkedAt; offline > s.cfg.ResumeGrace {
+					sess.err = fmt.Errorf("cluster: client %d evicted after %v offline (resume grace expired)",
+						sess.id, offline.Round(time.Millisecond))
+					sess.closed.Store(true)
+					// No receive loop remains to record the end.
+					sess.ended = true
+					sess.parked = false
+					drop = append(drop, sess)
+					conns = append(conns, sess.conn)
+				}
+				continue
+			}
+			if s.cfg.StragglerTimeout <= 0 || sess.pending.Load() > 0 {
 				// A session with queued work is waiting on the server,
 				// not the other way round.
 				continue
@@ -303,19 +447,23 @@ func (s *Server) janitor() {
 					sess.id, idle.Round(time.Millisecond))
 				sess.closed.Store(true)
 				drop = append(drop, sess)
+				conns = append(conns, sess.conn)
 			}
 		}
+		if len(drop) > 0 {
+			s.cond.Broadcast()
+		}
 		s.mu.Unlock()
-		for _, sess := range drop {
-			sess.conn.Close()
+		for i, sess := range drop {
+			conns[i].Close()
 			s.q.Deactivate(sess.id)
 		}
 	}
 }
 
 // Attach hands a freshly accepted connection to the server. The session
-// goroutine performs the join handshake and then pumps activations into
-// the scheduling queue until the client leaves.
+// goroutine performs the join (or resume) handshake and then pumps
+// activations into the scheduling queue until the client leaves.
 func (s *Server) Attach(conn transport.Conn) {
 	s.wg.Add(1)
 	go s.sessionLoop(conn)
@@ -357,42 +505,131 @@ func (s *Server) sessionLoop(conn transport.Conn) {
 	if err != nil {
 		return // connection died before introducing itself
 	}
-	if first.Type != transport.MsgControl || first.Note != core.JoinNote {
+	if first.Type != transport.MsgControl ||
+		(first.Note != core.JoinNote && first.Note != core.ResumeNote) {
 		_ = conn.Send(&transport.Message{
 			Type: transport.MsgControl, Note: core.AbortNote + ": expected join", SentAt: s.now(),
 		})
 		return
 	}
-	sess := &session{id: first.ClientID, conn: conn}
-	sess.lastActive.Store(int64(s.now()))
-
-	s.mu.Lock()
-	if old, exists := s.sessions[sess.id]; exists && !old.ended {
-		s.mu.Unlock()
-		_ = conn.Send(&transport.Message{
-			Type: transport.MsgControl, ClientID: sess.id,
-			Note: core.AbortNote + ": duplicate client id", SentAt: s.now(),
-		})
-		return
+	var sess *session
+	if first.Note == core.ResumeNote {
+		sess = s.resume(conn, first)
+	} else {
+		sess = s.join(conn, first)
 	}
-	s.sessions[sess.id] = sess
-	s.joined++
-	s.cond.Broadcast()
-	s.mu.Unlock()
+	if sess == nil {
+		return // the handshake helper already sent the abort
+	}
 
 	if err := conn.Send(&transport.Message{
-		Type: transport.MsgControl, ClientID: sess.id, Note: core.WelcomeNote, SentAt: s.now(),
+		Type: transport.MsgControl, ClientID: sess.id, Seq: sess.token,
+		Note: core.WelcomeNote, SentAt: s.now(),
 	}); err != nil {
-		s.finishSession(sess, err)
+		s.finishSession(sess, conn, err)
 		return
 	}
-	s.finishSession(sess, s.receive(sess))
+	s.finishSession(sess, conn, s.receive(sess, conn))
 }
 
-// receive pumps one joined session until the client leaves or errors.
-func (s *Server) receive(sess *session) error {
+// registerLocked creates and registers a fresh session with a new token.
+// Caller must hold s.mu.
+func (s *Server) registerLocked(id int, conn transport.Conn) *session {
+	sess := &session{id: id, conn: conn, maxAdmitted: -1}
+	for sess.token == 0 {
+		sess.token = int(s.tokens.Uint64() & 0x7fffffff) // fits the wire's 31-bit Seq
+	}
+	sess.lastActive.Store(int64(s.now()))
+	s.sessions[id] = sess
+	s.joined++
+	s.cond.Broadcast()
+	return sess
+}
+
+// join handles a fresh join handshake. A *live* duplicate id is refused;
+// a *parked* one is displaced — a client that joins instead of resuming
+// either never received its welcome (so it holds no token and made no
+// progress) or restarted from scratch, and in both cases the right
+// outcome is a clean new incarnation, not a terminal abort on what the
+// client experiences as a transient first-exchange fault. The retired
+// incarnation ends without error; its queued items drain through the
+// dedup-safe serve path.
+func (s *Server) join(conn transport.Conn, first *transport.Message) *session {
+	s.mu.Lock()
+	old, exists := s.sessions[first.ClientID]
+	if exists && !old.ended && !old.parked {
+		s.mu.Unlock()
+		_ = conn.Send(&transport.Message{
+			Type: transport.MsgControl, ClientID: first.ClientID,
+			Note: core.AbortNote + ": duplicate client id", SentAt: s.now(),
+		})
+		return nil
+	}
+	var oldConn transport.Conn
+	if exists && !old.ended {
+		old.ended = true
+		old.parked = false
+		oldConn = old.conn
+	}
+	sess := s.registerLocked(first.ClientID, conn)
+	s.mu.Unlock()
+	if oldConn != nil {
+		oldConn.Close()
+	}
+	return sess
+}
+
+// resume handles a reconnect handshake: a parked (or half-open) session
+// presenting the right token reclaims its id, queued items, and reply
+// cache on the new carrier. A session this server does not hold — it
+// restarted, or grace already expired — is accepted as a fresh join, so
+// a client with retry enabled survives a server restart transparently.
+func (s *Server) resume(conn transport.Conn, first *transport.Message) *session {
+	abort := func(why string) *session {
+		_ = conn.Send(&transport.Message{
+			Type: transport.MsgControl, ClientID: first.ClientID,
+			Note: core.AbortNote + ": " + why, SentAt: s.now(),
+		})
+		return nil
+	}
+	s.mu.Lock()
+	sess, ok := s.sessions[first.ClientID]
+	if !ok || sess.ended {
+		sess = s.registerLocked(first.ClientID, conn)
+		s.mu.Unlock()
+		return sess
+	}
+	switch {
+	case sess.done:
+		s.mu.Unlock()
+		return abort("session already completed")
+	case sess.err != nil:
+		s.mu.Unlock()
+		return abort("session terminated")
+	case sess.token != first.Seq:
+		s.mu.Unlock()
+		return abort("bad resume token")
+	}
+	old := sess.conn
+	sess.conn = conn
+	sess.parked = false
+	sess.resumes++
+	sess.lastActive.Store(int64(s.now()))
+	s.mu.Unlock()
+	if old != nil && old != conn {
+		// The previous carrier may still be half-open (the client saw
+		// the death first); force its receive loop out. That loop will
+		// find sess.conn changed and exit without touching the session.
+		old.Close()
+	}
+	return sess
+}
+
+// receive pumps one carrier of a joined session until the client leaves,
+// the carrier dies, or a resume supersedes it.
+func (s *Server) receive(sess *session, conn transport.Conn) error {
 	for {
-		msg, err := sess.conn.Recv()
+		msg, err := conn.Recv()
 		if err != nil {
 			return err
 		}
@@ -400,9 +637,13 @@ func (s *Server) receive(sess *session) error {
 		switch msg.Type {
 		case transport.MsgActivation:
 			if msg.ClientID != sess.id {
-				return fmt.Errorf("cluster: session %d sent activation for client %d", sess.id, msg.ClientID)
+				return violation("cluster: session %d sent activation for client %d", sess.id, msg.ClientID)
 			}
-			if err := s.admit(sess, msg); err != nil {
+			if msg.Seq < 0 {
+				// Negative seqs would corrupt the dedup watermark.
+				return violation("cluster: session %d sent negative seq %d", sess.id, msg.Seq)
+			}
+			if err := s.admit(sess, conn, msg); err != nil {
 				return err
 			}
 		case transport.MsgControl:
@@ -414,7 +655,7 @@ func (s *Server) receive(sess *session) error {
 				s.q.Deactivate(sess.id)
 			}
 		default:
-			return fmt.Errorf("cluster: session %d sent unexpected %v", sess.id, msg.Type)
+			return violation("cluster: session %d sent unexpected %v", sess.id, msg.Type)
 		}
 	}
 }
@@ -422,7 +663,39 @@ func (s *Server) receive(sess *session) error {
 // admit pushes one activation into the scheduling queue, honouring the
 // depth cap: park blocks this session (backpressure propagates to the
 // client through the transport), reject bounces the batch back.
-func (s *Server) admit(sess *session, msg *transport.Message) error {
+//
+// Admission is exactly-once per sequence number: a reconnecting client
+// resends its in-flight batch, and a retransmitting network can deliver
+// twice. The seq is claimed under the lock before the push; a duplicate
+// of an already-served seq is answered from the reply cache, a duplicate
+// of a still-queued seq is dropped (its reply is coming).
+func (s *Server) admit(sess *session, conn transport.Conn, msg *transport.Message) error {
+	s.mu.Lock()
+	if msg.Seq <= sess.maxAdmitted {
+		var cached *transport.Message
+		if sess.lastReply != nil && sess.lastReply.Seq == msg.Seq {
+			cached = sess.lastReply
+		}
+		s.mu.Unlock()
+		if cached != nil {
+			return conn.Send(cached)
+		}
+		return nil
+	}
+	prev := sess.maxAdmitted
+	sess.maxAdmitted = msg.Seq
+	s.mu.Unlock()
+	// unclaim rolls the dedup watermark back when admission fails, so
+	// the client's mandated resend of the same seq is not mistaken for
+	// a duplicate.
+	unclaim := func() {
+		s.mu.Lock()
+		if sess.maxAdmitted == msg.Seq {
+			sess.maxAdmitted = prev
+		}
+		s.mu.Unlock()
+	}
+
 	it := queue.Item{Msg: msg, ArrivedAt: s.now()}
 	// Count the work as pending before it becomes poppable, so the
 	// janitor never sees a gap between push and accounting.
@@ -430,10 +703,11 @@ func (s *Server) admit(sess *session, msg *transport.Message) error {
 	for !s.q.TryPush(it, s.cfg.QueueCap) {
 		if s.cfg.Overflow == OverflowReject {
 			sess.pending.Add(-1)
+			unclaim()
 			s.mu.Lock()
 			s.rejected++
 			s.mu.Unlock()
-			return sess.conn.Send(&transport.Message{
+			return conn.Send(&transport.Message{
 				Type: transport.MsgControl, ClientID: sess.id, Seq: msg.Seq,
 				Note: core.RejectedNote, SentAt: s.now(),
 			})
@@ -445,10 +719,12 @@ func (s *Server) admit(sess *session, msg *transport.Message) error {
 			// wakeup cannot park a session forever.
 		case <-s.ctx.Done():
 			sess.pending.Add(-1)
+			unclaim()
 			return s.ctx.Err()
 		}
 		if sess.closed.Load() {
 			sess.pending.Add(-1)
+			unclaim()
 			return fmt.Errorf("cluster: session %d closed while parked", sess.id)
 		}
 	}
@@ -456,14 +732,35 @@ func (s *Server) admit(sess *session, msg *transport.Message) error {
 	return nil
 }
 
-// finishSession records a session's terminal state. A clean disconnect
-// (peer closed, or server shutdown) is not an error.
-func (s *Server) finishSession(sess *session, err error) {
+// finishSession resolves the end of one carrier's receive loop. A
+// superseded carrier (resume swapped a new one in) is ignored; a lost
+// connection within the resume grace parks the session; anything else —
+// clean leave, protocol violation, shutdown — ends it.
+func (s *Server) finishSession(sess *session, conn transport.Conn, err error) {
+	s.mu.Lock()
+	if sess.conn != conn {
+		// A resume superseded this carrier mid-loop; the new receive
+		// loop owns the session now.
+		s.mu.Unlock()
+		return
+	}
+	var pv protocolViolation
+	isViolation := errors.As(err, &pv)
 	if errors.Is(err, transport.ErrClosed) || errors.Is(err, context.Canceled) {
 		err = nil
 	}
-	s.mu.Lock()
+	if !isViolation && !sess.done && sess.err == nil &&
+		s.cfg.ResumeGrace > 0 && s.ctx.Err() == nil {
+		// The connection is gone but the client may come back: park the
+		// session instead of evicting. Queued items stay in the queue,
+		// replies accumulate in the cache, the janitor counts grace.
+		sess.parked = true
+		sess.parkedAt = s.now()
+		s.mu.Unlock()
+		return
+	}
 	sess.ended = true
+	sess.parked = false
 	if sess.err == nil {
 		sess.err = err
 	}
@@ -474,8 +771,10 @@ func (s *Server) finishSession(sess *session, err error) {
 
 // AwaitClients blocks until at least n clients have joined and every
 // joined session has finished (announced done, or left), then returns
-// the combined session errors (nil when all completed cleanly). It
-// returns early on server shutdown or ctx cancellation.
+// the combined session errors (nil when all completed cleanly). A parked
+// session counts as unfinished — it either resumes or is evicted when
+// its grace expires. It returns early on server shutdown or ctx
+// cancellation.
 func (s *Server) AwaitClients(ctx context.Context, n int) error {
 	stop := context.AfterFunc(ctx, func() {
 		s.mu.Lock()
@@ -524,7 +823,8 @@ func (s *Server) sessionErrsLocked() error {
 
 // Shutdown stops the server: cancels the worker and janitor, closes all
 // session connections, and waits (bounded by ctx) for every goroutine to
-// exit.
+// exit. With a Checkpoint sink configured, the worker writes a final
+// checkpoint on its way out.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.cancel()
 	s.mu.Lock()
@@ -561,8 +861,12 @@ func (s *Server) Snapshot() Snapshot {
 	snap := Snapshot{
 		ServerSteps: s.steps,
 		Rejected:    s.rejected,
+		Checkpoints: s.checkpoints,
 		LastLoss:    s.lastLoss,
 		Clients:     s.snapshotClients(),
+	}
+	if s.ckptErr != nil {
+		snap.CheckpointErr = s.ckptErr.Error()
 	}
 	s.mu.Unlock()
 	snap.Uptime = time.Since(s.startWall)

@@ -5,6 +5,41 @@ import (
 	"io"
 )
 
+// SaveState writes the server's own training state — the step counter
+// followed by the shared stack's weights — so a restarted server process
+// can resume serving from where it stopped. Unlike the deployment-level
+// SaveCheckpoint it covers only the centralized side: end-systems are
+// separate processes that keep (and checkpoint) their own private
+// stacks. Optimiser slot state (momentum, Adam moments) is not included;
+// plain SGD resumes exactly, stateful optimisers restart their slots
+// cold.
+func (s *Server) SaveState(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "STSLSRV1 steps=%d\n", s.steps); err != nil {
+		return fmt.Errorf("core: server state header: %w", err)
+	}
+	if err := s.Stack.SaveWeights(w); err != nil {
+		return fmt.Errorf("core: server state weights: %w", err)
+	}
+	return nil
+}
+
+// LoadState restores state written by SaveState into a server of
+// identical structure, resuming the step counter and the shared weights.
+func (s *Server) LoadState(r io.Reader) error {
+	var steps int
+	if _, err := fmt.Fscanf(r, "STSLSRV1 steps=%d\n", &steps); err != nil {
+		return fmt.Errorf("core: server state header: %w", err)
+	}
+	if steps < 0 {
+		return fmt.Errorf("core: server state has negative step count %d", steps)
+	}
+	if err := s.Stack.LoadWeights(r); err != nil {
+		return fmt.Errorf("core: restore server weights: %w", err)
+	}
+	s.steps = steps
+	return nil
+}
+
 // SaveCheckpoint writes every weight in the deployment — the shared
 // server stack followed by each client's private stack, in client order —
 // so a training run can be resumed or shipped. The format is the nn

@@ -59,6 +59,12 @@ func (e *EndSystem) Epoch() int { return e.epoch }
 // HasOutstanding reports whether the client is waiting for a gradient.
 func (e *EndSystem) HasOutstanding() bool { return e.outstanding >= 0 }
 
+// Outstanding returns the sequence number of the batch awaiting its
+// gradient, or -1 when none is in flight. Reconnecting clients use it to
+// tell the reply they are waiting for from a stale duplicate replayed by
+// the network or the resume protocol.
+func (e *EndSystem) Outstanding() int { return e.outstanding }
+
 // ProduceBatch draws the next local batch, runs the private forward pass,
 // and returns the activation message to send. It fails if a previous
 // batch's gradient is still outstanding.

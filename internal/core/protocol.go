@@ -23,6 +23,14 @@ const (
 	// RejectedNote tells a client its activation was refused for
 	// backpressure (queue over cap); the client should resend.
 	RejectedNote = "rejected"
+	// ResumeNote opens a reconnecting session: a control message carrying
+	// the client's id and, in the Seq field, the session token issued
+	// with the original welcome. A server that still holds the session
+	// (within the resume grace window) swaps the connection in place —
+	// id, queued items, and reply cache survive; a server that does not
+	// (restarted, or grace expired) treats the resume as a fresh join.
+	// The welcome reply always carries the session's token in Seq.
+	ResumeNote = "resume"
 	// AbortNote tells a client the server is shutting down.
 	AbortNote = "abort"
 )
@@ -100,6 +108,17 @@ func Serve(srv *Server, conns []transport.Conn, now func() time.Duration) error 
 	}
 	byClient := make(map[int]transport.Conn, len(conns))
 	active := len(conns)
+	// A client leaves exactly once, whether we notice via its done note
+	// or via its connection closing — most clients produce both signals,
+	// and double-counting would end the loop while slower clients still
+	// await gradients (a deadlock the chaos work's shuffled CI exposed).
+	left := make(map[transport.Conn]bool, len(conns))
+	depart := func(c transport.Conn) {
+		if !left[c] {
+			left[c] = true
+			active--
+		}
+	}
 
 	drain := func() error {
 		for {
@@ -124,7 +143,7 @@ func Serve(srv *Server, conns []transport.Conn, now func() time.Duration) error 
 		rx := <-in
 		if rx.err != nil {
 			if errors.Is(rx.err, transport.ErrClosed) {
-				active--
+				depart(rx.conn)
 				continue
 			}
 			return fmt.Errorf("core: server recv: %w", rx.err)
@@ -140,7 +159,7 @@ func Serve(srv *Server, conns []transport.Conn, now func() time.Duration) error 
 			}
 		case transport.MsgControl:
 			if rx.msg.Note == DoneNote {
-				active--
+				depart(rx.conn)
 				if sync, ok := srv.Queue.(interface{ Deactivate(int) }); ok {
 					sync.Deactivate(rx.msg.ClientID)
 				}

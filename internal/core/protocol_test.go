@@ -2,6 +2,7 @@ package core
 
 import (
 	"testing"
+	"time"
 
 	"github.com/stsl/stsl/internal/data"
 	"github.com/stsl/stsl/internal/mathx"
@@ -135,5 +136,62 @@ func TestServeValidation(t *testing.T) {
 	dep := buildProtocolDeployment(t, "fifo")
 	if err := Serve(dep.Server, nil, nil); err == nil {
 		t.Fatal("no connections accepted")
+	}
+}
+
+// TestServeOutlivesFastClient regresses a departure-accounting deadlock:
+// Serve decremented its live count both on a client's done note and on
+// its connection closing, so one fast client leaving (two decrements)
+// ended a 2-client serve while the slow client still awaited gradients,
+// hanging it forever. The fast client here finishes completely before
+// the slow one sends anything, which made the old double-count
+// deterministic.
+func TestServeOutlivesFastClient(t *testing.T) {
+	dep := buildProtocolDeployment(t, "fifo")
+	const steps = 2
+
+	serverEnds := make([]transport.Conn, 2)
+	clientEnds := make([]transport.Conn, 2)
+	for i := range serverEnds {
+		serverEnds[i], clientEnds[i] = transport.NewPair(4)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- Serve(dep.Server, serverEnds, nil) }()
+
+	// Fast client: full run, done, close — before the slow one starts.
+	if err := RunClient(dep.Clients[0], clientEnds[0], steps, nil); err != nil {
+		t.Fatal(err)
+	}
+	clientEnds[0].Close()
+	// Give Serve time to consume both of the fast client's departure
+	// signals (done note, then connection close); the double-count bug
+	// ended the loop right here, before the slow client ever spoke.
+	time.Sleep(100 * time.Millisecond)
+
+	// Slow client: must still be served.
+	slowDone := make(chan error, 1)
+	go func() {
+		err := RunClient(dep.Clients[1], clientEnds[1], steps, nil)
+		clientEnds[1].Close()
+		slowDone <- err
+	}()
+	select {
+	case err := <-slowDone:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("slow client starved: Serve ended after the fast client left")
+	}
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Serve did not return after all clients left")
+	}
+	if dep.Server.Steps() != 2*steps {
+		t.Fatalf("server processed %d batches, want %d", dep.Server.Steps(), 2*steps)
 	}
 }

@@ -99,6 +99,25 @@ func (s *Safe) PopBatch(now time.Duration, max int) []Item {
 	return items
 }
 
+// Requeue returns already-popped items to the policy in one critical
+// section, preserving their original arrival times so staleness-ordered
+// disciplines restore each item's true priority (FIFO appends at the
+// tail; the perturbation is bounded by the batch size). It is the
+// orphan-recovery path: a consumer that popped work it can no longer
+// process — the worker caught mid-batch by shutdown — puts the items
+// back rather than silently dropping admitted contributions.
+func (s *Safe) Requeue(items ...Item) {
+	if len(items) == 0 {
+		return
+	}
+	s.mu.Lock()
+	for _, it := range items {
+		s.inner.Push(it)
+	}
+	s.mu.Unlock()
+	signal(s.pushed)
+}
+
 // Len implements Policy.
 func (s *Safe) Len() int {
 	s.mu.Lock()

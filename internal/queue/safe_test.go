@@ -254,3 +254,49 @@ func TestSafeDeactivateOpensGate(t *testing.T) {
 		t.Fatal("gate should open once client 1 is deactivated")
 	}
 }
+
+// TestSafeRequeue verifies popped items can be returned to the policy
+// with their original arrival times, so a staleness-ordered discipline
+// restores their true priority, and that consumers are woken.
+func TestSafeRequeue(t *testing.T) {
+	q := NewSafe(NewStalenessPriority())
+	mk := func(id int, sentAt time.Duration) Item {
+		return Item{
+			Msg:       &transport.Message{Type: transport.MsgControl, ClientID: id, SentAt: sentAt},
+			ArrivedAt: sentAt,
+		}
+	}
+	q.Push(mk(0, 30))
+	q.Push(mk(1, 10)) // oldest — highest staleness priority
+	q.Push(mk(2, 20))
+
+	batch := q.PopBatch(100, 2)
+	if len(batch) != 2 || batch[0].ClientID() != 1 || batch[1].ClientID() != 2 {
+		t.Fatalf("popped %v, want clients [1 2] in staleness order", batch)
+	}
+	// The consumer could not process the batch; put it back.
+	q.Requeue(batch...)
+	select {
+	case <-q.Pushed():
+	default:
+		t.Fatal("no wakeup signal after Requeue")
+	}
+	if got := q.Len(); got != 3 {
+		t.Fatalf("len %d after requeue, want 3", got)
+	}
+	// Priority is restored from the preserved timestamps, not requeue
+	// order.
+	for _, want := range []int{1, 2, 0} {
+		it, ok := q.Pop(100)
+		if !ok || it.ClientID() != want {
+			t.Fatalf("pop got client %d (ok=%v), want %d", it.ClientID(), ok, want)
+		}
+	}
+	// Requeueing nothing must not signal.
+	q.Requeue()
+	select {
+	case <-q.Pushed():
+		t.Fatal("empty Requeue signalled consumers")
+	default:
+	}
+}

@@ -1,0 +1,184 @@
+package simnet
+
+import (
+	"sync"
+	"time"
+
+	"github.com/stsl/stsl/internal/mathx"
+)
+
+// FaultOp identifies which carrier operation a fault schedule is scoring.
+type FaultOp uint8
+
+const (
+	// FaultSend scores an outgoing message.
+	FaultSend FaultOp = iota + 1
+	// FaultRecv scores an incoming delivery.
+	FaultRecv
+)
+
+// FaultAction is the behaviour injected into one carrier operation.
+type FaultAction uint8
+
+const (
+	// FaultNone performs the operation untouched.
+	FaultNone FaultAction = iota
+	// FaultSever closes the underlying connection before the operation;
+	// the message is lost and both peers see the link die — the live
+	// analogue of a dropped session.
+	FaultSever
+	// FaultTruncate models a frame cut off mid-wire: the operation fails,
+	// and because stream framing cannot recover from a partial frame, the
+	// connection is severed too.
+	FaultTruncate
+	// FaultDelay performs the operation after waiting FaultDecision.Delay
+	// — a transient stall, not a failure.
+	FaultDelay
+	// FaultDuplicate delivers (or transmits) the message twice — the
+	// at-least-once artefact a retransmitting network produces.
+	FaultDuplicate
+)
+
+// String implements fmt.Stringer for test output.
+func (a FaultAction) String() string {
+	switch a {
+	case FaultNone:
+		return "none"
+	case FaultSever:
+		return "sever"
+	case FaultTruncate:
+		return "truncate"
+	case FaultDelay:
+		return "delay"
+	case FaultDuplicate:
+		return "duplicate"
+	default:
+		return "unknown"
+	}
+}
+
+// FaultDecision is one schedule verdict for one carrier operation.
+type FaultDecision struct {
+	Action FaultAction
+	// Delay is the injected stall when Action is FaultDelay.
+	Delay time.Duration
+}
+
+// FaultSchedule decides, operation by operation, which faults a carrier
+// injects. Implementations must be safe for concurrent use: a duplex
+// carrier scores sends and receives from different goroutines.
+type FaultSchedule interface {
+	// Next scores the n-th operation of the given kind (n counts per
+	// direction, starting at 0, across reconnects of the same logical
+	// peer — a schedule outlives any single connection).
+	Next(op FaultOp) FaultDecision
+}
+
+// FaultPlan parameterises a seeded deterministic fault schedule. The zero
+// value injects nothing. Deterministic every-Nth rules and explicit
+// indices compose with seeded probabilistic rules; for a fixed seed and a
+// fixed per-direction operation sequence the injected faults are
+// identical on every run, which is what lets the chaos suite assert
+// convergence rather than merely survival.
+type FaultPlan struct {
+	// Seed drives the probabilistic rules. Each direction draws from its
+	// own RNG stream so send-side decisions do not depend on how receives
+	// interleave with them.
+	Seed uint64
+	// SeverEverySends severs the connection at every Nth send (0 = never).
+	// The counter spans reconnects, so N=3 churns the link for the whole
+	// run, not just once.
+	SeverEverySends int
+	// SeverAtSends severs at exactly these send indices — the surgical
+	// form used to script burst disconnects.
+	SeverAtSends []int
+	// SeverProb severs on any send with this probability.
+	SeverProb float64
+	// TruncateEverySends fails every Nth send as a truncated frame
+	// (0 = never). Truncation also severs: framing cannot resync.
+	TruncateEverySends int
+	// DupEveryRecvs duplicates every Nth delivery (0 = never).
+	DupEveryRecvs int
+	// DupProb duplicates any delivery with this probability.
+	DupProb float64
+	// DelayProb stalls any operation (either direction) with this
+	// probability, for Delay.
+	DelayProb float64
+	// DelayEveryOps stalls every Nth operation per direction (0 = never).
+	DelayEveryOps int
+	// Delay is the stall injected by the delay rules.
+	Delay time.Duration
+}
+
+// Faults is the standard FaultSchedule: deterministic counters plus
+// seeded per-direction RNG streams over a FaultPlan.
+type Faults struct {
+	plan FaultPlan
+
+	mu      sync.Mutex
+	sendRNG *mathx.RNG
+	recvRNG *mathx.RNG
+	sends   int
+	recvs   int
+	severAt map[int]bool
+}
+
+// NewFaults builds a schedule from a plan.
+func NewFaults(plan FaultPlan) *Faults {
+	root := mathx.NewRNG(plan.Seed ^ 0x9e3779b97f4a7c15)
+	at := make(map[int]bool, len(plan.SeverAtSends))
+	for _, i := range plan.SeverAtSends {
+		at[i] = true
+	}
+	return &Faults{
+		plan:    plan,
+		sendRNG: root.Split(),
+		recvRNG: root.Split(),
+		severAt: at,
+	}
+}
+
+// Next implements FaultSchedule. Rule priority on a send: explicit sever
+// index, every-Nth sever, truncation, probabilistic sever, then delay.
+// On a receive: duplication rules, then delay. Exactly one RNG draw per
+// probabilistic rule per operation keeps the stream aligned regardless of
+// which rule fires.
+func (f *Faults) Next(op FaultOp) FaultDecision {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	switch op {
+	case FaultSend:
+		n := f.sends
+		f.sends++
+		severProb := f.plan.SeverProb > 0 && f.sendRNG.Float64() < f.plan.SeverProb
+		delayProb := f.plan.DelayProb > 0 && f.sendRNG.Float64() < f.plan.DelayProb
+		switch {
+		case f.severAt[n]:
+			return FaultDecision{Action: FaultSever}
+		case f.plan.SeverEverySends > 0 && n > 0 && n%f.plan.SeverEverySends == 0:
+			return FaultDecision{Action: FaultSever}
+		case f.plan.TruncateEverySends > 0 && n > 0 && n%f.plan.TruncateEverySends == 0:
+			return FaultDecision{Action: FaultTruncate}
+		case severProb:
+			return FaultDecision{Action: FaultSever}
+		case delayProb || (f.plan.DelayEveryOps > 0 && n > 0 && n%f.plan.DelayEveryOps == 0):
+			return FaultDecision{Action: FaultDelay, Delay: f.plan.Delay}
+		}
+	case FaultRecv:
+		n := f.recvs
+		f.recvs++
+		dupProb := f.plan.DupProb > 0 && f.recvRNG.Float64() < f.plan.DupProb
+		delayProb := f.plan.DelayProb > 0 && f.recvRNG.Float64() < f.plan.DelayProb
+		switch {
+		case f.plan.DupEveryRecvs > 0 && n > 0 && n%f.plan.DupEveryRecvs == 0:
+			return FaultDecision{Action: FaultDuplicate}
+		case dupProb:
+			return FaultDecision{Action: FaultDuplicate}
+		case delayProb || (f.plan.DelayEveryOps > 0 && n > 0 && n%f.plan.DelayEveryOps == 0):
+			return FaultDecision{Action: FaultDelay, Delay: f.plan.Delay}
+		}
+	}
+	return FaultDecision{}
+}
+
+var _ FaultSchedule = (*Faults)(nil)

@@ -1,0 +1,123 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/stsl/stsl/internal/simnet"
+)
+
+// ErrTruncated reports a frame cut off mid-wire by fault injection. It
+// matches ErrClosed under errors.Is because a stream carrier cannot
+// recover framing after a partial frame — the connection is gone either
+// way — while still letting tests distinguish a truncation from a plain
+// sever.
+var ErrTruncated = fmt.Errorf("transport: frame truncated: %w", ErrClosed)
+
+// FaultCarrier wraps any Conn — channel pair, net.Pipe framing, real TCP
+// — with deterministic fault injection driven by a simnet.FaultSchedule:
+// connection severs, frame truncation, delivery delays, and duplicated
+// deliveries. It is the chaos harness's way of producing the failures a
+// geo-distributed deployment actually sees (links dropping mid-round,
+// gateways restarting, retransmitting networks delivering twice) without
+// giving up seeded reproducibility.
+//
+// Fault semantics:
+//
+//   - Sever: the underlying connection is closed before the operation;
+//     the local caller gets ErrClosed and the peer's next Recv fails.
+//   - Truncate: like sever, but the operation reports ErrTruncated.
+//   - Delay: the operation completes after a stall.
+//   - Duplicate: a sent message is transmitted twice, or a received
+//     message is delivered again on the next Recv.
+//
+// Send and Recv keep the Conn contract (safe from two goroutines); each
+// direction serialises under its own lock, matching the TCP carrier.
+type FaultCarrier struct {
+	inner Conn
+	sched simnet.FaultSchedule
+
+	sendMu sync.Mutex
+
+	recvMu sync.Mutex
+	dup    *Message // pending duplicate delivery
+}
+
+// NewFaultCarrier wraps conn. A nil schedule injects nothing — the
+// carrier degenerates to a pass-through, so callers can wire it
+// unconditionally.
+func NewFaultCarrier(conn Conn, sched simnet.FaultSchedule) *FaultCarrier {
+	return &FaultCarrier{inner: conn, sched: sched}
+}
+
+// Send implements Conn, applying the schedule's verdict for this send.
+func (c *FaultCarrier) Send(m *Message) error {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	d := c.next(simnet.FaultSend)
+	switch d.Action {
+	case simnet.FaultSever:
+		c.inner.Close()
+		return ErrClosed
+	case simnet.FaultTruncate:
+		c.inner.Close()
+		return ErrTruncated
+	case simnet.FaultDelay:
+		sleep(d.Delay)
+	case simnet.FaultDuplicate:
+		if err := c.inner.Send(m); err != nil {
+			return err
+		}
+	}
+	return c.inner.Send(m)
+}
+
+// Recv implements Conn, applying the schedule's verdict for this
+// delivery. A duplicated delivery is returned again by the next Recv,
+// before anything new is read from the wire.
+func (c *FaultCarrier) Recv() (*Message, error) {
+	c.recvMu.Lock()
+	defer c.recvMu.Unlock()
+	if m := c.dup; m != nil {
+		c.dup = nil
+		return m, nil
+	}
+	m, err := c.inner.Recv()
+	if err != nil {
+		return nil, err
+	}
+	d := c.next(simnet.FaultRecv)
+	switch d.Action {
+	case simnet.FaultSever:
+		c.inner.Close()
+		return nil, ErrClosed
+	case simnet.FaultTruncate:
+		c.inner.Close()
+		return nil, ErrTruncated
+	case simnet.FaultDelay:
+		sleep(d.Delay)
+	case simnet.FaultDuplicate:
+		c.dup = m
+	}
+	return m, nil
+}
+
+// Close implements Conn.
+func (c *FaultCarrier) Close() error { return c.inner.Close() }
+
+// next consults the schedule, tolerating a nil one.
+func (c *FaultCarrier) next(op simnet.FaultOp) simnet.FaultDecision {
+	if c.sched == nil {
+		return simnet.FaultDecision{}
+	}
+	return c.sched.Next(op)
+}
+
+func sleep(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+var _ Conn = (*FaultCarrier)(nil)

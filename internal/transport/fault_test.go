@@ -1,0 +1,142 @@
+package transport
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/stsl/stsl/internal/simnet"
+)
+
+func ctrl(note string) *Message {
+	return &Message{Type: MsgControl, Note: note}
+}
+
+// TestFaultCarrierPassThrough checks a nil schedule changes nothing.
+func TestFaultCarrierPassThrough(t *testing.T) {
+	a, b := NewPair(1)
+	fc := NewFaultCarrier(a, nil)
+	if err := fc.Send(ctrl("hi")); err != nil {
+		t.Fatal(err)
+	}
+	m, err := b.Recv()
+	if err != nil || m.Note != "hi" {
+		t.Fatalf("recv: %v %v", m, err)
+	}
+	if err := fc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Recv(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("peer recv after close: %v", err)
+	}
+}
+
+// TestFaultCarrierSeverEveryNth checks the deterministic every-Nth sever:
+// sends 0 and 1 pass, send 2 severs the connection for both peers.
+func TestFaultCarrierSeverEveryNth(t *testing.T) {
+	a, b := NewPair(4)
+	fc := NewFaultCarrier(a, simnet.NewFaults(simnet.FaultPlan{SeverEverySends: 2}))
+	for i := 0; i < 2; i++ {
+		if err := fc.Send(ctrl("ok")); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	if err := fc.Send(ctrl("lost")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send 2 survived the sever: %v", err)
+	}
+	// The two delivered messages drain, then the peer sees the sever.
+	for i := 0; i < 2; i++ {
+		if _, err := b.Recv(); err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+	}
+	if _, err := b.Recv(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("peer did not observe the sever: %v", err)
+	}
+}
+
+// TestFaultCarrierTruncate checks a truncated frame reports ErrTruncated
+// and kills the connection, and that ErrTruncated matches ErrClosed so
+// reconnect logic treats it as a connection loss.
+func TestFaultCarrierTruncate(t *testing.T) {
+	a, _ := NewPair(1)
+	fc := NewFaultCarrier(a, simnet.NewFaults(simnet.FaultPlan{TruncateEverySends: 1}))
+	if err := fc.Send(ctrl("ok")); err != nil {
+		t.Fatalf("send 0: %v", err)
+	}
+	err := fc.Send(ctrl("cut"))
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("want ErrTruncated, got %v", err)
+	}
+	if !errors.Is(err, ErrClosed) {
+		t.Fatal("ErrTruncated must match ErrClosed for reconnect handling")
+	}
+	if err := fc.Send(ctrl("dead")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send after truncation: %v", err)
+	}
+}
+
+// TestFaultCarrierDuplicate checks a duplicated delivery is returned by
+// the next Recv before anything new is read.
+func TestFaultCarrierDuplicate(t *testing.T) {
+	a, b := NewPair(4)
+	fc := NewFaultCarrier(b, simnet.NewFaults(simnet.FaultPlan{DupEveryRecvs: 1}))
+	for _, note := range []string{"first", "second"} {
+		if err := a.Send(ctrl(note)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := make([]string, 0, 3)
+	for i := 0; i < 3; i++ {
+		m, err := fc.Recv()
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		got = append(got, m.Note)
+	}
+	// Recv 0 passes, recv 1 (every-1st with n>0) duplicates "second".
+	want := []string{"first", "second", "second"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("deliveries %v, want %v", got, want)
+		}
+	}
+}
+
+// TestFaultCarrierDelay checks the delay rule stalls but still delivers.
+func TestFaultCarrierDelay(t *testing.T) {
+	a, b := NewPair(1)
+	fc := NewFaultCarrier(a, simnet.NewFaults(simnet.FaultPlan{
+		DelayProb: 1, Delay: 20 * time.Millisecond,
+	}))
+	start := time.Now()
+	if err := fc.Send(ctrl("slow")); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Fatalf("send returned after %v, want ≥20ms stall", elapsed)
+	}
+	if m, err := b.Recv(); err != nil || m.Note != "slow" {
+		t.Fatalf("delayed message lost: %v %v", m, err)
+	}
+}
+
+// TestFaultsDeterministic checks two schedules built from the same plan
+// issue identical verdicts for the same per-direction op sequence.
+func TestFaultsDeterministic(t *testing.T) {
+	plan := simnet.FaultPlan{
+		Seed: 99, SeverProb: 0.2, DupProb: 0.3,
+		DelayProb: 0.25, Delay: time.Millisecond,
+	}
+	f1, f2 := simnet.NewFaults(plan), simnet.NewFaults(plan)
+	for i := 0; i < 200; i++ {
+		op := simnet.FaultSend
+		if i%2 == 1 {
+			op = simnet.FaultRecv
+		}
+		d1, d2 := f1.Next(op), f2.Next(op)
+		if d1 != d2 {
+			t.Fatalf("op %d: verdicts diverge: %v vs %v", i, d1.Action, d2.Action)
+		}
+	}
+}

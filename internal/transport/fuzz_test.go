@@ -1,0 +1,107 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/stsl/stsl/internal/tensor"
+)
+
+// corpusMessages are real frames of every message kind — the seed corpus
+// is recorded by encoding them, so the fuzzer starts from wire bytes the
+// protocol actually produces rather than from noise.
+func corpusMessages(tb testing.TB) []*Message {
+	tb.Helper()
+	act := tensor.New(2, 3, 4, 4)
+	for i := range act.Data() {
+		act.Data()[i] = float64(i) * 0.25
+	}
+	grad := tensor.New(2, 8)
+	grad.Data()[3] = -1.5
+	return []*Message{
+		{Type: MsgActivation, ClientID: 3, Seq: 7, Epoch: 1, SentAt: 1234,
+			Payload: act, Labels: []int{0, 2}},
+		{Type: MsgGradient, ClientID: 3, Seq: 7, Epoch: 1, SentAt: 2345, Payload: grad},
+		{Type: MsgControl, ClientID: 1, Note: "join"},
+		{Type: MsgControl, ClientID: 1, Seq: 0x7ead11ed, Note: "welcome"},
+		{Type: MsgFeatures, ClientID: 0, Seq: 2, Payload: tensor.New(1, 6)},
+		{Type: MsgFeatureGrad, ClientID: 0, Seq: 2, Payload: tensor.New(1, 6)},
+	}
+}
+
+// encode renders a message to wire bytes, failing the test on error.
+func encode(tb testing.TB, m *Message) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		tb.Fatalf("encode seed frame: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzDecode hammers the wire decoder with mutated frames. The contract
+// under test: malformed, truncated, or oversized input returns an error
+// — never a panic, never an unbounded allocation — and any input that
+// does decode survives a re-encode/re-decode round trip unchanged (so a
+// relay cannot corrupt a message it forwards).
+func FuzzDecode(f *testing.F) {
+	for _, m := range corpusMessages(f) {
+		raw := encode(f, m)
+		f.Add(raw)
+		// Truncations at structural boundaries: header, payload header,
+		// mid-data, labels, note length.
+		for _, cut := range []int{1, 4, 29, 31, len(raw) / 2, len(raw) - 1} {
+			if cut > 0 && cut < len(raw) {
+				f.Add(raw[:cut])
+			}
+		}
+	}
+	// An adversarial seed: a plausible header announcing an oversized
+	// label block.
+	big := encode(f, corpusMessages(f)[0])
+	big[26], big[27], big[28] = 0xff, 0xff, 0xff
+	f.Add(big)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return // rejecting garbage is the correct outcome
+		}
+		var buf bytes.Buffer
+		if err := m.Encode(&buf); err != nil {
+			t.Fatalf("decoded message failed to re-encode: %v\nmessage: %+v", err, m)
+		}
+		m2, err := Decode(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded message failed to decode: %v", err)
+		}
+		// Compare at the wire level, not with DeepEqual: payload floats
+		// can be NaN (NaN != NaN), but their bit patterns must survive
+		// the round trip exactly.
+		var buf2 bytes.Buffer
+		if err := m2.Encode(&buf2); err != nil {
+			t.Fatalf("second re-encode failed: %v", err)
+		}
+		if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+			t.Fatalf("round trip changed the wire bytes:\n first: %+v\nsecond: %+v", m, m2)
+		}
+	})
+}
+
+// FuzzDecodeStream feeds the decoder two concatenated fuzzed frames —
+// the framing must either consume the first cleanly (leaving the reader
+// positioned at the second) or error; it must never panic on what
+// follows a valid frame.
+func FuzzDecodeStream(f *testing.F) {
+	msgs := corpusMessages(f)
+	f.Add(encode(f, msgs[0]), encode(f, msgs[2]))
+	f.Add(encode(f, msgs[1]), []byte{0xde, 0xad})
+	f.Fuzz(func(t *testing.T, first, second []byte) {
+		r := bytes.NewReader(append(append([]byte{}, first...), second...))
+		for i := 0; i < 2; i++ {
+			if _, err := Decode(r); err != nil {
+				return
+			}
+		}
+	})
+}

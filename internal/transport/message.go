@@ -90,6 +90,11 @@ func (m *Message) Validate() error {
 		if m.Payload == nil {
 			return errors.New("transport: activation message without payload")
 		}
+		if m.Payload.Dims() == 0 {
+			// Dim(0) below would panic on a rank-0 payload, which a
+			// corrupted frame can produce.
+			return errors.New("transport: activation payload has no batch dimension")
+		}
 		if len(m.Labels) == 0 {
 			return errors.New("transport: activation message without labels")
 		}

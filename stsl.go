@@ -152,6 +152,23 @@ type (
 // NewSymmetricPath builds a path with shared latency model.
 var NewSymmetricPath = simnet.NewSymmetricPath
 
+// Fault injection for chaos testing live deployments.
+type (
+	// FaultPlan parameterises a seeded deterministic fault schedule.
+	FaultPlan = simnet.FaultPlan
+	// FaultSchedule decides which faults a carrier injects.
+	FaultSchedule = simnet.FaultSchedule
+	// FaultCarrier wraps any connection with fault injection.
+	FaultCarrier = transport.FaultCarrier
+)
+
+var (
+	// NewFaults builds the standard seeded fault schedule.
+	NewFaults = simnet.NewFaults
+	// NewFaultCarrier wraps a connection in a fault schedule.
+	NewFaultCarrier = transport.NewFaultCarrier
+)
+
 // Transport types for real deployments.
 type (
 	// Conn is a bidirectional message channel.
