@@ -5,6 +5,14 @@
 // over the wire protocol, so the perf trajectory tracks the deployment
 // path and not just the virtual-time simulator.
 //
+// Live mode also powers the per-PR BENCH snapshots: -json writes the
+// measured grid as a schema-stable (stsl-bench/1) report, -compare
+// gates a fresh run against a committed baseline and exits non-zero on
+// any cell whose throughput regressed past -tolerance, and -validate
+// checks an existing report parses. All live grid cells share one
+// telemetry registry (reset between cells) — a full grid leaks no
+// goroutines or listeners.
+//
 // Usage:
 //
 //	stsl-bench -exp all -scale small
@@ -12,6 +20,10 @@
 //	stsl-bench -exp fig4 -out /tmp/fig4
 //	stsl-bench -live -scale tiny -steps 16
 //	stsl-bench -live -clients 8 -policy fair-rr -coalesce 4
+//	stsl-bench -live -clients 1,4,8 -policy fifo,staleness -json BENCH.json -overhead
+//	stsl-bench -live -compare BENCH.json -tolerance 0.1
+//	stsl-bench -compare OLD.json -against NEW.json
+//	stsl-bench -validate BENCH.json
 package main
 
 import (
@@ -20,31 +32,55 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"time"
 
-	"github.com/stsl/stsl/internal/cluster"
-	"github.com/stsl/stsl/internal/core"
-	"github.com/stsl/stsl/internal/data"
 	"github.com/stsl/stsl/internal/expt"
-	"github.com/stsl/stsl/internal/mathx"
 	"github.com/stsl/stsl/internal/nn"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1|fig1|fig2|fig3|fig4|queue|sweep|quantize|robustness|all")
-		scale    = flag.String("scale", "small", "scale: tiny|small|paper")
-		seed     = flag.Uint64("seed", 42, "experiment seed")
-		outDir   = flag.String("out", "", "directory for Fig-4 PNG output (optional)")
-		horizon  = flag.Duration("horizon", 10*time.Second, "virtual-time horizon for the queue ablation")
-		csvDir   = flag.String("csv", "", "directory to also write each table as <exp>.csv (optional)")
-		live     = flag.Bool("live", false, "benchmark the live cluster runtime instead of the paper experiments")
-		steps    = flag.Int("steps", 16, "per-client batches for the --live benchmark")
-		clients  = flag.Int("clients", 0, "end-system count for the --live benchmark (0 = sweep 1,4,16)")
-		policy   = flag.String("policy", "fifo", "queue policy for the --live benchmark: fifo|staleness|fair-rr|sync-rounds")
-		coalesce = flag.Int("coalesce", 0, "micro-batch coalescing cap for the --live benchmark (0 = sweep 1,2,4,8)")
+		exp       = flag.String("exp", "all", "experiment: table1|fig1|fig2|fig3|fig4|queue|sweep|quantize|robustness|all")
+		scale     = flag.String("scale", "small", "scale: tiny|small|paper")
+		seed      = flag.Uint64("seed", 42, "experiment seed")
+		outDir    = flag.String("out", "", "directory for Fig-4 PNG output (optional)")
+		horizon   = flag.Duration("horizon", 10*time.Second, "virtual-time horizon for the queue ablation")
+		csvDir    = flag.String("csv", "", "directory to also write each table as <exp>.csv (optional)")
+		live      = flag.Bool("live", false, "benchmark the live cluster runtime instead of the paper experiments")
+		steps     = flag.Int("steps", 16, "per-client batches for the --live benchmark")
+		clients   = flag.String("clients", "", "end-system counts for the --live benchmark, comma-separated (default 1,4,16)")
+		policy    = flag.String("policy", "fifo", "queue policies for the --live benchmark, comma-separated: fifo|staleness|fair-rr|sync-rounds")
+		coalesce  = flag.String("coalesce", "", "micro-batch coalescing caps for the --live benchmark, comma-separated (default 1,2,4,8)")
+		jsonOut   = flag.String("json", "", "write the --live grid as a schema-stable JSON report to this path")
+		overhead  = flag.Bool("overhead", false, "also measure the telemetry overhead (bare vs instrumented) at the largest client count")
+		compare   = flag.String("compare", "", "run the --live grid matching this baseline report and fail on throughput regressions")
+		against   = flag.String("against", "", "with -compare: diff the baseline against this already-measured report instead of re-running the grid")
+		tolerance = flag.Float64("tolerance", 0.10, "allowed fractional throughput drop per grid cell for -compare")
+		repeats   = flag.Int("repeats", 0, "measure each --live cell this many times, keep the fastest (0 = once, or 5 under -compare)")
+		validate  = flag.String("validate", "", "parse and validate an existing bench JSON report, then exit")
 	)
 	flag.Parse()
+
+	if *validate != "" {
+		r, err := readBench(*validate)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("stsl-bench: %s ok — schema %s, %d rows (scale=%s steps=%d transport=%s)\n",
+			*validate, r.Schema, len(r.Rows), r.Scale, r.StepsPerClient, r.Transport)
+		return
+	}
+
+	if *compare != "" && *against != "" {
+		// Pure file-vs-file gate: no measurement, fully deterministic —
+		// what CI uses to prove the >10% rule trips.
+		if err := compareFiles(*compare, *against, *tolerance); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	s, err := expt.ScaleByName(*scale)
 	if err != nil {
@@ -52,7 +88,8 @@ func main() {
 	}
 
 	if *live {
-		if err := runLive(s, *seed, *steps, *clients, *policy, *coalesce); err != nil {
+		if err := runLive(s, *seed, *steps, *clients, *policy, *coalesce,
+			*jsonOut, *overhead, *compare, *tolerance, *repeats); err != nil {
 			fatal(err)
 		}
 		return
@@ -188,51 +225,169 @@ func main() {
 }
 
 // runLive measures live-cluster training throughput — steps/sec versus
-// concurrent end-system count and micro-batch coalescing cap — over
-// net.Pipe with full wire encode/decode, under any scheduling policy.
-func runLive(s expt.Scale, seed uint64, steps, clients int, policy string, coalesce int) error {
-	clientCounts := []int{1, 4, 16}
-	if clients > 0 {
-		clientCounts = []int{clients}
+// concurrent end-system count, queue policy, and micro-batch coalescing
+// cap — over net.Pipe with full wire encode/decode, via the shared
+// expt.RunLiveBench harness (one telemetry registry across all cells).
+func runLive(s expt.Scale, seed uint64, steps int, clients, policy, coalesce, jsonOut string, overhead bool, compare string, tolerance float64, repeats int) error {
+	clientCounts, err := parseIntList(clients, []int{1, 4, 16})
+	if err != nil {
+		return fmt.Errorf("-clients: %w", err)
 	}
-	coalesceCaps := []int{1, 2, 4, 8}
-	if coalesce > 0 {
-		coalesceCaps = []int{coalesce}
+	coalesceCaps, err := parseIntList(coalesce, []int{1, 2, 4, 8})
+	if err != nil {
+		return fmt.Errorf("-coalesce: %w", err)
 	}
-	fmt.Printf("live cluster throughput — scale=%s, %d steps/client, policy=%s, wire framing over net.Pipe\n\n",
-		s.Name, steps, policy)
-	fmt.Printf("%8s %10s %12s %12s %12s %10s\n", "clients", "coalesce", "steps/s", "wall", "maxdepth", "loss")
-	for _, m := range clientCounts {
-		gen := data.SynthCIFAR{Height: s.Model.Height, Width: s.Model.Width, Classes: s.Model.Classes}
-		ds, err := gen.Generate(s.BatchSize*2*m, seed)
+	policies := strings.Split(policy, ",")
+
+	var baseline *expt.BenchReport
+	if compare != "" {
+		baseline, err = readBench(compare)
 		if err != nil {
 			return err
 		}
-		shards, err := data.PartitionIID(ds, m, mathx.NewRNG(seed+1))
+		// The gate re-measures exactly the baseline's grid so every
+		// cell is comparable, with best-of-N per cell so scheduler
+		// noise on short cells cannot masquerade as a regression.
+		if s, err = expt.ScaleByName(baseline.Scale); err != nil {
+			return err
+		}
+		steps = baseline.StepsPerClient
+		if repeats == 0 {
+			repeats = 5
+		}
+	}
+
+	fmt.Printf("live cluster throughput — scale=%s, %d steps/client, wire framing over net.Pipe\n\n",
+		s.Name, steps)
+	fmt.Printf("%8s %12s %10s %10s %12s %12s %12s %12s %10s\n",
+		"clients", "policy", "coalesce", "telem", "steps/s", "wall", "p95 wait", "maxdepth", "loss")
+	cfg := expt.LiveBenchConfig{
+		Scale: s, Seed: seed, Steps: steps,
+		Clients: clientCounts, Policies: policies, Coalesce: coalesceCaps,
+		MeasureOverhead: overhead,
+		Repeats:         repeats,
+		Progress: func(r expt.BenchRow) {
+			fmt.Printf("%8d %12s %10d %10v %12.1f %12.3fs %11.1fms %12d %10.4f\n",
+				r.Clients, r.Policy, r.Coalesce, r.Telemetry, r.StepsPerSec,
+				r.WallSeconds, r.WaitP95*1e3, r.MaxQueueDepth, r.FinalLoss)
+		},
+	}
+	if baseline != nil {
+		cfg.Clients, cfg.Policies, cfg.Coalesce = benchGrid(baseline)
+		cfg.MeasureOverhead = baseline.Overhead != nil
+	}
+	report, err := expt.RunLiveBench(context.Background(), cfg)
+	if err != nil {
+		return err
+	}
+	if report.Overhead != nil {
+		fmt.Printf("\ntelemetry overhead at %d clients: %.1f → %.1f steps/s (%.1f%%)\n",
+			report.Overhead.Clients, report.Overhead.BareStepsPerSec,
+			report.Overhead.InstrumentedStepsPerSec, report.Overhead.Fraction*100)
+	}
+
+	if jsonOut != "" {
+		raw, err := expt.MarshalBenchJSON(report)
 		if err != nil {
 			return err
 		}
-		for _, b := range coalesceCaps {
-			dep, err := core.NewDeployment(core.Config{
-				Model: s.Model, Cut: 1, Clients: m, Seed: seed,
-				BatchSize: s.BatchSize, LR: s.LR,
-				QueuePolicy: policy, BatchCoalesce: b,
-			}, shards)
-			if err != nil {
-				return err
-			}
-			res, err := cluster.Run(context.Background(), dep, cluster.RunnerConfig{
-				StepsPerClient: steps, Transport: cluster.TransportPipe,
-			})
-			if err != nil {
-				return err
-			}
-			fmt.Printf("%8d %10d %12.1f %12v %12d %10.4f\n",
-				m, b, float64(res.ServerSteps)/res.WallDuration.Seconds(),
-				res.WallDuration.Round(time.Millisecond), res.Snapshot.MaxQueueDepth, res.FinalLoss)
+		if err := os.WriteFile(jsonOut, raw, 0o644); err != nil {
+			return err
 		}
+		fmt.Printf("\nreport written to %s\n", jsonOut)
+	}
+	if baseline != nil {
+		regs, err := expt.CompareBench(baseline, report, tolerance)
+		if err != nil {
+			return err
+		}
+		if len(regs) > 0 {
+			fmt.Printf("\nTHROUGHPUT REGRESSIONS vs %s (tolerance %.0f%%):\n", compare, tolerance*100)
+			for _, r := range regs {
+				fmt.Printf("  %s\n", r)
+			}
+			return fmt.Errorf("%d grid cell(s) regressed past %.0f%%", len(regs), tolerance*100)
+		}
+		fmt.Printf("\nno regressions vs %s (tolerance %.0f%%)\n", compare, tolerance*100)
 	}
 	return nil
+}
+
+// benchGrid recovers the unique grid axes of a baseline report, in
+// first-seen order, so -compare re-measures exactly the same cells.
+func benchGrid(r *expt.BenchReport) (clients []int, policies []string, coalesce []int) {
+	seenC, seenP, seenB := map[int]bool{}, map[string]bool{}, map[int]bool{}
+	for _, row := range r.Rows {
+		if !seenC[row.Clients] {
+			seenC[row.Clients] = true
+			clients = append(clients, row.Clients)
+		}
+		if !seenP[row.Policy] {
+			seenP[row.Policy] = true
+			policies = append(policies, row.Policy)
+		}
+		if !seenB[row.Coalesce] {
+			seenB[row.Coalesce] = true
+			coalesce = append(coalesce, row.Coalesce)
+		}
+	}
+	return clients, policies, coalesce
+}
+
+// compareFiles gates an already-measured report against a baseline,
+// with no fresh measurement: exit non-zero when any shared grid cell's
+// throughput dropped past the tolerance.
+func compareFiles(oldPath, newPath string, tolerance float64) error {
+	old, err := readBench(oldPath)
+	if err != nil {
+		return err
+	}
+	cur, err := readBench(newPath)
+	if err != nil {
+		return err
+	}
+	regs, err := expt.CompareBench(old, cur, tolerance)
+	if err != nil {
+		return err
+	}
+	if len(regs) > 0 {
+		fmt.Printf("THROUGHPUT REGRESSIONS %s → %s (tolerance %.0f%%):\n", oldPath, newPath, tolerance*100)
+		for _, r := range regs {
+			fmt.Printf("  %s\n", r)
+		}
+		return fmt.Errorf("%d grid cell(s) regressed past %.0f%%", len(regs), tolerance*100)
+	}
+	fmt.Printf("stsl-bench: no regressions %s → %s (tolerance %.0f%%)\n", oldPath, newPath, tolerance*100)
+	return nil
+}
+
+// readBench loads and validates a bench JSON report from disk.
+func readBench(path string) (*expt.BenchReport, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return expt.ValidateBenchJSON(raw)
+}
+
+// parseIntList parses "1,4,8" into ints, falling back to def when s is
+// empty.
+func parseIntList(s string, def []int) ([]int, error) {
+	if s == "" {
+		return def, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", part)
+		}
+		if n <= 0 {
+			return nil, fmt.Errorf("value %d must be positive", n)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 func fatal(err error) {

@@ -14,9 +14,16 @@
 // -resume restores it — so a restarted server carries on from the last
 // step while clients started with -retry re-handshake on their own.
 //
+// With -admin-addr the server also exposes an admin HTTP listener:
+// Prometheus metrics on /metrics, a JSON status superset of the periodic
+// -status-every log line on /statusz, the recent-event flight recorder
+// on /trace, and net/http/pprof under /debug/pprof. The admin surface
+// exposes operational internals, so bind it to loopback unless the
+// network is trusted.
+//
 // Usage (server plus two end-systems on one machine):
 //
-//	stsl-server   -addr :9000 -clients 2 -cut 1 -checkpoint-dir /tmp/stsl &
+//	stsl-server   -addr :9000 -clients 2 -cut 1 -checkpoint-dir /tmp/stsl -admin-addr 127.0.0.1:9090 &
 //	stsl-endsystem -addr 127.0.0.1:9000 -id 0 -cut 1 -steps 100 -retry 10 &
 //	stsl-endsystem -addr 127.0.0.1:9000 -id 1 -cut 1 -steps 100 -retry 10
 package main
@@ -36,6 +43,7 @@ import (
 	"github.com/stsl/stsl/internal/expt"
 	"github.com/stsl/stsl/internal/mathx"
 	"github.com/stsl/stsl/internal/nn"
+	"github.com/stsl/stsl/internal/obs"
 	"github.com/stsl/stsl/internal/opt"
 	"github.com/stsl/stsl/internal/queue"
 	"github.com/stsl/stsl/internal/transport"
@@ -43,23 +51,24 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":9000", "listen address")
-		clients   = flag.Int("clients", 1, "number of end-systems to await")
-		cut       = flag.Int("cut", 1, "split point (must match the end-systems)")
-		scale     = flag.String("scale", "small", "model scale: tiny|small|paper")
-		seed      = flag.Uint64("seed", 1, "weight seed (must match the end-systems)")
-		lr        = flag.Float64("lr", 0.05, "learning rate")
-		policy    = flag.String("policy", "fifo", "queue policy: fifo|staleness|fair-rr")
-		queueCap  = flag.Int("queue-cap", 64, "scheduling queue depth cap (-1 = unbounded)")
-		overflow  = flag.String("overflow", "park", "behaviour at the cap: park|reject")
-		coalesce  = flag.Int("coalesce", 1, "micro-batch coalescing cap: stack up to this many queued activations per pass")
-		straggler = flag.Duration("straggler-timeout", 0, "drop silent clients after this long (0 = never)")
-		grace     = flag.Duration("resume-grace", 30*time.Second, "how long a disconnected client may reconnect and resume its session (0 = evict immediately)")
-		ckptDir   = flag.String("checkpoint-dir", "", "directory for periodic server checkpoints (empty = no checkpointing)")
-		ckptEvery = flag.Int("checkpoint-every", 50, "server steps between checkpoints (with -checkpoint-dir)")
-		resume    = flag.Bool("resume", false, "restore training state from -checkpoint-dir before serving (missing checkpoint = fresh start)")
-		snapEvery = flag.Duration("snapshot-every", 5*time.Second, "live metrics print interval (0 = off)")
-		weights   = flag.String("weights", "", "path to write learned server weights (optional)")
+		addr        = flag.String("addr", ":9000", "listen address")
+		clients     = flag.Int("clients", 1, "number of end-systems to await")
+		cut         = flag.Int("cut", 1, "split point (must match the end-systems)")
+		scale       = flag.String("scale", "small", "model scale: tiny|small|paper")
+		seed        = flag.Uint64("seed", 1, "weight seed (must match the end-systems)")
+		lr          = flag.Float64("lr", 0.05, "learning rate")
+		policy      = flag.String("policy", "fifo", "queue policy: fifo|staleness|fair-rr")
+		queueCap    = flag.Int("queue-cap", 64, "scheduling queue depth cap (-1 = unbounded)")
+		overflow    = flag.String("overflow", "park", "behaviour at the cap: park|reject")
+		coalesce    = flag.Int("coalesce", 1, "micro-batch coalescing cap: stack up to this many queued activations per pass")
+		straggler   = flag.Duration("straggler-timeout", 0, "drop silent clients after this long (0 = never)")
+		grace       = flag.Duration("resume-grace", 30*time.Second, "how long a disconnected client may reconnect and resume its session (0 = evict immediately)")
+		ckptDir     = flag.String("checkpoint-dir", "", "directory for periodic server checkpoints (empty = no checkpointing)")
+		ckptEvery   = flag.Int("checkpoint-every", 50, "server steps between checkpoints (with -checkpoint-dir)")
+		resume      = flag.Bool("resume", false, "restore training state from -checkpoint-dir before serving (missing checkpoint = fresh start)")
+		statusEvery = flag.Duration("status-every", 5*time.Second, "periodic one-line status log interval (0 = off)")
+		adminAddr   = flag.String("admin-addr", "", "admin HTTP listener: /metrics (Prometheus), /statusz (JSON), /trace, /debug/pprof. Serves operational internals — bind loopback (e.g. 127.0.0.1:9090) unless the network is trusted. Empty = off")
+		weights     = flag.String("weights", "", "path to write learned server weights (optional)")
 	)
 	flag.Parse()
 	if *resume && *ckptDir == "" {
@@ -97,6 +106,19 @@ func main() {
 		BatchCoalesce:    *coalesce,
 		ResumeGrace:      *grace,
 	}
+	// Telemetry comes alive with the admin listener: a registry for
+	// /metrics and a bounded trace ring for /trace. Without -admin-addr
+	// the server runs the uninstrumented (pre-telemetry) hot path.
+	var (
+		reg    *obs.Registry
+		tracer *obs.Tracer
+	)
+	if *adminAddr != "" {
+		reg = obs.NewRegistry()
+		tracer = obs.NewTracer(obs.DefaultTraceCap)
+		clusterCfg.Obs = reg
+		clusterCfg.Tracer = tracer
+	}
 	if *ckptDir != "" {
 		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
 			fatal(err)
@@ -132,6 +154,24 @@ func main() {
 		fatal(err)
 	}
 	defer lis.Close()
+	if reg != nil {
+		lis.Instrument(transport.NewConnInstruments(reg))
+		admin, err := obs.StartAdmin(*adminAddr, obs.AdminConfig{
+			Registry: reg,
+			Tracer:   tracer,
+			Statusz: func() any {
+				return struct {
+					cluster.Snapshot
+					Queue string `json:"queue"`
+				}{srv.Snapshot(), coreSrv.QueueMetrics.String()}
+			},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer admin.Close()
+		fmt.Printf("stsl-server: admin listener on http://%s (/metrics /statusz /trace /debug/pprof)\n", admin.Addr())
+	}
 	fmt.Printf("stsl-server: listening on %s for %d end-system(s), cut=%d policy=%s cap=%d overflow=%s coalesce=%d\n",
 		lis.Addr(), *clients, *cut, *policy, *queueCap, *overflow, *coalesce)
 	go srv.ServeListener(lis)
@@ -139,9 +179,9 @@ func main() {
 	// The ticker stops when training ends, not at process exit, so late
 	// snapshots cannot interleave with the final report.
 	tickCtx, tickStop := context.WithCancel(ctx)
-	if *snapEvery > 0 {
+	if *statusEvery > 0 {
 		go func() {
-			t := time.NewTicker(*snapEvery)
+			t := time.NewTicker(*statusEvery)
 			defer t.Stop()
 			for {
 				select {

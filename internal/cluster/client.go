@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/stsl/stsl/internal/core"
+	"github.com/stsl/stsl/internal/obs"
 	"github.com/stsl/stsl/internal/transport"
 )
 
@@ -38,6 +39,12 @@ type ClientConfig struct {
 	// Now supplies protocol timestamps; nil uses a monotonic wall clock
 	// started at the first batch.
 	Now func() time.Duration
+	// GradRTT, when non-nil, records the send→gradient-applied round
+	// trip of every batch in seconds — queue wait, server compute, and
+	// both wire legs, as this client experiences them. After a resend
+	// (backpressure bounce, reconnect) the clock restarts at the resend,
+	// so the histogram reflects delivery latency, not retry budgets.
+	GradRTT *obs.Histogram
 }
 
 // ClientResult summarises one client's run.
@@ -307,6 +314,7 @@ func RunClient(ctx context.Context, es *core.EndSystem, conn transport.Conn, cfg
 			return res, fmt.Errorf("cluster: client %d produce step %d: %w", es.ID, i, err)
 		}
 		sendNeeded := true
+		var sentAt time.Time
 	delivery:
 		for {
 			if sendNeeded {
@@ -317,6 +325,9 @@ func RunClient(ctx context.Context, es *core.EndSystem, conn transport.Conn, cfg
 					continue // resumed on a fresh carrier; resend
 				}
 				sendNeeded = false
+				if cfg.GradRTT != nil {
+					sentAt = time.Now()
+				}
 			}
 			reply, err := await(p)
 			if err != nil {
@@ -352,6 +363,9 @@ func RunClient(ctx context.Context, es *core.EndSystem, conn transport.Conn, cfg
 			default:
 				if err := es.ApplyGradient(reply); err != nil {
 					return res, fmt.Errorf("cluster: client %d apply step %d: %w", es.ID, i, err)
+				}
+				if cfg.GradRTT != nil {
+					cfg.GradRTT.ObserveSince(sentAt)
 				}
 				break delivery
 			}

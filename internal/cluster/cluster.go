@@ -49,6 +49,7 @@ import (
 	"time"
 
 	"github.com/stsl/stsl/internal/core"
+	"github.com/stsl/stsl/internal/obs"
 )
 
 // Overflow selects what the server does with an activation that arrives
@@ -113,6 +114,18 @@ type Config struct {
 	// clock across server and clients so staleness ordering is
 	// consistent.
 	Now func() time.Duration
+	// Obs, when non-nil, is the registry this server's telemetry lands
+	// in: queue depth/wait histograms per policy, session lifecycle
+	// counters, worker stage timings, and the core model server's step
+	// and loss metrics. The record path is a few atomic ops per event —
+	// cheap enough to leave on (the bench harness bounds the overhead
+	// at ≤2% steps/s). nil disables all of it.
+	Obs *obs.Registry
+	// Tracer, when non-nil, receives session lifecycle events and
+	// worker spans into its bounded in-memory ring — the flight
+	// recorder behind the admin listener's /trace endpoint. nil
+	// disables tracing.
+	Tracer *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {

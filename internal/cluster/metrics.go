@@ -14,8 +14,13 @@ type Snapshot struct {
 	Uptime time.Duration
 	// ServerSteps is the number of batches processed so far.
 	ServerSteps int
-	// StepsPerSec is the lifetime throughput (ServerSteps / Uptime).
+	// StepsPerSec is the lifetime throughput (ServerSteps / Uptime),
+	// zero until at least a millisecond of uptime has accrued.
 	StepsPerSec float64
+	// StepsPerSecWindow is the throughput over the trailing ~10s — the
+	// number a dashboard should watch, since the lifetime average hides
+	// stalls on long runs. Zero until enough step history exists.
+	StepsPerSecWindow float64
 	// QueueDepth is the current scheduling-queue occupancy.
 	QueueDepth int
 	// MaxQueueDepth is the occupancy high-water mark over the run.
@@ -73,8 +78,8 @@ func (s Snapshot) String() string {
 	if s.Checkpoints > 0 {
 		ckpt = fmt.Sprintf(" ckpt=%d", s.Checkpoints)
 	}
-	return fmt.Sprintf("steps=%d (%.1f/s) depth=%d/%d rejected=%d%s loss=%.4f per-client[%s]",
-		s.ServerSteps, s.StepsPerSec, s.QueueDepth, s.MaxQueueDepth, s.Rejected, ckpt, s.LastLoss,
+	return fmt.Sprintf("steps=%d (%.1f/s life, %.1f/s now) depth=%d/%d rejected=%d%s loss=%.4f per-client[%s]",
+		s.ServerSteps, s.StepsPerSec, s.StepsPerSecWindow, s.QueueDepth, s.MaxQueueDepth, s.Rejected, ckpt, s.LastLoss,
 		strings.Join(parts, " "))
 }
 

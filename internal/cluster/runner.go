@@ -5,9 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strconv"
 	"time"
 
 	"github.com/stsl/stsl/internal/core"
+	"github.com/stsl/stsl/internal/obs"
 	"github.com/stsl/stsl/internal/simnet"
 	"github.com/stsl/stsl/internal/transport"
 )
@@ -163,6 +165,10 @@ func Run(ctx context.Context, dep *core.Deployment, cfg RunnerConfig) (*RunnerRe
 				Steps:       cfg.StepsPerClient,
 				GradTimeout: cfg.GradTimeout,
 				Now:         now,
+				// Per-client series; a nil registry yields a nil (no-op)
+				// histogram, so this is free when telemetry is off.
+				GradRTT: cfg.Cluster.Obs.Histogram(
+					"stsl_client_grad_rtt_seconds", obs.Labels{"client": strconv.Itoa(i)}),
 			}
 			if cfg.Retry > 0 {
 				clientCfg.Dial = clientDial
@@ -237,6 +243,9 @@ func dialers(srv *Server, tr Transport, n int) (func(i int) (transport.Conn, err
 		lis, err := transport.Listen("127.0.0.1:0")
 		if err != nil {
 			return nil, cleanup, err
+		}
+		if srv.cfg.Obs != nil {
+			lis.Instrument(transport.NewConnInstruments(srv.cfg.Obs))
 		}
 		cleanup = func() { lis.Close() }
 		go srv.ServeListener(lis)

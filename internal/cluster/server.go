@@ -10,6 +10,7 @@ import (
 
 	"github.com/stsl/stsl/internal/core"
 	"github.com/stsl/stsl/internal/mathx"
+	"github.com/stsl/stsl/internal/obs"
 	"github.com/stsl/stsl/internal/queue"
 	"github.com/stsl/stsl/internal/transport"
 )
@@ -90,6 +91,13 @@ type Server struct {
 	q    *queue.Safe
 	now  func() time.Duration
 
+	// Telemetry (all optional): ins holds the cluster-level counters
+	// and worker histograms, qIns the queue bundle shared with q, tr
+	// the event ring. All nil when Config.Obs/Tracer are unset.
+	ins  *instruments
+	qIns *queue.Instruments
+	tr   *obs.Tracer
+
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
@@ -110,6 +118,9 @@ type Server struct {
 	ckptErr     error
 	lastLoss    float64
 	started     bool
+	// rateSamples backs Snapshot's windowed throughput (see
+	// observeStepLocked).
+	rateSamples []rateSample
 }
 
 // NewServer wraps a wired core.Server for live concurrent use. The core
@@ -143,7 +154,16 @@ func NewServer(srv *core.Server, cfg Config) (*Server, error) {
 		cfg:      cfg,
 		core:     srv,
 		q:        safe,
+		tr:       cfg.Tracer,
 		sessions: make(map[int]*session),
+	}
+	if cfg.Obs != nil {
+		s.ins = newInstruments(cfg.Obs)
+		s.qIns = queue.NewInstruments(cfg.Obs, safe.Name())
+		safe.SetInstruments(s.qIns)
+		if srv.Instr == nil {
+			srv.Instr = core.NewServerInstruments(cfg.Obs)
+		}
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s, nil
@@ -171,6 +191,12 @@ func (s *Server) Start(ctx context.Context) error {
 	if s.now == nil {
 		start := s.startWall
 		s.now = func() time.Duration { return time.Since(start) }
+	}
+	if s.cfg.Obs != nil {
+		start := s.startWall
+		s.cfg.Obs.GaugeFunc("stsl_uptime_seconds", nil, func() float64 {
+			return time.Since(start).Seconds()
+		})
 	}
 	// Wake AwaitClients waiters when the server stops for any reason.
 	context.AfterFunc(s.ctx, func() {
@@ -207,15 +233,36 @@ func (s *Server) worker() {
 	if batchMax < 1 {
 		batchMax = 1
 	}
+	// telemetry gates every clock read on the hot path: with Obs and
+	// Tracer unset the loop runs exactly as before, one bool check per
+	// stage.
+	telemetry := s.ins != nil || s.tr != nil
+	var insPop, insProc, insScat *obs.Histogram
+	if s.ins != nil {
+		insPop, insProc, insScat = s.ins.workerPop, s.ins.workerProcess, s.ins.workerScatter
+	}
 	for {
-		items := s.q.PopBatch(s.now(), batchMax)
-		if len(items) == 0 {
+		var popStart time.Time
+		if telemetry {
+			popStart = time.Now()
+		}
+		var items []queue.Item
+		for {
+			items = s.q.PopBatch(s.now(), batchMax)
+			if len(items) > 0 {
+				break
+			}
 			select {
 			case <-s.q.Pushed():
-				continue
 			case <-s.ctx.Done():
 				return
 			}
+		}
+		if telemetry {
+			// Blocked waits included: next to worker.process this reads
+			// as the worker's idle share — high pop times mean the
+			// queue, not the model, is the bottleneck.
+			s.workerSpan("worker.pop", insPop, popStart, len(items))
 		}
 		if s.ctx.Err() != nil {
 			// Shutdown raced the pop: return the admitted work so the
@@ -227,10 +274,24 @@ func (s *Server) worker() {
 		}
 		if len(items) > 1 {
 			now := s.now()
+			var procStart time.Time
+			if telemetry {
+				procStart = time.Now()
+			}
 			replies, err := s.processBatch(items, now)
 			if err == nil {
+				if telemetry {
+					s.workerSpan("worker.process", insProc, procStart, len(items))
+				}
+				var scatStart time.Time
+				if telemetry {
+					scatStart = time.Now()
+				}
 				for i, it := range items {
 					s.deliver(it, replies[i], now, nil)
+				}
+				if telemetry {
+					s.workerSpan("worker.scatter", insScat, scatStart, len(items))
 				}
 				s.maybeCheckpoint(len(items))
 				continue
@@ -244,8 +305,22 @@ func (s *Server) worker() {
 		}
 		for _, it := range items {
 			now := s.now()
+			var procStart time.Time
+			if telemetry {
+				procStart = time.Now()
+			}
 			reply, err := s.process(it, now)
+			if telemetry {
+				s.workerSpan("worker.process", insProc, procStart, 1)
+			}
+			var scatStart time.Time
+			if telemetry {
+				scatStart = time.Now()
+			}
 			s.deliver(it, reply, now, err)
+			if telemetry {
+				s.workerSpan("worker.scatter", insScat, scatStart, 1)
+			}
 		}
 		s.maybeCheckpoint(len(items))
 	}
@@ -304,6 +379,7 @@ func (s *Server) deliver(it queue.Item, reply *transport.Message, now time.Durat
 	}
 	s.mu.Lock()
 	s.steps++
+	s.observeStepLocked(time.Now())
 	s.lastLoss = s.core.Losses.Last()
 	var conn transport.Conn
 	parked := false
@@ -378,9 +454,12 @@ func (s *Server) evict(clientID int, cause error) {
 		sess.closed.Store(true)
 		if sess.parked {
 			// A parked session has no receive loop left to observe the
-			// closed carrier and record the end — do it here.
+			// closed carrier and record the end — do it here. The same
+			// goes for the eviction event; a live session's eviction is
+			// recorded when its receive loop ends.
 			sess.ended = true
 			sess.parked = false
+			s.lifecycle("session.evict", clientID, cause.Error())
 		}
 		conn = sess.conn
 		s.cond.Broadcast()
@@ -431,6 +510,7 @@ func (s *Server) janitor() {
 					// No receive loop remains to record the end.
 					sess.ended = true
 					sess.parked = false
+					s.lifecycle("session.evict", sess.id, "resume grace expired")
 					drop = append(drop, sess)
 					conns = append(conns, sess.conn)
 				}
@@ -542,6 +622,7 @@ func (s *Server) registerLocked(id int, conn transport.Conn) *session {
 	sess.lastActive.Store(int64(s.now()))
 	s.sessions[id] = sess
 	s.joined++
+	s.lifecycle("session.join", id, "")
 	s.cond.Broadcast()
 	return sess
 }
@@ -615,6 +696,7 @@ func (s *Server) resume(conn transport.Conn, first *transport.Message) *session 
 	sess.parked = false
 	sess.resumes++
 	sess.lastActive.Store(int64(s.now()))
+	s.lifecycle("session.resume", sess.id, "")
 	s.mu.Unlock()
 	if old != nil && old != conn {
 		// The previous carrier may still be half-open (the client saw
@@ -700,6 +782,7 @@ func (s *Server) admit(sess *session, conn transport.Conn, msg *transport.Messag
 	// Count the work as pending before it becomes poppable, so the
 	// janitor never sees a gap between push and accounting.
 	sess.pending.Add(1)
+	parkCounted := false
 	for !s.q.TryPush(it, s.cfg.QueueCap) {
 		if s.cfg.Overflow == OverflowReject {
 			sess.pending.Add(-1)
@@ -707,10 +790,20 @@ func (s *Server) admit(sess *session, conn transport.Conn, msg *transport.Messag
 			s.mu.Lock()
 			s.rejected++
 			s.mu.Unlock()
+			if s.qIns != nil {
+				s.qIns.Rejected.Inc()
+			}
 			return conn.Send(&transport.Message{
 				Type: transport.MsgControl, ClientID: sess.id, Seq: msg.Seq,
 				Note: core.RejectedNote, SentAt: s.now(),
 			})
+		}
+		if !parkCounted {
+			// One parked admission, however many wait rounds it takes.
+			parkCounted = true
+			if s.qIns != nil {
+				s.qIns.Parked.Inc()
+			}
 		}
 		select {
 		case <-s.q.Popped():
@@ -756,13 +849,27 @@ func (s *Server) finishSession(sess *session, conn transport.Conn, err error) {
 		// replies accumulate in the cache, the janitor counts grace.
 		sess.parked = true
 		sess.parkedAt = s.now()
+		s.lifecycle("session.park", sess.id, "")
 		s.mu.Unlock()
 		return
 	}
+	wasEnded := sess.ended
 	sess.ended = true
 	sess.parked = false
 	if sess.err == nil {
 		sess.err = err
+	}
+	if !wasEnded {
+		// One terminal event per session: a clean end is a leave, an
+		// end with a recorded error (processing eviction, straggler
+		// drop, protocol violation) is an evict. Sessions the janitor
+		// or evict() already closed arrive here with ended set and are
+		// not double-counted.
+		if sess.err != nil {
+			s.lifecycle("session.evict", sess.id, sess.err.Error())
+		} else {
+			s.lifecycle("session.leave", sess.id, "")
+		}
 	}
 	s.cond.Broadcast()
 	s.mu.Unlock()
@@ -857,20 +964,25 @@ func (s *Server) Core() *core.Server { return s.core }
 
 // Snapshot captures live metrics; safe from any goroutine at any time.
 func (s *Server) Snapshot() Snapshot {
+	now := time.Now()
 	s.mu.Lock()
 	snap := Snapshot{
-		ServerSteps: s.steps,
-		Rejected:    s.rejected,
-		Checkpoints: s.checkpoints,
-		LastLoss:    s.lastLoss,
-		Clients:     s.snapshotClients(),
+		ServerSteps:       s.steps,
+		Rejected:          s.rejected,
+		Checkpoints:       s.checkpoints,
+		LastLoss:          s.lastLoss,
+		Clients:           s.snapshotClients(),
+		StepsPerSecWindow: s.windowRateLocked(now),
 	}
 	if s.ckptErr != nil {
 		snap.CheckpointErr = s.ckptErr.Error()
 	}
 	s.mu.Unlock()
-	snap.Uptime = time.Since(s.startWall)
-	if snap.Uptime > 0 {
+	snap.Uptime = now.Sub(s.startWall)
+	// Guard the division against a snapshot taken immediately after
+	// Start: a near-zero uptime would report an absurd lifetime rate
+	// (steps / a-few-nanoseconds).
+	if snap.Uptime >= time.Millisecond {
 		snap.StepsPerSec = float64(snap.ServerSteps) / snap.Uptime.Seconds()
 	}
 	snap.QueueDepth = s.q.Len()

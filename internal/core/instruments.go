@@ -1,0 +1,56 @@
+package core
+
+import (
+	"time"
+
+	"github.com/stsl/stsl/internal/obs"
+)
+
+// ServerInstruments is the model server's telemetry bundle. It hangs
+// off Server.Instr and is observed from whichever goroutine drives the
+// server — the simulation's event loop or the cluster worker — so the
+// step counter and per-stage timings are directly comparable between
+// the virtual-time and live runtimes: same names, same code path.
+// nil fields (or a nil bundle) are no-ops.
+type ServerInstruments struct {
+	// Steps counts batches processed (stsl_server_steps_total); it
+	// advances by the coalesced batch size, keeping the axis "client
+	// batches served" at any coalescing setting.
+	Steps *obs.Counter
+	// Loss tracks the most recent window-averaged training loss
+	// (stsl_server_loss).
+	Loss *obs.Gauge
+	// Forward times the shared stack's forward pass + loss
+	// (stsl_server_forward_seconds), once per pass (not per item).
+	Forward *obs.Histogram
+	// Backward times backprop + the optimiser step
+	// (stsl_server_backward_seconds), once per pass.
+	Backward *obs.Histogram
+	// CoalesceSize is the distribution of items per coalesced pass
+	// (stsl_server_coalesce_size).
+	CoalesceSize *obs.Histogram
+}
+
+// NewServerInstruments registers the server metric family on reg. A nil
+// reg returns all-nil (no-op) instruments.
+func NewServerInstruments(reg *obs.Registry) *ServerInstruments {
+	return &ServerInstruments{
+		Steps:        reg.Counter("stsl_server_steps_total", nil),
+		Loss:         reg.Gauge("stsl_server_loss", nil),
+		Forward:      reg.Histogram("stsl_server_forward_seconds", nil),
+		Backward:     reg.Histogram("stsl_server_backward_seconds", nil),
+		CoalesceSize: reg.Histogram("stsl_server_coalesce_size", nil),
+	}
+}
+
+// observePass records one completed forward/backward pass over n items.
+func (si *ServerInstruments) observePass(n int, fwd, bwd time.Duration, loss float64) {
+	if si == nil {
+		return
+	}
+	si.Steps.Add(int64(n))
+	si.Loss.Set(loss)
+	si.Forward.ObserveDuration(fwd)
+	si.Backward.ObserveDuration(bwd)
+	si.CoalesceSize.Observe(float64(n))
+}

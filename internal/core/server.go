@@ -28,6 +28,10 @@ type Server struct {
 	QueueMetrics *queue.Metrics
 	// Losses tracks the training loss curve (window-averaged).
 	Losses *metrics.LossCurve
+	// Instr, when non-nil, receives step counts, per-stage pass timings
+	// and the running loss — the same bundle whichever runtime drives
+	// the server, so simulated and live step counters stay comparable.
+	Instr *ServerInstruments
 
 	steps int
 }
@@ -88,6 +92,10 @@ func (s *Server) Process(it queue.Item, now time.Duration) (*transport.Message, 
 	s.QueueMetrics.ObserveServe(it, now)
 
 	act := it.Msg.Payload
+	var t0 time.Time
+	if s.Instr != nil {
+		t0 = time.Now()
+	}
 	s.Stack.ZeroGrad()
 	logits := s.Stack.Forward(act, true)
 	loss, dlogits, err := nn.SoftmaxCrossEntropy(logits, it.Msg.Labels)
@@ -95,10 +103,17 @@ func (s *Server) Process(it queue.Item, now time.Duration) (*transport.Message, 
 		return nil, fmt.Errorf("core: server loss for client %d seq %d: %w",
 			it.Msg.ClientID, it.Msg.Seq, err)
 	}
+	var t1 time.Time
+	if s.Instr != nil {
+		t1 = time.Now()
+	}
 	dact := s.Stack.Backward(dlogits)
 	s.Optim.Step(s.Stack.Params())
 	s.Losses.Observe(loss)
 	s.steps++
+	if s.Instr != nil {
+		s.Instr.observePass(1, t1.Sub(t0), time.Since(t1), s.Losses.Last())
+	}
 
 	return &transport.Message{
 		Type:     transport.MsgGradient,
@@ -205,11 +220,19 @@ func (s *Server) ProcessBatch(items []queue.Item, now time.Duration) ([]*transpo
 	}
 
 	stacked := tensor.ConcatRows(acts...)
+	var t0 time.Time
+	if s.Instr != nil {
+		t0 = time.Now()
+	}
 	s.Stack.ZeroGrad()
 	logits := s.Stack.Forward(stacked, true)
 	loss, dlogits, err := nn.SoftmaxCrossEntropy(logits, labels)
 	if err != nil {
 		return nil, fmt.Errorf("core: server loss for coalesced batch of %d: %w", len(items), err)
+	}
+	var t1 time.Time
+	if s.Instr != nil {
+		t1 = time.Now()
 	}
 	dact := s.Stack.Backward(dlogits)
 	s.Optim.Step(s.Stack.Params())
@@ -220,6 +243,9 @@ func (s *Server) ProcessBatch(items []queue.Item, now time.Duration) ([]*transpo
 		s.Losses.Observe(loss)
 	}
 	s.steps += len(items)
+	if s.Instr != nil {
+		s.Instr.observePass(len(items), t1.Sub(t0), time.Since(t1), s.Losses.Last())
+	}
 
 	grads := tensor.SplitRows(dact, rows...)
 	replies := make([]*transport.Message, len(items))

@@ -1,0 +1,195 @@
+package expt
+
+import (
+	"context"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func tinyBenchConfig(t *testing.T) LiveBenchConfig {
+	t.Helper()
+	s, err := ScaleByName("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return LiveBenchConfig{
+		Scale: s, Seed: 7, Steps: 3,
+		Clients:  []int{1, 2},
+		Policies: []string{"fifo"},
+		Coalesce: []int{1, 2},
+	}
+}
+
+// TestLiveBenchGridAndSchema runs a tiny grid end to end and checks the
+// report round-trips through the JSON schema validator.
+func TestLiveBenchGridAndSchema(t *testing.T) {
+	cfg := tinyBenchConfig(t)
+	cfg.MeasureOverhead = true
+	report, err := RunLiveBench(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 clients × 1 policy × 2 coalesce + the bare overhead baseline
+	// (the instrumented half of the pair is already a grid row).
+	if len(report.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(report.Rows))
+	}
+	for _, row := range report.Rows {
+		want := row.Clients * cfg.Steps
+		if !row.Telemetry {
+			// The bare overhead baseline runs a 4× window.
+			want = row.Clients * cfg.Steps * 4
+		}
+		if row.ServerSteps != want {
+			t.Errorf("row %s: server steps = %d, want %d", row.key(), row.ServerSteps, want)
+		}
+		if row.Telemetry && row.WaitP95 <= 0 {
+			t.Errorf("row %s: instrumented cell has no wait quantiles", row.key())
+		}
+	}
+	if report.Overhead == nil {
+		t.Fatal("overhead pair not measured")
+	}
+	if report.Overhead.Clients != 2 {
+		t.Errorf("overhead measured at %d clients, want 2", report.Overhead.Clients)
+	}
+
+	raw, err := MarshalBenchJSON(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ValidateBenchJSON(raw)
+	if err != nil {
+		t.Fatalf("round-trip validation: %v\n%s", err, raw)
+	}
+	if len(back.Rows) != len(report.Rows) || back.Schema != BenchSchema {
+		t.Fatalf("round trip mangled the report: %+v", back)
+	}
+}
+
+// TestLiveBenchNoGoroutineLeak pins the satellite fix: a multi-cell
+// grid must tear down every cell's server, listener, and clients — the
+// goroutine count after the run returns to (about) the starting count
+// instead of growing per cell.
+func TestLiveBenchNoGoroutineLeak(t *testing.T) {
+	cfg := tinyBenchConfig(t)
+	before := runtime.NumGoroutine()
+	if _, err := RunLiveBench(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	// Give exiting goroutines a moment to unwind.
+	var after int
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.Gosched()
+		after = runtime.NumGoroutine()
+		if after <= before+2 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if after > before+2 {
+		buf := make([]byte, 1<<16)
+		n := runtime.Stack(buf, true)
+		t.Fatalf("goroutines grew %d → %d across a 4-cell grid\n%s", before, after, buf[:n])
+	}
+}
+
+// TestValidateBenchJSONRejects covers the validator's failure modes.
+func TestValidateBenchJSONRejects(t *testing.T) {
+	cases := []struct {
+		name, raw, want string
+	}{
+		{"garbage", "{", "bench JSON"},
+		{"wrong schema", `{"schema":"stsl-bench/99","rows":[{"clients":1,"policy":"fifo","coalesce":1,"server_steps":3,"wall_seconds":1,"steps_per_sec":3}]}`, "schema"},
+		{"no rows", `{"schema":"stsl-bench/1","rows":[]}`, "no rows"},
+		{"zero throughput", `{"schema":"stsl-bench/1","rows":[{"clients":1,"policy":"fifo","coalesce":1,"server_steps":3,"wall_seconds":1,"steps_per_sec":0}]}`, "non-positive"},
+		{"missing policy", `{"schema":"stsl-bench/1","rows":[{"clients":1,"coalesce":1,"server_steps":3,"wall_seconds":1,"steps_per_sec":3}]}`, "incomplete"},
+		{"duplicate cell", `{"schema":"stsl-bench/1","rows":[
+			{"clients":1,"policy":"fifo","coalesce":1,"server_steps":3,"wall_seconds":1,"steps_per_sec":3},
+			{"clients":1,"policy":"fifo","coalesce":1,"server_steps":3,"wall_seconds":1,"steps_per_sec":4}]}`, "duplicates"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ValidateBenchJSON([]byte(tc.raw))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error = %v, want mention of %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func benchFixture(rate float64) *BenchReport {
+	return &BenchReport{
+		Schema: BenchSchema, Scale: "tiny", StepsPerClient: 8, Transport: "pipe",
+		Rows: []BenchRow{
+			{Clients: 1, Policy: "fifo", Coalesce: 1, Telemetry: true,
+				ServerSteps: 8, WallSeconds: 1, StepsPerSec: rate},
+			{Clients: 4, Policy: "fifo", Coalesce: 4, Telemetry: true,
+				ServerSteps: 32, WallSeconds: 1, StepsPerSec: rate * 3},
+		},
+	}
+}
+
+// TestCompareBenchGate is the acceptance check for the CI regression
+// gate: a synthetic >10% throughput drop must fail, smaller wobble and
+// improvements must pass.
+func TestCompareBenchGate(t *testing.T) {
+	old := benchFixture(100)
+
+	// 15% drop on every cell: the gate must flag both.
+	regs, err := CompareBench(old, benchFixture(85), 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 2 {
+		t.Fatalf("regressions = %v, want 2 entries", regs)
+	}
+	if regs[0].Ratio > 0.86 || regs[0].Ratio < 0.84 {
+		t.Errorf("ratio = %v, want ≈0.85", regs[0].Ratio)
+	}
+	if !strings.Contains(regs[0].String(), "steps/s") {
+		t.Errorf("unreadable regression: %q", regs[0])
+	}
+
+	// 5% drop: within tolerance.
+	if regs, err = CompareBench(old, benchFixture(95), 0.10); err != nil || len(regs) != 0 {
+		t.Fatalf("5%% drop flagged: %v, %v", regs, err)
+	}
+	// Improvement: clean.
+	if regs, err = CompareBench(old, benchFixture(120), 0.10); err != nil || len(regs) != 0 {
+		t.Fatalf("improvement flagged: %v, %v", regs, err)
+	}
+
+	// One cell drops 20%, the other is fine — exactly one finding.
+	cur := benchFixture(100)
+	cur.Rows[1].StepsPerSec = 80 * 3
+	regs, err = CompareBench(old, cur, 0.10)
+	if err != nil || len(regs) != 1 {
+		t.Fatalf("mixed drop: %v, %v", regs, err)
+	}
+	if !strings.Contains(regs[0].Key, "clients=4") {
+		t.Errorf("flagged the wrong cell: %v", regs[0])
+	}
+
+	// Incomparable reports error out instead of silently passing.
+	other := benchFixture(100)
+	other.Scale = "paper"
+	if _, err := CompareBench(old, other, 0.10); err == nil {
+		t.Fatal("cross-scale compare did not error")
+	}
+	// Disjoint grids have nothing to gate — that is an error too.
+	disjoint := benchFixture(100)
+	for i := range disjoint.Rows {
+		disjoint.Rows[i].Policy = "staleness"
+	}
+	if _, err := CompareBench(old, disjoint, 0.10); err == nil {
+		t.Fatal("disjoint-grid compare did not error")
+	}
+	// Bad tolerance rejected.
+	if _, err := CompareBench(old, benchFixture(100), 0); err == nil {
+		t.Fatal("zero tolerance accepted")
+	}
+}

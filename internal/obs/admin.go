@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// AdminConfig wires the admin endpoints to a server's telemetry.
+type AdminConfig struct {
+	// Registry backs /metrics. nil serves an empty exposition.
+	Registry *Registry
+	// Tracer backs /trace. nil serves an empty event list.
+	Tracer *Tracer
+	// Statusz supplies the /statusz payload (any JSON-encodable value —
+	// typically a superset of the runtime's metric snapshot). nil serves
+	// a minimal liveness object.
+	Statusz func() any
+}
+
+// NewAdminMux builds the admin HTTP handler:
+//
+//	/          endpoint index
+//	/metrics   Prometheus text exposition (version 0.0.4)
+//	/statusz   JSON status snapshot
+//	/trace     JSON dump of the tracer's recent-event ring
+//	/debug/pprof/...  the standard Go profiler endpoints
+//
+// The admin surface is unauthenticated by design — bind it to loopback
+// (see the security note in DESIGN.md §3.4) unless the network path is
+// otherwise trusted.
+func NewAdminMux(cfg AdminConfig) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, "stsl admin endpoints:\n  /metrics\n  /statusz\n  /trace\n  /debug/pprof/\n")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = cfg.Registry.WritePrometheus(w)
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
+		var payload any
+		if cfg.Statusz != nil {
+			payload = cfg.Statusz()
+		} else {
+			payload = map[string]any{"ok": true, "now": time.Now().Format(time.RFC3339Nano)}
+		}
+		writeJSON(w, payload)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]any{
+			"total":  cfg.Tracer.Total(),
+			"events": cfg.Tracer.Events(),
+		})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// AdminServer is a running admin HTTP listener.
+type AdminServer struct {
+	lis net.Listener
+	srv *http.Server
+}
+
+// StartAdmin binds addr (e.g. "127.0.0.1:9090", or ":0" for an
+// ephemeral port) and serves the admin mux on it until Close.
+func StartAdmin(addr string, cfg AdminConfig) (*AdminServer, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: admin listen %s: %w", addr, err)
+	}
+	a := &AdminServer{
+		lis: lis,
+		srv: &http.Server{Handler: NewAdminMux(cfg), ReadHeaderTimeout: 5 * time.Second},
+	}
+	go func() { _ = a.srv.Serve(lis) }()
+	return a, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (a *AdminServer) Addr() string { return a.lis.Addr().String() }
+
+// Close stops the listener and in-flight handlers.
+func (a *AdminServer) Close() error { return a.srv.Close() }

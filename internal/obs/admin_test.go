@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func adminFixture() AdminConfig {
+	reg := NewRegistry()
+	reg.Counter("stsl_server_steps_total", nil).Add(42)
+	reg.Histogram("stsl_queue_wait_seconds", Labels{"policy": "fifo"}).Observe(0.01)
+	tr := NewTracer(8)
+	tr.Event("session.join", 1, 0, "")
+	tr.Record("worker.process", 1, 0, "", 1234)
+	return AdminConfig{
+		Registry: reg,
+		Tracer:   tr,
+		Statusz:  func() any { return map[string]any{"steps": 42, "queue_depth": 1} },
+	}
+}
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s read: %v", path, err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+func TestAdminEndpoints(t *testing.T) {
+	srv := httptest.NewServer(NewAdminMux(adminFixture()))
+	defer srv.Close()
+
+	code, body, hdr := get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	samples := parsePromText(t, body)
+	if samples["stsl_server_steps_total"] != 42 {
+		t.Fatalf("/metrics missing counter: %v", samples)
+	}
+	if samples[`stsl_queue_wait_seconds_count{policy="fifo"}`] != 1 {
+		t.Fatalf("/metrics missing histogram: %v", samples)
+	}
+
+	code, body, _ = get(t, srv, "/statusz")
+	if code != http.StatusOK {
+		t.Fatalf("/statusz status %d", code)
+	}
+	var status map[string]any
+	if err := json.Unmarshal([]byte(body), &status); err != nil {
+		t.Fatalf("/statusz not JSON: %v\n%s", err, body)
+	}
+	if status["steps"] != float64(42) {
+		t.Fatalf("/statusz payload wrong: %v", status)
+	}
+
+	code, body, _ = get(t, srv, "/trace")
+	if code != http.StatusOK {
+		t.Fatalf("/trace status %d", code)
+	}
+	var trace struct {
+		Total  uint64  `json:"total"`
+		Events []Event `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(body), &trace); err != nil {
+		t.Fatalf("/trace not JSON: %v\n%s", err, body)
+	}
+	if trace.Total != 2 || len(trace.Events) != 2 || trace.Events[0].Kind != "session.join" {
+		t.Fatalf("/trace payload wrong: %+v", trace)
+	}
+
+	if code, _, _ = get(t, srv, "/debug/pprof/"); code != http.StatusOK {
+		t.Fatalf("pprof index status %d", code)
+	}
+	if code, _, _ = get(t, srv, "/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Fatalf("pprof cmdline status %d", code)
+	}
+	if code, _, _ = get(t, srv, "/"); code != http.StatusOK {
+		t.Fatalf("index status %d", code)
+	}
+	if code, _, _ = get(t, srv, "/nope"); code != http.StatusNotFound {
+		t.Fatalf("unknown path status %d, want 404", code)
+	}
+}
+
+// TestAdminEmptyConfig: every endpoint must degrade gracefully with no
+// registry, tracer, or statusz wired.
+func TestAdminEmptyConfig(t *testing.T) {
+	srv := httptest.NewServer(NewAdminMux(AdminConfig{}))
+	defer srv.Close()
+	for _, path := range []string{"/metrics", "/statusz", "/trace"} {
+		if code, _, _ := get(t, srv, path); code != http.StatusOK {
+			t.Fatalf("%s status %d with empty config", path, code)
+		}
+	}
+}
+
+func TestStartAdmin(t *testing.T) {
+	a, err := StartAdmin("127.0.0.1:0", adminFixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	resp, err := http.Get("http://" + a.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "stsl_server_steps_total 42") {
+		t.Fatalf("metrics body missing counter:\n%s", body)
+	}
+}

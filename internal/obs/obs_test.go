@@ -1,0 +1,419 @@
+package obs
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters are monotone
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	var g Gauge
+	g.Set(2.5)
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("gauge = %v, want 2.5", got)
+	}
+	g.Set(-1)
+	if got := g.Value(); got != -1 {
+		t.Fatalf("gauge = %v, want -1", got)
+	}
+}
+
+func TestNilMetricsAreNoOps(t *testing.T) {
+	var (
+		c *Counter
+		g *Gauge
+		h *Histogram
+		r *Registry
+		x *Tracer
+	)
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	h.Observe(1)
+	h.ObserveDuration(time.Second)
+	x.Event("k", 0, 0, "")
+	x.Record("k", 0, 0, "", time.Second)
+	sp := x.Start("k", 0, 0, nil)
+	if d := sp.End(); d != 0 {
+		t.Fatalf("nil span End = %v, want 0", d)
+	}
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil metrics must read zero")
+	}
+	if r.Counter("x", nil) != nil || r.Histogram("x", nil) != nil || r.Gauge("x", nil) != nil {
+		t.Fatal("nil registry must hand out nil metrics")
+	}
+	r.GaugeFunc("x", nil, func() float64 { return 1 })
+	r.Reset()
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	if x.Events() != nil || x.Total() != 0 {
+		t.Fatal("nil tracer must read empty")
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty histogram Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	if h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram must read zero")
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	var h Histogram
+	const v = 0.003 // 3ms: inside (2^-9, 2^-8]
+	h.Observe(v)
+	if h.Count() != 1 {
+		t.Fatalf("count = %d, want 1", h.Count())
+	}
+	lo, hi := math.Ldexp(1, -9), math.Ldexp(1, -8)
+	for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+		got := h.Quantile(q)
+		if got < lo || got > hi {
+			t.Fatalf("Quantile(%v) = %v, want within bucket [%v, %v]", q, got, lo, hi)
+		}
+	}
+	if got := h.Sum(); got != v {
+		t.Fatalf("sum = %v, want %v", got, v)
+	}
+	if got := h.Mean(); got != v {
+		t.Fatalf("mean = %v, want %v", got, v)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the le convention: a value exactly
+// at a power of two belongs to the bucket whose upper bound it is, so
+// Quantile(1) of that lone sample returns the bound itself.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	for _, e := range []int{histMinExp, -10, 0, histMaxExp} {
+		var h Histogram
+		v := math.Ldexp(1, e)
+		h.Observe(v)
+		if got := h.Quantile(1); got != v {
+			t.Fatalf("Quantile(1) after observing 2^%d = %v, want exactly %v", e, got, v)
+		}
+	}
+	// Just over a bound falls into the next bucket up.
+	var h Histogram
+	v := math.Ldexp(1, -10) * 1.0001
+	h.Observe(v)
+	if got := h.Quantile(1); got <= math.Ldexp(1, -10) || got > math.Ldexp(1, -9) {
+		t.Fatalf("Quantile(1) = %v, want in (2^-10, 2^-9]", got)
+	}
+}
+
+func TestHistogramExtremes(t *testing.T) {
+	var h Histogram
+	h.Observe(0)    // <= 0 lands in the smallest bucket
+	h.Observe(-5)   // so do negatives (defensive: wall clocks can step)
+	h.Observe(1e-9) // below the smallest bound
+	if got := h.Quantile(1); got > bucketBound(0) {
+		t.Fatalf("tiny samples Quantile(1) = %v, want <= %v", got, bucketBound(0))
+	}
+	var big Histogram
+	big.Observe(1e6) // way past the largest finite bound
+	if got := big.Quantile(0.5); got != bucketBound(histBuckets-1) {
+		t.Fatalf("overflow Quantile = %v, want saturation at %v", got, bucketBound(histBuckets-1))
+	}
+}
+
+func TestHistogramQuantileOrdering(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i) / 1000) // 1ms .. 1s
+	}
+	p50, p95, p99 := h.Quantile(0.5), h.Quantile(0.95), h.Quantile(0.99)
+	if !(p50 <= p95 && p95 <= p99) {
+		t.Fatalf("quantiles not monotone: p50=%v p95=%v p99=%v", p50, p95, p99)
+	}
+	// Log buckets are coarse (2×), but the estimates must stay within
+	// one bucket of truth.
+	if p50 < 0.25 || p50 > 1.0 {
+		t.Fatalf("p50 = %v, want within 2x of 0.5", p50)
+	}
+	if p99 < 0.5 || p99 > 2.0 {
+		t.Fatalf("p99 = %v, want within 2x of 0.99", p99)
+	}
+}
+
+// TestHistogramConcurrent exercises record vs snapshot under -race:
+// writers Observe while readers take quantiles and scrape Prometheus
+// text concurrently.
+func TestHistogramConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("stsl_test_seconds", Labels{"policy": "fifo"})
+	const writers, perWriter = 8, 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = h.Quantile(0.99)
+					var sb strings.Builder
+					_ = reg.WritePrometheus(&sb)
+				}
+			}
+		}()
+	}
+	var ww sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		ww.Add(1)
+		go func(w int) {
+			defer ww.Done()
+			for i := 0; i < perWriter; i++ {
+				h.Observe(float64(w*i%977) / 1e4)
+			}
+		}(w)
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+	if got := h.Count(); got != writers*perWriter {
+		t.Fatalf("count = %d, want %d", got, writers*perWriter)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("stsl_x_total", Labels{"k": "a"})
+	b := reg.Counter("stsl_x_total", Labels{"k": "a"})
+	if a != b {
+		t.Fatal("same name+labels must return the same counter")
+	}
+	c := reg.Counter("stsl_x_total", Labels{"k": "b"})
+	if a == c {
+		t.Fatal("different labels must return a different counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch must panic")
+		}
+	}()
+	reg.Gauge("stsl_x_total", Labels{"k": "a"})
+}
+
+func TestRegistryReset(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("stsl_c_total", nil)
+	g := reg.Gauge("stsl_g", nil)
+	h := reg.Histogram("stsl_h_seconds", nil)
+	reg.GaugeFunc("stsl_f", nil, func() float64 { return 7 })
+	c.Add(3)
+	g.Set(2)
+	h.Observe(0.1)
+	reg.Reset()
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("Reset must zero counters, gauges and histograms")
+	}
+	if c != reg.Counter("stsl_c_total", nil) {
+		t.Fatal("Reset must keep registrations intact")
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "stsl_f 7") {
+		t.Fatal("GaugeFunc must survive Reset")
+	}
+}
+
+// parsePromText is a minimal Prometheus text-format (0.0.4) checker: it
+// validates line grammar and returns sample name → value. It is
+// deliberately independent of the writer's internals.
+func parsePromText(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	samples := make(map[string]float64)
+	typeOf := make(map[string]string)
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("line %d: malformed TYPE line %q", ln+1, line)
+			}
+			switch parts[3] {
+			case "counter", "gauge", "histogram", "untyped":
+			default:
+				t.Fatalf("line %d: unknown metric type %q", ln+1, parts[3])
+			}
+			typeOf[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		// Sample line: name[{labels}] value
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("line %d: no value separator in %q", ln+1, line)
+		}
+		key, valStr := line[:sp], line[sp+1:]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("line %d: bad sample value %q: %v", ln+1, valStr, err)
+		}
+		name := key
+		if i := strings.IndexByte(key, '{'); i >= 0 {
+			if !strings.HasSuffix(key, "}") {
+				t.Fatalf("line %d: unterminated label set in %q", ln+1, line)
+			}
+			name = key[:i]
+			labels := key[i+1 : len(key)-1]
+			for _, kv := range strings.Split(labels, ",") {
+				eq := strings.IndexByte(kv, '=')
+				if eq <= 0 || len(kv) < eq+3 || kv[eq+1] != '"' || kv[len(kv)-1] != '"' {
+					t.Fatalf("line %d: malformed label %q", ln+1, kv)
+				}
+			}
+		}
+		// Every sample must belong to a declared family (histograms
+		// append _bucket/_sum/_count to the family name).
+		family := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if f, ok := strings.CutSuffix(name, suf); ok && typeOf[f] == "histogram" {
+				family = f
+				break
+			}
+		}
+		if _, ok := typeOf[family]; !ok {
+			t.Fatalf("line %d: sample %q has no TYPE declaration", ln+1, name)
+		}
+		samples[key] = val
+	}
+	return samples
+}
+
+func TestWritePrometheusParses(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("stsl_frames_total", Labels{"dir": "in"}).Add(10)
+	reg.Counter("stsl_frames_total", Labels{"dir": "out"}).Add(20)
+	reg.Gauge("stsl_queue_depth", Labels{"policy": "fifo"}).Set(3)
+	reg.GaugeFunc("stsl_uptime_seconds", nil, func() float64 { return 12.5 })
+	h := reg.Histogram("stsl_wait_seconds", Labels{"policy": "fifo"})
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i) / 100)
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	samples := parsePromText(t, sb.String())
+
+	if samples[`stsl_frames_total{dir="in"}`] != 10 {
+		t.Fatalf("counter sample wrong: %v", samples)
+	}
+	if samples[`stsl_queue_depth{policy="fifo"}`] != 3 {
+		t.Fatalf("gauge sample wrong: %v", samples)
+	}
+	if samples["stsl_uptime_seconds"] != 12.5 {
+		t.Fatalf("gaugefunc sample wrong: %v", samples)
+	}
+	if samples[`stsl_wait_seconds_count{policy="fifo"}`] != 100 {
+		t.Fatalf("histogram count wrong: %v", samples)
+	}
+	// Buckets must be cumulative (monotone in le) and end at +Inf ==
+	// count.
+	var infVal float64
+	prev := -1.0
+	for i := 0; i < histBuckets; i++ {
+		key := `stsl_wait_seconds_bucket{policy="fifo",le="` + formatFloat(bucketBound(i)) + `"}`
+		v, ok := samples[key]
+		if !ok {
+			t.Fatalf("missing bucket %s", key)
+		}
+		if v < prev {
+			t.Fatalf("bucket counts not cumulative at %s: %v < %v", key, v, prev)
+		}
+		prev = v
+	}
+	infVal, ok := samples[`stsl_wait_seconds_bucket{policy="fifo",le="+Inf"}`]
+	if !ok || infVal != 100 {
+		t.Fatalf("+Inf bucket = %v (present=%v), want 100", infVal, ok)
+	}
+}
+
+func TestTracerRingWrap(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 7; i++ {
+		tr.Event("e", i, i, "")
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring holds %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := i + 3; ev.Client != want {
+			t.Fatalf("event %d client = %d, want %d (oldest-first order)", i, ev.Client, want)
+		}
+	}
+	if tr.Total() != 7 {
+		t.Fatalf("total = %d, want 7", tr.Total())
+	}
+}
+
+func TestTracerSpanFeedsHistogram(t *testing.T) {
+	tr := NewTracer(16)
+	var h Histogram
+	sp := tr.Start("worker.process", 2, 9, &h)
+	time.Sleep(time.Millisecond)
+	d := sp.End()
+	if d <= 0 {
+		t.Fatal("span duration must be positive")
+	}
+	if h.Count() != 1 {
+		t.Fatalf("histogram count = %d, want 1", h.Count())
+	}
+	evs := tr.Events()
+	if len(evs) != 1 || evs[0].Kind != "worker.process" || evs[0].Client != 2 ||
+		evs[0].Seq != 9 || evs[0].Dur != d {
+		t.Fatalf("span event wrong: %+v", evs)
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tr.Event("e", w, i, "")
+				if i%100 == 0 {
+					_ = tr.Events()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.Total() != 8*500 {
+		t.Fatalf("total = %d, want %d", tr.Total(), 8*500)
+	}
+	if len(tr.Events()) != 64 {
+		t.Fatalf("ring = %d events, want 64", len(tr.Events()))
+	}
+}

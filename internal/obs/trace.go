@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Event is one entry in the tracer's ring: a point event (Dur == 0) or
+// a completed span (Dur > 0). Client and Seq tie protocol events to the
+// end-system and batch they concern; -1 means "not about one client".
+type Event struct {
+	// At is the wall-clock completion time of the event.
+	At time.Time `json:"at"`
+	// Kind names the event class ("session.join", "worker.process").
+	Kind string `json:"kind"`
+	// Client is the end-system id the event concerns (-1 = none).
+	Client int `json:"client"`
+	// Seq is the batch sequence number concerned (-1 = none).
+	Seq int `json:"seq"`
+	// Note carries free-form detail (eviction cause, policy name).
+	Note string `json:"note,omitempty"`
+	// Dur is the span duration; zero for point events.
+	Dur time.Duration `json:"dur_ns"`
+}
+
+// Tracer records recent events and spans into a bounded in-memory ring:
+// always on, fixed footprint, no I/O — the flight recorder consulted
+// after the fact via /trace. Old entries are overwritten; Total counts
+// everything ever recorded so a reader can tell how much history the
+// ring window covers. A nil Tracer is a no-op, so call sites record
+// unconditionally.
+type Tracer struct {
+	mu    sync.Mutex
+	ring  []Event
+	next  int
+	total uint64
+}
+
+// DefaultTraceCap is the ring capacity when NewTracer gets cap <= 0.
+const DefaultTraceCap = 2048
+
+// NewTracer returns a tracer whose ring holds capacity events.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	return &Tracer{ring: make([]Event, 0, capacity)}
+}
+
+// Record appends one event. dur == 0 records a point event.
+func (t *Tracer) Record(kind string, client, seq int, note string, dur time.Duration) {
+	if t == nil {
+		return
+	}
+	ev := Event{At: time.Now(), Kind: kind, Client: client, Seq: seq, Note: note, Dur: dur}
+	t.mu.Lock()
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, ev)
+	} else {
+		t.ring[t.next] = ev
+	}
+	t.next = (t.next + 1) % cap(t.ring)
+	t.total++
+	t.mu.Unlock()
+}
+
+// Event records a point event.
+func (t *Tracer) Event(kind string, client, seq int, note string) {
+	t.Record(kind, client, seq, note, 0)
+}
+
+// Span is an in-flight timed region started by Start. End completes it.
+// The zero Span (from a nil Tracer) is inert.
+type Span struct {
+	t      *Tracer
+	kind   string
+	client int
+	seq    int
+	hist   *Histogram
+	start  time.Time
+}
+
+// Start opens a span. The span's duration lands in the ring at End,
+// and — when hist is non-nil — in that histogram too, so the same
+// measurement feeds both /trace and /metrics.
+func (t *Tracer) Start(kind string, client, seq int, hist *Histogram) Span {
+	if t == nil && hist == nil {
+		return Span{}
+	}
+	return Span{t: t, kind: kind, client: client, seq: seq, hist: hist, start: time.Now()}
+}
+
+// End completes the span, recording its duration, and returns it.
+func (s Span) End() time.Duration {
+	if s.t == nil && s.hist == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	s.hist.ObserveDuration(d)
+	s.t.Record(s.kind, s.client, s.seq, "", d)
+	return d
+}
+
+// Events returns a copy of the ring in chronological order.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, len(t.ring))
+	if len(t.ring) == cap(t.ring) {
+		out = append(out, t.ring[t.next:]...)
+		out = append(out, t.ring[:t.next]...)
+	} else {
+		out = append(out, t.ring...)
+	}
+	return out
+}
+
+// Total returns how many events were ever recorded (including those the
+// ring has since overwritten).
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}

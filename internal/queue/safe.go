@@ -20,6 +20,7 @@ import (
 type Safe struct {
 	mu    sync.Mutex
 	inner Policy
+	ins   *Instruments
 
 	pushed chan struct{}
 	popped chan struct{}
@@ -32,6 +33,32 @@ func NewSafe(p Policy) *Safe {
 		inner:  p,
 		pushed: make(chan struct{}, 1),
 		popped: make(chan struct{}, 1),
+	}
+}
+
+// SetInstruments attaches telemetry (nil detaches). The counters and
+// the wait histogram are updated inside the queue's critical sections,
+// so depth and wait observations are exactly consistent with the
+// scheduling decisions they describe.
+func (s *Safe) SetInstruments(ins *Instruments) {
+	s.mu.Lock()
+	s.ins = ins
+	s.mu.Unlock()
+}
+
+// Instruments returns the attached telemetry bundle (nil when
+// detached) — the admission path uses it to count park/reject
+// outcomes against the same policy label.
+func (s *Safe) Instruments() *Instruments {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ins
+}
+
+// observeDepthLocked refreshes the depth gauge. Caller must hold s.mu.
+func (s *Safe) observeDepthLocked() {
+	if s.ins != nil {
+		s.ins.Depth.Set(float64(s.inner.Len()))
 	}
 }
 
@@ -54,6 +81,10 @@ func (s *Safe) Name() string {
 func (s *Safe) Push(it Item) {
 	s.mu.Lock()
 	s.inner.Push(it)
+	if s.ins != nil {
+		s.ins.Enqueued.Inc()
+		s.observeDepthLocked()
+	}
 	s.mu.Unlock()
 	signal(s.pushed)
 }
@@ -69,6 +100,10 @@ func (s *Safe) TryPush(it Item, cap int) bool {
 		return false
 	}
 	s.inner.Push(it)
+	if s.ins != nil {
+		s.ins.Enqueued.Inc()
+		s.observeDepthLocked()
+	}
 	s.mu.Unlock()
 	signal(s.pushed)
 	return true
@@ -78,6 +113,11 @@ func (s *Safe) TryPush(it Item, cap int) bool {
 func (s *Safe) Pop(now time.Duration) (Item, bool) {
 	s.mu.Lock()
 	it, ok := s.inner.Pop(now)
+	if ok && s.ins != nil {
+		s.ins.Dequeued.Inc()
+		s.ins.Wait.Observe(it.Staleness(now).Seconds())
+		s.observeDepthLocked()
+	}
 	s.mu.Unlock()
 	if ok {
 		signal(s.popped)
@@ -92,6 +132,13 @@ func (s *Safe) Pop(now time.Duration) (Item, bool) {
 func (s *Safe) PopBatch(now time.Duration, max int) []Item {
 	s.mu.Lock()
 	items := s.inner.PopBatch(now, max)
+	if len(items) > 0 && s.ins != nil {
+		s.ins.Dequeued.Add(int64(len(items)))
+		for _, it := range items {
+			s.ins.Wait.Observe(it.Staleness(now).Seconds())
+		}
+		s.observeDepthLocked()
+	}
 	s.mu.Unlock()
 	if len(items) > 0 {
 		signal(s.popped)
@@ -113,6 +160,10 @@ func (s *Safe) Requeue(items ...Item) {
 	s.mu.Lock()
 	for _, it := range items {
 		s.inner.Push(it)
+	}
+	if s.ins != nil {
+		s.ins.Requeued.Add(int64(len(items)))
+		s.observeDepthLocked()
 	}
 	s.mu.Unlock()
 	signal(s.pushed)

@@ -1,0 +1,67 @@
+package transport
+
+import (
+	"net"
+
+	"github.com/stsl/stsl/internal/obs"
+)
+
+// ConnInstruments is the wire-level telemetry bundle shared by every
+// instrumented carrier of one endpoint (a server aggregates all its
+// sessions into one bundle). Byte counts are measured at the socket
+// boundary — after framing, before the kernel — so they are the real
+// wire cost of the activation/gradient exchange. nil fields (or a nil
+// bundle) are no-ops.
+type ConnInstruments struct {
+	// FramesIn counts messages decoded (stsl_transport_frames_total
+	// {dir="in"}).
+	FramesIn *obs.Counter
+	// FramesOut counts messages encoded (stsl_transport_frames_total
+	// {dir="out"}).
+	FramesOut *obs.Counter
+	// BytesIn counts payload bytes read off the socket
+	// (stsl_transport_bytes_total{dir="in"}).
+	BytesIn *obs.Counter
+	// BytesOut counts payload bytes written to the socket
+	// (stsl_transport_bytes_total{dir="out"}).
+	BytesOut *obs.Counter
+	// Encode times Message.Encode + flush per frame
+	// (stsl_transport_encode_seconds).
+	Encode *obs.Histogram
+	// Decode times Decode per frame, excluding time blocked waiting for
+	// the first byte — it measures codec cost, not peer silence
+	// (stsl_transport_decode_seconds).
+	Decode *obs.Histogram
+}
+
+// NewConnInstruments registers the transport metric family on reg. A
+// nil reg returns all-nil (no-op) instruments.
+func NewConnInstruments(reg *obs.Registry) *ConnInstruments {
+	return &ConnInstruments{
+		FramesIn:  reg.Counter("stsl_transport_frames_total", obs.Labels{"dir": "in"}),
+		FramesOut: reg.Counter("stsl_transport_frames_total", obs.Labels{"dir": "out"}),
+		BytesIn:   reg.Counter("stsl_transport_bytes_total", obs.Labels{"dir": "in"}),
+		BytesOut:  reg.Counter("stsl_transport_bytes_total", obs.Labels{"dir": "out"}),
+		Encode:    reg.Histogram("stsl_transport_encode_seconds", nil),
+		Decode:    reg.Histogram("stsl_transport_decode_seconds", nil),
+	}
+}
+
+// countingConn wraps a net.Conn, crediting read/written bytes to the
+// bundle's counters at the socket boundary.
+type countingConn struct {
+	net.Conn
+	ins *ConnInstruments
+}
+
+func (c countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.ins.BytesIn.Add(int64(n))
+	return n, err
+}
+
+func (c countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.ins.BytesOut.Add(int64(n))
+	return n, err
+}

@@ -7,13 +7,15 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // tcpConn adapts a net.Conn to the Conn interface with buffered framing.
 // Send and Recv each take their own lock, so full-duplex use from two
 // goroutines is safe.
 type tcpConn struct {
-	nc net.Conn
+	nc  net.Conn
+	ins *ConnInstruments
 
 	sendMu sync.Mutex
 	w      *bufio.Writer
@@ -27,10 +29,22 @@ type tcpConn struct {
 
 // NewTCPConn wraps an established net.Conn in the message framing.
 func NewTCPConn(nc net.Conn) Conn {
+	return NewInstrumentedTCPConn(nc, nil)
+}
+
+// NewInstrumentedTCPConn wraps nc in the message framing with wire
+// telemetry: frame and byte counters plus encode/decode timings land in
+// ins on every Send/Recv. ins == nil behaves exactly like NewTCPConn.
+func NewInstrumentedTCPConn(nc net.Conn, ins *ConnInstruments) Conn {
+	rw := nc
+	if ins != nil {
+		rw = countingConn{Conn: nc, ins: ins}
+	}
 	return &tcpConn{
-		nc: nc,
-		w:  bufio.NewWriterSize(nc, 1<<16),
-		r:  bufio.NewReaderSize(nc, 1<<16),
+		nc:  nc,
+		ins: ins,
+		w:   bufio.NewWriterSize(rw, 1<<16),
+		r:   bufio.NewReaderSize(rw, 1<<16),
 	}
 }
 
@@ -47,26 +61,52 @@ func Dial(addr string) (Conn, error) {
 func (c *tcpConn) Send(m *Message) error {
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
+	var start time.Time
+	if c.ins != nil {
+		start = time.Now()
+	}
 	if err := m.Encode(c.w); err != nil {
 		return err
 	}
 	if err := c.w.Flush(); err != nil {
 		return fmt.Errorf("transport: flush: %w", err)
 	}
+	if c.ins != nil {
+		c.ins.Encode.ObserveSince(start)
+		c.ins.FramesOut.Inc()
+	}
 	return nil
 }
 
-// Recv implements Conn. A peer that closed cleanly surfaces as ErrClosed,
-// matching the in-memory transport's semantics.
+// mapRecvErr converts a clean peer close into ErrClosed, matching the
+// in-memory transport's semantics.
+func mapRecvErr(err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+		return ErrClosed
+	}
+	return err
+}
+
+// Recv implements Conn. A peer that closed cleanly surfaces as ErrClosed.
 func (c *tcpConn) Recv() (*Message, error) {
 	c.recvMu.Lock()
 	defer c.recvMu.Unlock()
+	var start time.Time
+	if c.ins != nil {
+		// Block for the first byte before starting the decode clock, so
+		// the histogram measures codec cost rather than peer silence.
+		if _, err := c.r.Peek(1); err != nil {
+			return nil, mapRecvErr(err)
+		}
+		start = time.Now()
+	}
 	m, err := Decode(c.r)
 	if err != nil {
-		if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
-			return nil, ErrClosed
-		}
-		return nil, err
+		return nil, mapRecvErr(err)
+	}
+	if c.ins != nil {
+		c.ins.Decode.ObserveSince(start)
+		c.ins.FramesIn.Inc()
 	}
 	return m, nil
 }
@@ -79,8 +119,14 @@ func (c *tcpConn) Close() error {
 
 // Listener accepts framed connections.
 type Listener struct {
-	nl net.Listener
+	nl  net.Listener
+	ins *ConnInstruments
 }
+
+// Instrument attaches wire telemetry to every connection subsequently
+// accepted — one shared bundle, so a server's /metrics aggregates the
+// whole fleet's frames, bytes, and codec timings. Call before Accept.
+func (l *Listener) Instrument(ins *ConnInstruments) { l.ins = ins }
 
 // Listen opens a TCP listener on addr (e.g. ":9000", "127.0.0.1:0").
 func Listen(addr string) (*Listener, error) {
@@ -97,7 +143,7 @@ func (l *Listener) Accept() (Conn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: accept: %w", err)
 	}
-	return NewTCPConn(nc), nil
+	return NewInstrumentedTCPConn(nc, l.ins), nil
 }
 
 // Addr returns the bound address (useful with ":0").

@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"bytes"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -87,7 +89,7 @@ func TestSmokeTCPDeployment(t *testing.T) {
 	server := exec.Command(bin(dir, "stsl-server"),
 		"-addr", "127.0.0.1:0", "-clients", "2", "-cut", "1", "-scale", "tiny",
 		"-checkpoint-dir", ckptDir, "-checkpoint-every", "2",
-		"-resume-grace", "5s", "-snapshot-every", "0")
+		"-resume-grace", "5s", "-status-every", "0", "-admin-addr", "127.0.0.1:0")
 	stdout, err := server.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -105,6 +107,7 @@ func TestSmokeTCPDeployment(t *testing.T) {
 	// exits is race-free.
 	var serverOut bytes.Buffer
 	addrCh := make(chan string, 1)
+	adminCh := make(chan string, 1)
 	scanDone := make(chan struct{})
 	go func() {
 		defer close(scanDone)
@@ -112,7 +115,15 @@ func TestSmokeTCPDeployment(t *testing.T) {
 		for sc.Scan() {
 			line := sc.Text()
 			serverOut.WriteString(line + "\n")
-			if i := strings.Index(line, "listening on "); i >= 0 {
+			if i := strings.Index(line, "admin listener on http://"); i >= 0 {
+				fields := strings.Fields(line[i+len("admin listener on http://"):])
+				if len(fields) > 0 {
+					select {
+					case adminCh <- fields[0]:
+					default:
+					}
+				}
+			} else if i := strings.Index(line, "listening on "); i >= 0 {
 				fields := strings.Fields(line[i+len("listening on "):])
 				if len(fields) > 0 {
 					select {
@@ -132,6 +143,28 @@ func TestSmokeTCPDeployment(t *testing.T) {
 	// The server binds all interfaces by default; dial loopback.
 	if strings.HasPrefix(addr, "[::]") {
 		addr = "127.0.0.1" + strings.TrimPrefix(addr, "[::]")
+	}
+	var adminAddr string
+	select {
+	case adminAddr = <-adminCh:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("server never reported its admin address\n%s", serverErr.String())
+	}
+	// Probe the admin surface while the server is live: the scrape and
+	// status endpoints must answer before any client has joined.
+	for _, path := range []string{"/metrics", "/statusz", "/trace"} {
+		resp, err := http.Get("http://" + adminAddr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d\n%s", path, resp.StatusCode, body)
+		}
+		if path == "/metrics" && !strings.Contains(string(body), "stsl_uptime_seconds") {
+			t.Fatalf("/metrics missing stsl_uptime_seconds:\n%s", body)
+		}
 	}
 
 	clients := make([]*exec.Cmd, 2)

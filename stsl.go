@@ -49,6 +49,7 @@ import (
 	"github.com/stsl/stsl/internal/expt"
 	"github.com/stsl/stsl/internal/mathx"
 	"github.com/stsl/stsl/internal/nn"
+	"github.com/stsl/stsl/internal/obs"
 	"github.com/stsl/stsl/internal/privacy"
 	"github.com/stsl/stsl/internal/queue"
 	"github.com/stsl/stsl/internal/simnet"
@@ -232,6 +233,40 @@ var (
 	RunClusterClient = cluster.RunClient
 	// RunCluster executes a deployment on the live runtime in-process.
 	RunCluster = cluster.Run
+)
+
+// Observability: attach an ObsRegistry/ObsTracer to ClusterConfig.Obs /
+// ClusterConfig.Tracer and the runtime publishes queue, worker, session,
+// transport, and training metrics; StartObsAdmin serves them over HTTP
+// (/metrics, /statusz, /trace, /debug/pprof — bind loopback).
+type (
+	// ObsRegistry is a named-metric registry (get-or-create semantics).
+	ObsRegistry = obs.Registry
+	// ObsLabels tags a metric series, e.g. ObsLabels{"policy": "fifo"}.
+	ObsLabels = obs.Labels
+	// ObsCounter is a monotone atomic counter.
+	ObsCounter = obs.Counter
+	// ObsGauge is an atomic float64 gauge.
+	ObsGauge = obs.Gauge
+	// ObsHistogram is a log-bucketed latency histogram with quantiles.
+	ObsHistogram = obs.Histogram
+	// ObsTracer is a bounded in-memory event ring (flight recorder).
+	ObsTracer = obs.Tracer
+	// ObsAdminConfig configures the admin HTTP listener.
+	ObsAdminConfig = obs.AdminConfig
+	// ObsAdminServer is a running admin listener.
+	ObsAdminServer = obs.AdminServer
+)
+
+// Observability entry points.
+var (
+	// NewObsRegistry creates an empty metric registry.
+	NewObsRegistry = obs.NewRegistry
+	// NewObsTracer creates a bounded trace ring (obs.DefaultTraceCap
+	// is a sensible capacity).
+	NewObsTracer = obs.NewTracer
+	// StartObsAdmin serves /metrics, /statusz, /trace and pprof on addr.
+	StartObsAdmin = obs.StartAdmin
 )
 
 // Baselines.
