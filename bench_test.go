@@ -376,21 +376,25 @@ func BenchmarkSplitProtocolStep(b *testing.B) {
 
 // BenchmarkClusterThroughput measures the live-concurrency runtime's
 // server throughput (training steps/sec) as the number of concurrent
-// end-system goroutines and the micro-batch coalescing cap grow, over
-// net.Pipe with full wire encode/decode — the perf trajectory of the
-// real deployment path, next to BenchmarkSimulationEventLoop's
-// virtual-time twin. At 8+ clients the coalesced passes (b>1) amortise
-// the server's conv/matmul hot path across clients and beat b=1.
+// end-system goroutines, the micro-batch coalescing cap, and the
+// data-parallel worker count grow, over net.Pipe with full wire
+// encode/decode — the perf trajectory of the real deployment path,
+// next to BenchmarkSimulationEventLoop's virtual-time twin. At 8+
+// clients the coalesced passes (b>1) amortise the server's conv/matmul
+// hot path across clients and beat b=1; extra workers (w>1) multiply
+// it with concurrent replicas that FedAvg-sync every SyncEvery steps
+// (the acceptance floor for the pool: ≥1.6× at w=2 and ≥2.5× at w=4
+// against the w=1 cell at 8 clients).
 func BenchmarkClusterThroughput(b *testing.B) {
-	cases := []struct{ clients, coalesce int }{
-		{1, 1},
-		{4, 1}, {4, 4},
-		{8, 1}, {8, 4},
-		{16, 1}, {16, 4}, {16, 8},
+	cases := []struct{ clients, coalesce, workers int }{
+		{1, 1, 1},
+		{4, 1, 1}, {4, 4, 1},
+		{8, 1, 1}, {8, 1, 2}, {8, 1, 4}, {8, 4, 1},
+		{16, 1, 1}, {16, 1, 4}, {16, 4, 1}, {16, 8, 1},
 	}
 	for _, tc := range cases {
 		tc := tc
-		b.Run(fmt.Sprintf("clients=%d/b=%d", tc.clients, tc.coalesce), func(b *testing.B) {
+		b.Run(fmt.Sprintf("clients=%d/b=%d/w=%d", tc.clients, tc.coalesce, tc.workers), func(b *testing.B) {
 			const steps = 8
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
@@ -410,10 +414,12 @@ func BenchmarkClusterThroughput(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				b.StartTimer()
-				res, err := cluster.Run(context.Background(), dep, cluster.RunnerConfig{
+				runnerCfg := cluster.RunnerConfig{
 					StepsPerClient: steps, Transport: cluster.TransportPipe,
-				})
+				}
+				runnerCfg.Cluster.Workers = tc.workers
+				b.StartTimer()
+				res, err := cluster.Run(context.Background(), dep, runnerCfg)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -20,8 +20,10 @@
 //	stsl-bench -exp fig4 -out /tmp/fig4
 //	stsl-bench -live -scale tiny -steps 16
 //	stsl-bench -live -clients 8 -policy fair-rr -coalesce 4
+//	stsl-bench -live -clients 8 -workers 1,2,4 -analysis analysis.md
 //	stsl-bench -live -clients 1,4,8 -policy fifo,staleness -json BENCH.json -overhead
 //	stsl-bench -live -compare BENCH.json -tolerance 0.1
+//	stsl-bench -analysis analysis.md -json BENCH.json
 //	stsl-bench -compare OLD.json -against NEW.json
 //	stsl-bench -validate BENCH.json
 package main
@@ -53,7 +55,9 @@ func main() {
 		clients   = flag.String("clients", "", "end-system counts for the --live benchmark, comma-separated (default 1,4,16)")
 		policy    = flag.String("policy", "fifo", "queue policies for the --live benchmark, comma-separated: fifo|staleness|fair-rr|sync-rounds")
 		coalesce  = flag.String("coalesce", "", "micro-batch coalescing caps for the --live benchmark, comma-separated (default 1,2,4,8)")
+		workers   = flag.String("workers", "", "data-parallel replica counts for the --live benchmark, comma-separated (default 1)")
 		jsonOut   = flag.String("json", "", "write the --live grid as a schema-stable JSON report to this path")
+		analysis  = flag.String("analysis", "", "write a human-readable markdown analysis of the bench report to this path (with --live: the fresh grid; otherwise reads the report at -json)")
 		overhead  = flag.Bool("overhead", false, "also measure the telemetry overhead (bare vs instrumented) at the largest client count")
 		compare   = flag.String("compare", "", "run the --live grid matching this baseline report and fail on throughput regressions")
 		against   = flag.String("against", "", "with -compare: diff the baseline against this already-measured report instead of re-running the grid")
@@ -73,6 +77,22 @@ func main() {
 		return
 	}
 
+	if *analysis != "" && !*live {
+		// Offline analysis of an existing report: -json names the input.
+		if *jsonOut == "" {
+			fatal(fmt.Errorf("-analysis without --live needs -json naming the report to read"))
+		}
+		r, err := readBench(*jsonOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*analysis, []byte(expt.AnalyzeBench(r)), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("stsl-bench: analysis of %s written to %s\n", *jsonOut, *analysis)
+		return
+	}
+
 	if *compare != "" && *against != "" {
 		// Pure file-vs-file gate: no measurement, fully deterministic —
 		// what CI uses to prove the >10% rule trips.
@@ -88,8 +108,8 @@ func main() {
 	}
 
 	if *live {
-		if err := runLive(s, *seed, *steps, *clients, *policy, *coalesce,
-			*jsonOut, *overhead, *compare, *tolerance, *repeats); err != nil {
+		if err := runLive(s, *seed, *steps, *clients, *policy, *coalesce, *workers,
+			*jsonOut, *analysis, *overhead, *compare, *tolerance, *repeats); err != nil {
 			fatal(err)
 		}
 		return
@@ -228,7 +248,7 @@ func main() {
 // concurrent end-system count, queue policy, and micro-batch coalescing
 // cap — over net.Pipe with full wire encode/decode, via the shared
 // expt.RunLiveBench harness (one telemetry registry across all cells).
-func runLive(s expt.Scale, seed uint64, steps int, clients, policy, coalesce, jsonOut string, overhead bool, compare string, tolerance float64, repeats int) error {
+func runLive(s expt.Scale, seed uint64, steps int, clients, policy, coalesce, workers, jsonOut, analysis string, overhead bool, compare string, tolerance float64, repeats int) error {
 	clientCounts, err := parseIntList(clients, []int{1, 4, 16})
 	if err != nil {
 		return fmt.Errorf("-clients: %w", err)
@@ -236,6 +256,10 @@ func runLive(s expt.Scale, seed uint64, steps int, clients, policy, coalesce, js
 	coalesceCaps, err := parseIntList(coalesce, []int{1, 2, 4, 8})
 	if err != nil {
 		return fmt.Errorf("-coalesce: %w", err)
+	}
+	workerCounts, err := parseIntList(workers, []int{1})
+	if err != nil {
+		return fmt.Errorf("-workers: %w", err)
 	}
 	policies := strings.Split(policy, ",")
 
@@ -259,21 +283,26 @@ func runLive(s expt.Scale, seed uint64, steps int, clients, policy, coalesce, js
 
 	fmt.Printf("live cluster throughput — scale=%s, %d steps/client, wire framing over net.Pipe\n\n",
 		s.Name, steps)
-	fmt.Printf("%8s %12s %10s %10s %12s %12s %12s %12s %10s\n",
-		"clients", "policy", "coalesce", "telem", "steps/s", "wall", "p95 wait", "maxdepth", "loss")
+	fmt.Printf("%8s %12s %10s %9s %10s %12s %12s %12s %12s %10s\n",
+		"clients", "policy", "coalesce", "workers", "telem", "steps/s", "wall", "p95 wait", "maxdepth", "loss")
 	cfg := expt.LiveBenchConfig{
 		Scale: s, Seed: seed, Steps: steps,
 		Clients: clientCounts, Policies: policies, Coalesce: coalesceCaps,
+		Workers:         workerCounts,
 		MeasureOverhead: overhead,
 		Repeats:         repeats,
 		Progress: func(r expt.BenchRow) {
-			fmt.Printf("%8d %12s %10d %10v %12.1f %12.3fs %11.1fms %12d %10.4f\n",
-				r.Clients, r.Policy, r.Coalesce, r.Telemetry, r.StepsPerSec,
+			w := r.Workers
+			if w < 1 {
+				w = 1
+			}
+			fmt.Printf("%8d %12s %10d %9d %10v %12.1f %12.3fs %11.1fms %12d %10.4f\n",
+				r.Clients, r.Policy, r.Coalesce, w, r.Telemetry, r.StepsPerSec,
 				r.WallSeconds, r.WaitP95*1e3, r.MaxQueueDepth, r.FinalLoss)
 		},
 	}
 	if baseline != nil {
-		cfg.Clients, cfg.Policies, cfg.Coalesce = benchGrid(baseline)
+		cfg.Clients, cfg.Policies, cfg.Coalesce, cfg.Workers = benchGrid(baseline)
 		cfg.MeasureOverhead = baseline.Overhead != nil
 	}
 	report, err := expt.RunLiveBench(context.Background(), cfg)
@@ -296,6 +325,12 @@ func runLive(s expt.Scale, seed uint64, steps int, clients, policy, coalesce, js
 		}
 		fmt.Printf("\nreport written to %s\n", jsonOut)
 	}
+	if analysis != "" {
+		if err := os.WriteFile(analysis, []byte(expt.AnalyzeBench(report)), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nanalysis written to %s\n", analysis)
+	}
 	if baseline != nil {
 		regs, err := expt.CompareBench(baseline, report, tolerance)
 		if err != nil {
@@ -315,8 +350,9 @@ func runLive(s expt.Scale, seed uint64, steps int, clients, policy, coalesce, js
 
 // benchGrid recovers the unique grid axes of a baseline report, in
 // first-seen order, so -compare re-measures exactly the same cells.
-func benchGrid(r *expt.BenchReport) (clients []int, policies []string, coalesce []int) {
-	seenC, seenP, seenB := map[int]bool{}, map[string]bool{}, map[int]bool{}
+// Rows predating the workers axis carry 0, which was (and keys as) 1.
+func benchGrid(r *expt.BenchReport) (clients []int, policies []string, coalesce, workers []int) {
+	seenC, seenP, seenB, seenW := map[int]bool{}, map[string]bool{}, map[int]bool{}, map[int]bool{}
 	for _, row := range r.Rows {
 		if !seenC[row.Clients] {
 			seenC[row.Clients] = true
@@ -330,8 +366,16 @@ func benchGrid(r *expt.BenchReport) (clients []int, policies []string, coalesce 
 			seenB[row.Coalesce] = true
 			coalesce = append(coalesce, row.Coalesce)
 		}
+		w := row.Workers
+		if w < 1 {
+			w = 1
+		}
+		if !seenW[w] {
+			seenW[w] = true
+			workers = append(workers, w)
+		}
 	}
-	return clients, policies, coalesce
+	return clients, policies, coalesce, workers
 }
 
 // compareFiles gates an already-measured report against a baseline,

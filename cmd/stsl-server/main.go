@@ -61,6 +61,8 @@ func main() {
 		queueCap    = flag.Int("queue-cap", 64, "scheduling queue depth cap (-1 = unbounded)")
 		overflow    = flag.String("overflow", "park", "behaviour at the cap: park|reject")
 		coalesce    = flag.Int("coalesce", 1, "micro-batch coalescing cap: stack up to this many queued activations per pass")
+		workers     = flag.Int("workers", 1, "data-parallel model replicas draining the queue concurrently (1 = classic single worker)")
+		syncEvery   = flag.Int("sync-every", 0, "pool steps between FedAvg replica-averaging barriers (0 = default; only with -workers > 1)")
 		straggler   = flag.Duration("straggler-timeout", 0, "drop silent clients after this long (0 = never)")
 		grace       = flag.Duration("resume-grace", 30*time.Second, "how long a disconnected client may reconnect and resume its session (0 = evict immediately)")
 		ckptDir     = flag.String("checkpoint-dir", "", "directory for periodic server checkpoints (empty = no checkpointing)")
@@ -105,6 +107,30 @@ func main() {
 		StragglerTimeout: *straggler,
 		BatchCoalesce:    *coalesce,
 		ResumeGrace:      *grace,
+		Workers:          *workers,
+		SyncEvery:        *syncEvery,
+		// Each extra worker gets a structurally identical replica of the
+		// server stack, built the same way as the primary; NewServer fans
+		// the primary's weights (including any -resume restore) out to it.
+		NewReplica: func() (*core.Server, error) {
+			tpl, err := nn.BuildPaperCNN(s.Model, mathx.NewRNG(*seed))
+			if err != nil {
+				return nil, err
+			}
+			_, up, err := core.Split(tpl, *cut)
+			if err != nil {
+				return nil, err
+			}
+			o, err := opt.NewSGD(opt.Config{LR: *lr})
+			if err != nil {
+				return nil, err
+			}
+			p, err := queue.NewPolicy(*policy)
+			if err != nil {
+				return nil, err
+			}
+			return core.NewServer(up, o, p)
+		},
 	}
 	// Telemetry comes alive with the admin listener: a registry for
 	// /metrics and a bounded trace ring for /trace. Without -admin-addr
@@ -172,8 +198,8 @@ func main() {
 		defer admin.Close()
 		fmt.Printf("stsl-server: admin listener on http://%s (/metrics /statusz /trace /debug/pprof)\n", admin.Addr())
 	}
-	fmt.Printf("stsl-server: listening on %s for %d end-system(s), cut=%d policy=%s cap=%d overflow=%s coalesce=%d\n",
-		lis.Addr(), *clients, *cut, *policy, *queueCap, *overflow, *coalesce)
+	fmt.Printf("stsl-server: listening on %s for %d end-system(s), cut=%d policy=%s cap=%d overflow=%s coalesce=%d workers=%d\n",
+		lis.Addr(), *clients, *cut, *policy, *queueCap, *overflow, *coalesce, *workers)
 	go srv.ServeListener(lis)
 
 	// The ticker stops when training ends, not at process exit, so late

@@ -7,6 +7,7 @@ import (
 	"github.com/stsl/stsl/internal/mathx"
 	"github.com/stsl/stsl/internal/metrics"
 	"github.com/stsl/stsl/internal/nn"
+	"github.com/stsl/stsl/internal/paramsync"
 )
 
 // FedAvgConfig parameterises the federated-averaging baseline.
@@ -74,15 +75,21 @@ func TrainFedAvg(cfg FedAvgConfig, shards []*data.Dataset) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	totalExamples := 0
-	for _, s := range shards {
-		totalExamples += s.Len()
+	// Example-count weights for the aggregation rule; paramsync.Average
+	// normalises them, so raw shard sizes are fine.
+	weights := make([]float64, len(shards))
+	replicaParams := make([][]*nn.Param, len(replicas))
+	for i, s := range shards {
+		weights[i] = float64(s.Len())
+		replicaParams[i] = replicas[i].Net.Params()
 	}
 
 	for round := 0; round < cfg.Rounds; round++ {
 		for i, rep := range replicas {
 			// Pull global weights.
-			copyParams(rep, global)
+			if err := paramsync.Copy(rep.Net.Params(), global.Net.Params()); err != nil {
+				return nil, err
+			}
 			optim, err := newOptimizer("sgd", cfg.LR)
 			if err != nil {
 				return nil, err
@@ -105,22 +112,11 @@ func TrainFedAvg(cfg FedAvgConfig, shards []*data.Dataset) (*Result, error) {
 				}
 			}
 		}
-		// Example-weighted average into the global model.
-		gp := global.Net.Params()
-		for pi := range gp {
-			gp[pi].Value.Zero()
-			for ci, rep := range replicas {
-				w := float64(shards[ci].Len()) / float64(totalExamples)
-				gp[pi].Value.AXPY(w, rep.Net.Params()[pi].Value)
-			}
+		// Example-weighted average into the global model — the shared
+		// aggregation kernel the cluster worker pool also syncs with.
+		if err := paramsync.Average(global.Net.Params(), replicaParams, weights); err != nil {
+			return nil, err
 		}
 	}
 	return &Result{Model: global, Losses: curve}, nil
-}
-
-func copyParams(dst, src *nn.PaperCNN) {
-	dp, sp := dst.Net.Params(), src.Net.Params()
-	for i := range dp {
-		dp[i].Value.CopyFrom(sp[i].Value)
-	}
 }

@@ -454,11 +454,11 @@ func TestServerRestartFromCheckpoint(t *testing.T) {
 	// restart, not a filesystem (FileCheckpointer has its own test).
 	var ckptMu sync.Mutex
 	var ckpt bytes.Buffer
-	sink := func(cs *core.Server) error {
+	sink := func(srvs []*core.Server) error {
 		ckptMu.Lock()
 		defer ckptMu.Unlock()
 		ckpt.Reset()
-		return cs.SaveState(&ckpt)
+		return core.SavePoolState(&ckpt, srvs)
 	}
 
 	dep := chaosDeployment(t, clients)
@@ -589,7 +589,7 @@ func TestFileCheckpointerRoundTrip(t *testing.T) {
 	if res.ServerSteps != 3 {
 		t.Fatalf("trained %d steps, want 3", res.ServerSteps)
 	}
-	if err := FileCheckpointer(path)(dep.Server); err != nil {
+	if err := FileCheckpointer(path)([]*core.Server{dep.Server}); err != nil {
 		t.Fatal(err)
 	}
 

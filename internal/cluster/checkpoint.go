@@ -8,20 +8,23 @@ import (
 	"github.com/stsl/stsl/internal/core"
 )
 
-// FileCheckpointer returns a Checkpoint sink that persists the server's
-// training state to path atomically: the state is written to a sibling
-// temp file and renamed into place, so a crash mid-write can never leave
-// a truncated checkpoint where a reader (a restarting server with
-// -resume) would trust it.
-func FileCheckpointer(path string) func(*core.Server) error {
-	return func(srv *core.Server) error {
+// FileCheckpointer returns a Checkpoint sink that persists the worker
+// pool's training state to path atomically: the state is written to a
+// sibling temp file and renamed into place, so a crash mid-write can
+// never leave a truncated checkpoint where a reader (a restarting
+// server with -resume) would trust it. One replica writes the legacy
+// single-server format; N replicas write the versioned pool format
+// (core.SavePoolState), which RestoreFromFile on any worker count
+// restores as the FedAvg average.
+func FileCheckpointer(path string) func([]*core.Server) error {
+	return func(srvs []*core.Server) error {
 		dir := filepath.Dir(path)
 		tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 		if err != nil {
 			return fmt.Errorf("cluster: checkpoint temp file: %w", err)
 		}
 		defer os.Remove(tmp.Name()) // no-op after the rename succeeds
-		if err := srv.SaveState(tmp); err != nil {
+		if err := core.SavePoolState(tmp, srvs); err != nil {
 			tmp.Close()
 			return err
 		}
@@ -37,6 +40,10 @@ func FileCheckpointer(path string) func(*core.Server) error {
 
 // RestoreFromFile loads a checkpoint written by FileCheckpointer into a
 // structurally identical core server, returning the restored step count.
+// Both checkpoint formats load: a pool checkpoint lands as the FedAvg
+// average of its replica stacks (see core.LoadState), which NewServer
+// then fans out to however many replicas the restarted server runs — an
+// N-worker checkpoint restores into an M-worker server for any N and M.
 // A missing file is not an error — it reports (0, false, nil) so callers
 // can pass -resume unconditionally on first boot.
 func RestoreFromFile(path string, srv *core.Server) (steps int, restored bool, err error) {

@@ -2,17 +2,20 @@ package cluster
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"github.com/stsl/stsl/internal/obs"
 )
 
 // instruments is the cluster server's telemetry bundle: session
-// lifecycle counters and the worker's per-stage timing histograms. The
-// lifecycle counters are owned by whichever goroutine performs the
-// transition (session loops join/park, the janitor and worker evict);
-// the worker.* histograms and spans are written only by the worker
-// goroutine — see DESIGN.md §3.4 for the ownership rules.
+// lifecycle counters, the worker fleet's per-stage timing histograms
+// (one set per replica, labeled replica=<id>), and the pool's sync
+// telemetry. The lifecycle counters are owned by whichever goroutine
+// performs the transition (session loops join/park, the janitor and
+// workers evict); workers[i] is written only by worker goroutine i, and
+// the sync instruments only by the barrier's last arriver or the
+// supervisor — see DESIGN.md §3.2 and §3.4 for the ownership rules.
 type instruments struct {
 	joins     *obs.Counter
 	resumes   *obs.Counter
@@ -20,32 +23,57 @@ type instruments struct {
 	leaves    *obs.Counter
 	evictions *obs.Counter
 
-	// workerPop is time the worker spent obtaining its next batch —
-	// blocked waits included, so it reads as "idle share" next to
-	// workerProcess (stsl_worker_pop_seconds).
-	workerPop *obs.Histogram
-	// workerProcess times the coalesced forward/backward/step pass
-	// (stsl_worker_process_seconds).
-	workerProcess *obs.Histogram
-	// workerScatter times fanning gradient replies back to sessions
-	// (stsl_worker_scatter_seconds).
-	workerScatter *obs.Histogram
+	// workers holds one per-stage histogram set per model replica.
+	workers []workerInstruments
+
+	// syncSeconds times one pool sync barrier: divergence read, FedAvg
+	// average, fan-out (stsl_sync_seconds).
+	syncSeconds *obs.Histogram
+	// divergence is the normalised RMS replica spread measured just
+	// before each average erased it (stsl_replica_divergence).
+	divergence *obs.Gauge
 }
 
-func newInstruments(reg *obs.Registry) *instruments {
+// workerInstruments is one replica's stage timing set.
+type workerInstruments struct {
+	// pop is time the worker spent obtaining its next batch — blocked
+	// waits included, so it reads as "idle share" next to process
+	// (stsl_worker_pop_seconds).
+	pop *obs.Histogram
+	// process times the coalesced forward/backward/step pass
+	// (stsl_worker_process_seconds).
+	process *obs.Histogram
+	// scatter times fanning gradient replies back to sessions
+	// (stsl_worker_scatter_seconds).
+	scatter *obs.Histogram
+}
+
+func newInstruments(reg *obs.Registry, workers int) *instruments {
 	event := func(kind string) *obs.Counter {
 		return reg.Counter("stsl_cluster_sessions_total", obs.Labels{"event": kind})
 	}
-	return &instruments{
-		joins:         event("join"),
-		resumes:       event("resume"),
-		parks:         event("park"),
-		leaves:        event("leave"),
-		evictions:     event("evict"),
-		workerPop:     reg.Histogram("stsl_worker_pop_seconds", nil),
-		workerProcess: reg.Histogram("stsl_worker_process_seconds", nil),
-		workerScatter: reg.Histogram("stsl_worker_scatter_seconds", nil),
+	if workers < 1 {
+		workers = 1
 	}
+	ins := &instruments{
+		joins:       event("join"),
+		resumes:     event("resume"),
+		parks:       event("park"),
+		leaves:      event("leave"),
+		evictions:   event("evict"),
+		workers:     make([]workerInstruments, workers),
+		syncSeconds: reg.Histogram("stsl_sync_seconds", nil),
+		divergence:  reg.Gauge("stsl_replica_divergence", nil),
+	}
+	for i := range ins.workers {
+		lbl := obs.Labels{"replica": strconv.Itoa(i)}
+		ins.workers[i] = workerInstruments{
+			pop:     reg.Histogram("stsl_worker_pop_seconds", lbl),
+			process: reg.Histogram("stsl_worker_process_seconds", lbl),
+			scatter: reg.Histogram("stsl_worker_scatter_seconds", lbl),
+		}
+	}
+	return ins
 }
 
 // lifecycle records one session transition: a counter bump and a trace
@@ -128,11 +156,12 @@ func (s *Server) windowRateLocked(now time.Time) float64 {
 }
 
 // workerSpan records one completed worker stage into both the stage
-// histogram (nil-safe) and the trace ring. n annotates the batch size.
-// Only called when telemetry is enabled, so the disabled hot path pays
-// a single bool check and no clock reads.
-func (s *Server) workerSpan(kind string, h *obs.Histogram, start time.Time, n int) {
+// histogram (nil-safe) and the trace ring. n annotates the batch size,
+// id the replica that ran the stage. Only called when telemetry is
+// enabled, so the disabled hot path pays a single bool check and no
+// clock reads.
+func (s *Server) workerSpan(kind string, id int, h *obs.Histogram, start time.Time, n int) {
 	d := time.Since(start)
 	h.ObserveDuration(d)
-	s.tr.Record(kind, -1, -1, fmt.Sprintf("n=%d", n), d)
+	s.tr.Record(kind, -1, -1, fmt.Sprintf("n=%d r=%d", n, id), d)
 }

@@ -27,6 +27,15 @@ type Snapshot struct {
 	MaxQueueDepth int
 	// Rejected counts activations refused for backpressure.
 	Rejected int
+	// Workers is the number of data-parallel model replicas serving the
+	// queue (1 = the classic single model-owning worker).
+	Workers int
+	// Syncs counts completed FedAvg sync barriers (0 at Workers = 1).
+	Syncs int
+	// ReplicaDivergence is the normalised RMS spread across replicas
+	// measured at the most recent sync barrier, just before averaging
+	// erased it. 0 until the first sync, and always 0 at Workers = 1.
+	ReplicaDivergence float64
 	// Checkpoints counts checkpoints written by the worker so far.
 	Checkpoints int
 	// CheckpointErr is the most recent checkpoint failure ("" while
@@ -78,8 +87,12 @@ func (s Snapshot) String() string {
 	if s.Checkpoints > 0 {
 		ckpt = fmt.Sprintf(" ckpt=%d", s.Checkpoints)
 	}
-	return fmt.Sprintf("steps=%d (%.1f/s life, %.1f/s now) depth=%d/%d rejected=%d%s loss=%.4f per-client[%s]",
-		s.ServerSteps, s.StepsPerSec, s.StepsPerSecWindow, s.QueueDepth, s.MaxQueueDepth, s.Rejected, ckpt, s.LastLoss,
+	pool := ""
+	if s.Workers > 1 {
+		pool = fmt.Sprintf(" workers=%d syncs=%d div=%.3g", s.Workers, s.Syncs, s.ReplicaDivergence)
+	}
+	return fmt.Sprintf("steps=%d (%.1f/s life, %.1f/s now) depth=%d/%d rejected=%d%s%s loss=%.4f per-client[%s]",
+		s.ServerSteps, s.StepsPerSec, s.StepsPerSecWindow, s.QueueDepth, s.MaxQueueDepth, s.Rejected, pool, ckpt, s.LastLoss,
 		strings.Join(parts, " "))
 }
 

@@ -132,10 +132,10 @@ func TestClusterTelemetry(t *testing.T) {
 	if wait.Count() != uint64(clients*steps) {
 		t.Errorf("wait histogram count = %d, want %d", wait.Count(), clients*steps)
 	}
-	if h := reg.Histogram("stsl_worker_process_seconds", nil); h.Count() == 0 {
+	if h := reg.Histogram("stsl_worker_process_seconds", obs.Labels{"replica": "0"}); h.Count() == 0 {
 		t.Error("worker process histogram empty")
 	}
-	if h := reg.Histogram("stsl_worker_pop_seconds", nil); h.Count() == 0 {
+	if h := reg.Histogram("stsl_worker_pop_seconds", obs.Labels{"replica": "0"}); h.Count() == 0 {
 		t.Error("worker pop histogram empty")
 	}
 	var rtt uint64

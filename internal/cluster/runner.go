@@ -112,6 +112,11 @@ func Run(ctx context.Context, dep *core.Deployment, cfg RunnerConfig) (*RunnerRe
 		// drives the simulation coalesces identically on the live path.
 		serverCfg.BatchCoalesce = dep.Config.BatchCoalesce
 	}
+	if serverCfg.Workers > 1 && serverCfg.NewReplica == nil {
+		// The deployment knows how to mint structural twins of its own
+		// server, so a multi-worker run needs only the Workers knob.
+		serverCfg.NewReplica = dep.NewServerReplica
+	}
 
 	srv, err := NewServer(dep.Server, serverCfg)
 	if err != nil {
@@ -214,7 +219,10 @@ func Run(ctx context.Context, dep *core.Deployment, cfg RunnerConfig) (*RunnerRe
 	result.WallDuration = time.Since(start)
 	result.Snapshot = srv.Snapshot()
 	result.ServerSteps = result.Snapshot.ServerSteps
-	result.FinalLoss = dep.Server.Losses.Last()
+	// The session layer owns no model state, so the loss comes from the
+	// worker pool: the mean across replicas that served work (at one
+	// worker, exactly the primary's curve).
+	result.FinalLoss = srv.FinalLoss()
 	if len(errs) > 0 {
 		return result, errors.Join(errs...)
 	}

@@ -10,7 +10,9 @@ import (
 
 	"github.com/stsl/stsl/internal/core"
 	"github.com/stsl/stsl/internal/mathx"
+	"github.com/stsl/stsl/internal/metrics"
 	"github.com/stsl/stsl/internal/obs"
+	"github.com/stsl/stsl/internal/paramsync"
 	"github.com/stsl/stsl/internal/queue"
 	"github.com/stsl/stsl/internal/transport"
 )
@@ -80,31 +82,50 @@ func violation(format string, args ...interface{}) error {
 
 // Server is the live centralized side of the framework: it accepts
 // end-system sessions over any transport.Conn, feeds one mutex-guarded
-// scheduling queue, and drains it with a single worker goroutine that
-// owns all model state. Session receive goroutines touch only the queue
-// and per-session bookkeeping, so the paper's scheduling discipline —
-// not goroutine scheduling luck — decides the service order of
-// concurrently arriving activations.
+// scheduling queue, and drains it with a pool of worker goroutines that
+// own all model state — one data-parallel model replica per worker,
+// FedAvg-averaged every Config.SyncEvery steps (a single worker with
+// Workers <= 1, the classic arrangement). The session layer — receive
+// goroutines, the janitor, the reply cache — touches only the queue and
+// per-session bookkeeping and owns no model state, so the paper's
+// scheduling discipline — not goroutine scheduling luck — decides the
+// service order of concurrently arriving activations.
 type Server struct {
 	cfg  Config
 	core *core.Server
-	q    *queue.Safe
-	now  func() time.Duration
+	// replicas holds every model replica; replicas[0] is the primary
+	// (== core, the deployment's server). Worker i exclusively owns
+	// replicas[i] between sync barriers; at a barrier all workers are
+	// quiescent and the averaging worker may touch all of them.
+	replicas []*core.Server
+	q        *queue.Safe
+	now      func() time.Duration
 
 	// Telemetry (all optional): ins holds the cluster-level counters
-	// and worker histograms, qIns the queue bundle shared with q, tr
-	// the event ring. All nil when Config.Obs/Tracer are unset.
+	// and per-replica worker histograms, qIns the queue bundle shared
+	// with q, tr the event ring. All nil when Config.Obs/Tracer are
+	// unset.
 	ins  *instruments
 	qIns *queue.Instruments
 	tr   *obs.Tracer
 
 	ctx    context.Context
 	cancel context.CancelFunc
-	wg     sync.WaitGroup
+	// wg tracks the supervisor and janitor; workerWG tracks the pool
+	// workers. The supervisor waits on workerWG and then writes the
+	// final checkpoint, so Shutdown (which waits on wg) returns only
+	// after it.
+	wg       sync.WaitGroup
+	workerWG sync.WaitGroup
+
+	// pool coordinates the sync barrier between workers; inert at
+	// Workers <= 1.
+	pool pool
 
 	startWall time.Time
 
-	// ckptDue counts steps since the last checkpoint. Worker-only.
+	// ckptDue counts steps since the last checkpoint. Single-worker
+	// mode only (the pool tracks its own counter under pool.mu).
 	ckptDue int
 
 	mu          sync.Mutex
@@ -117,7 +138,16 @@ type Server struct {
 	checkpoints int
 	ckptErr     error
 	lastLoss    float64
-	started     bool
+	// losses is the pool-wide training-loss curve, fed one raw batch
+	// loss per delivery under s.mu. Unlike the replicas' private curves
+	// (each windowed over local steps only), its window spans the last
+	// N global steps — the measurement the virtual-time simulation
+	// reports, so live-vs-sim loss comparisons stay apples to apples at
+	// any worker count.
+	losses  *metrics.LossCurve
+	syncs   int
+	lastDiv float64
+	started bool
 	// rateSamples backs Snapshot's windowed throughput (see
 	// observeStepLocked).
 	rateSamples []rateSample
@@ -150,20 +180,70 @@ func NewServer(srv *core.Server, cfg Config) (*Server, error) {
 		// cap rather than wedge.
 		cfg.QueueCap = 0
 	}
+	// Same averaging window as the core servers' private curves, so at
+	// one worker the pool curve reproduces the classic numbers exactly.
+	losses, err := metrics.NewLossCurve(10)
+	if err != nil {
+		return nil, err
+	}
 	s := &Server{
 		cfg:      cfg,
 		core:     srv,
+		replicas: []*core.Server{srv},
 		q:        safe,
 		tr:       cfg.Tracer,
 		sessions: make(map[int]*session),
+		losses:   losses,
 	}
 	if cfg.Obs != nil {
-		s.ins = newInstruments(cfg.Obs)
+		s.ins = newInstruments(cfg.Obs, cfg.Workers)
 		s.qIns = queue.NewInstruments(cfg.Obs, safe.Name())
 		safe.SetInstruments(s.qIns)
 		if srv.Instr == nil {
 			srv.Instr = core.NewServerInstruments(cfg.Obs)
 		}
+	}
+	if cfg.Workers > 1 {
+		if cfg.NewReplica == nil {
+			return nil, fmt.Errorf("cluster: Workers=%d needs a NewReplica factory", cfg.Workers)
+		}
+		for i := 1; i < cfg.Workers; i++ {
+			rep, err := cfg.NewReplica()
+			if err != nil {
+				return nil, fmt.Errorf("cluster: build replica %d: %w", i, err)
+			}
+			if rep == nil {
+				return nil, fmt.Errorf("cluster: NewReplica returned nil for replica %d", i)
+			}
+			// Replicas share the primary's thread-safe service metrics
+			// and step instruments so pool-wide accounting lands in one
+			// place; the loss curve stays private — it is not
+			// thread-safe and each worker owns its replica's curve.
+			rep.QueueMetrics = srv.QueueMetrics
+			rep.Instr = srv.Instr
+			// Start in lock-step with the primary; this also fans out a
+			// checkpoint restored into the primary before NewServer.
+			if err := paramsync.Copy(rep.Stack.Params(), srv.Stack.Params()); err != nil {
+				return nil, fmt.Errorf("cluster: replica %d is not structurally identical: %w", i, err)
+			}
+			s.replicas = append(s.replicas, rep)
+		}
+		// Linear scaling rule: averaging N replicas folds N steps into
+		// ~one, so the pool compensates with an N× (or LRScale×) server
+		// learning rate to preserve the sequential trajectory.
+		scale := cfg.LRScale
+		if scale == 0 {
+			scale = float64(cfg.Workers)
+		}
+		if scale < 0 {
+			return nil, fmt.Errorf("cluster: LRScale must be positive, got %v", scale)
+		}
+		if scale != 1 {
+			for _, rep := range s.replicas {
+				rep.Optim.SetLR(rep.Optim.LR() * scale)
+			}
+		}
+		s.pool.init(len(s.replicas), cfg.SyncEvery)
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s, nil
@@ -198,14 +278,23 @@ func (s *Server) Start(ctx context.Context) error {
 			return time.Since(start).Seconds()
 		})
 	}
-	// Wake AwaitClients waiters when the server stops for any reason.
+	// Wake AwaitClients waiters — and workers parked at a sync barrier —
+	// when the server stops for any reason.
 	context.AfterFunc(s.ctx, func() {
 		s.mu.Lock()
 		s.cond.Broadcast()
 		s.mu.Unlock()
+		s.pool.interrupt()
 	})
+	for i, rep := range s.replicas {
+		s.workerWG.Add(1)
+		go s.worker(i, rep)
+	}
+	// The supervisor outlives the workers: it waits for the pool to
+	// drain, writes the final checkpoint while every replica is
+	// quiescent, and folds the replicas into the primary for Core().
 	s.wg.Add(1)
-	go s.worker()
+	go s.supervise()
 	if s.cfg.StragglerTimeout > 0 || s.cfg.ResumeGrace > 0 {
 		s.wg.Add(1)
 		go s.janitor()
@@ -213,21 +302,21 @@ func (s *Server) Start(ctx context.Context) error {
 	return nil
 }
 
-// worker is the single goroutine that owns the shared model: it drains
-// the queue per the scheduling policy — up to BatchCoalesce items per
-// PopBatch — runs one stacked forward/backward/step over the coalesced
-// batch, and scatters each client's gradient slice back to its session.
-// A batch that fails falls back to serving its items one at a time, so
-// only the offending client is evicted, never its batchmates. As the
-// sole model owner it is also where checkpoints are written: between
-// passes, and once on exit.
-func (s *Server) worker() {
-	defer s.wg.Done()
-	if s.cfg.Checkpoint != nil {
-		// The final checkpoint at exit makes a graceful restart nearly
-		// lossless: every processed step is persisted, and clients
-		// resend only their unacknowledged in-flight batch.
-		defer s.checkpoint()
+// worker is one pool goroutine owning one model replica: it drains the
+// shared queue per the scheduling policy — up to BatchCoalesce items
+// per PopBatch — runs one stacked forward/backward/step over the
+// coalesced batch on its replica, and scatters each client's gradient
+// slice back to its session. A batch that fails falls back to serving
+// its items one at a time, so only the offending client is evicted,
+// never its batchmates. At Workers > 1 the workers rendezvous at a
+// FedAvg sync barrier every SyncEvery pool steps (see pool.go); with a
+// single worker the loop is exactly the classic single-model-owner
+// arrangement, checkpoints included.
+func (s *Server) worker(id int, rep *core.Server) {
+	defer s.workerWG.Done()
+	pooled := len(s.replicas) > 1
+	if pooled {
+		defer s.pool.exit()
 	}
 	batchMax := s.cfg.BatchCoalesce
 	if batchMax < 1 {
@@ -239,9 +328,13 @@ func (s *Server) worker() {
 	telemetry := s.ins != nil || s.tr != nil
 	var insPop, insProc, insScat *obs.Histogram
 	if s.ins != nil {
-		insPop, insProc, insScat = s.ins.workerPop, s.ins.workerProcess, s.ins.workerScatter
+		w := s.ins.workers[id]
+		insPop, insProc, insScat = w.pop, w.process, w.scatter
 	}
 	for {
+		if pooled {
+			s.syncIfDue()
+		}
 		var popStart time.Time
 		if telemetry {
 			popStart = time.Now()
@@ -254,15 +347,21 @@ func (s *Server) worker() {
 			}
 			select {
 			case <-s.q.Pushed():
+			case <-s.pool.wake(): // nil (blocks forever) when not pooled
+				// A sync barrier wants every worker, including idle
+				// ones — arrive, then resume waiting for work.
 			case <-s.ctx.Done():
 				return
+			}
+			if pooled {
+				s.syncIfDue()
 			}
 		}
 		if telemetry {
 			// Blocked waits included: next to worker.process this reads
 			// as the worker's idle share — high pop times mean the
 			// queue, not the model, is the bottleneck.
-			s.workerSpan("worker.pop", insPop, popStart, len(items))
+			s.workerSpan("worker.pop", id, insPop, popStart, len(items))
 		}
 		if s.ctx.Err() != nil {
 			// Shutdown raced the pop: return the admitted work so the
@@ -278,22 +377,23 @@ func (s *Server) worker() {
 			if telemetry {
 				procStart = time.Now()
 			}
-			replies, err := s.processBatch(items, now)
+			replies, err := s.processBatch(rep, items, now)
 			if err == nil {
 				if telemetry {
-					s.workerSpan("worker.process", insProc, procStart, len(items))
+					s.workerSpan("worker.process", id, insProc, procStart, len(items))
 				}
 				var scatStart time.Time
 				if telemetry {
 					scatStart = time.Now()
 				}
+				loss := rep.LastBatchLoss()
 				for i, it := range items {
-					s.deliver(it, replies[i], now, nil)
+					s.deliver(it, replies[i], now, loss, nil)
 				}
 				if telemetry {
-					s.workerSpan("worker.scatter", insScat, scatStart, len(items))
+					s.workerSpan("worker.scatter", id, insScat, scatStart, len(items))
 				}
-				s.maybeCheckpoint(len(items))
+				s.accountSteps(pooled, len(items))
 				continue
 			}
 			// The coalesced pass failed during pre-flight, before any
@@ -309,25 +409,58 @@ func (s *Server) worker() {
 			if telemetry {
 				procStart = time.Now()
 			}
-			reply, err := s.process(it, now)
+			reply, err := s.process(rep, it, now)
 			if telemetry {
-				s.workerSpan("worker.process", insProc, procStart, 1)
+				s.workerSpan("worker.process", id, insProc, procStart, 1)
 			}
 			var scatStart time.Time
 			if telemetry {
 				scatStart = time.Now()
 			}
-			s.deliver(it, reply, now, err)
+			s.deliver(it, reply, now, rep.LastBatchLoss(), err)
 			if telemetry {
-				s.workerSpan("worker.scatter", insScat, scatStart, 1)
+				s.workerSpan("worker.scatter", id, insScat, scatStart, 1)
 			}
 		}
-		s.maybeCheckpoint(len(items))
+		s.accountSteps(pooled, len(items))
+	}
+}
+
+// accountSteps credits n served steps to the checkpoint/sync cadence:
+// the pool counter (which may arm a sync barrier) at Workers > 1, the
+// classic per-step checkpoint check otherwise.
+func (s *Server) accountSteps(pooled bool, n int) {
+	if pooled {
+		wantCkpt := s.cfg.Checkpoint != nil && s.cfg.CheckpointEvery > 0
+		s.pool.account(n, wantCkpt, s.cfg.CheckpointEvery)
+		return
+	}
+	s.maybeCheckpoint(n)
+}
+
+// supervise waits for the worker pool to drain, then — with every
+// replica quiescent — writes the final checkpoint and folds the
+// replicas' work into the primary, so Core() (and evaluation through
+// the deployment) sees the synthesis of the whole pool. It is the
+// reason Shutdown returning implies the final checkpoint is on disk.
+func (s *Server) supervise() {
+	defer s.wg.Done()
+	s.workerWG.Wait()
+	if s.cfg.Checkpoint != nil {
+		// The final checkpoint at exit makes a graceful restart nearly
+		// lossless: every processed step is persisted (the pool format
+		// captures each replica's true state), and clients resend only
+		// their unacknowledged in-flight batch.
+		s.checkpoint()
+	}
+	if len(s.replicas) > 1 {
+		s.syncReplicas()
 	}
 }
 
 // maybeCheckpoint writes a checkpoint once enough steps have accumulated
-// since the last one. Worker goroutine only.
+// since the last one. Single-worker mode only — the pool piggybacks
+// checkpoints on sync barriers instead.
 func (s *Server) maybeCheckpoint(n int) {
 	if s.cfg.Checkpoint == nil || s.cfg.CheckpointEvery <= 0 {
 		return
@@ -340,12 +473,15 @@ func (s *Server) maybeCheckpoint(n int) {
 	s.checkpoint()
 }
 
-// checkpoint invokes the configured sink and records the outcome. Worker
-// goroutine only (model ownership). Only successful writes count toward
+// checkpoint invokes the configured sink with every replica and records
+// the outcome. Called only while no worker is mid-pass: from the single
+// worker between passes, from the barrier's averaging worker, or from
+// the supervisor after the pool drained — model ownership is exclusive
+// at all three. Only successful writes count toward
 // Snapshot.Checkpoints; a failing sink shows up as CheckpointErr with
 // the counter frozen.
 func (s *Server) checkpoint() {
-	err := s.cfg.Checkpoint(s.core)
+	err := s.cfg.Checkpoint(s.replicas)
 	s.mu.Lock()
 	if err == nil {
 		s.checkpoints++
@@ -355,10 +491,14 @@ func (s *Server) checkpoint() {
 }
 
 // deliver finishes one served item: per-session bookkeeping, eviction on
-// a processing error, and the gradient send. The reply is cached before
-// any send attempt, so a session that is parked — or swaps connections
-// mid-batch — can be answered from the cache when the client resends.
-func (s *Server) deliver(it queue.Item, reply *transport.Message, now time.Duration, procErr error) {
+// a processing error, and the gradient send. loss is the raw batch loss
+// of the pass that served this item — passed in because the session
+// layer owns no model state and must not reach into a replica another
+// worker may be mutating; it feeds the pool-wide loss curve under s.mu.
+// The reply is cached before any send attempt, so a session that is
+// parked — or swaps connections mid-batch — can be answered from the
+// cache when the client resends.
+func (s *Server) deliver(it queue.Item, reply *transport.Message, now time.Duration, loss float64, procErr error) {
 	s.mu.Lock()
 	sess := s.sessions[it.ClientID()]
 	s.mu.Unlock()
@@ -380,7 +520,8 @@ func (s *Server) deliver(it queue.Item, reply *transport.Message, now time.Durat
 	s.mu.Lock()
 	s.steps++
 	s.observeStepLocked(time.Now())
-	s.lastLoss = s.core.Losses.Last()
+	s.losses.Observe(loss)
+	s.lastLoss = s.losses.Last()
 	var conn transport.Conn
 	parked := false
 	if sess != nil {
@@ -414,31 +555,31 @@ func (s *Server) deliver(it queue.Item, reply *transport.Message, now time.Durat
 	}
 }
 
-// process runs one item through the shared model, converting the nn
-// package's shape-assertion panics (a client trained with the wrong cut
-// point sends activations the server stack cannot consume) into errors
-// attributable to the offending client.
-func (s *Server) process(it queue.Item, now time.Duration) (reply *transport.Message, err error) {
+// process runs one item through the worker's model replica, converting
+// the nn package's shape-assertion panics (a client trained with the
+// wrong cut point sends activations the server stack cannot consume)
+// into errors attributable to the offending client.
+func (s *Server) process(rep *core.Server, it queue.Item, now time.Duration) (reply *transport.Message, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("cluster: processing client %d seq %d: %v",
 				it.ClientID(), it.Msg.Seq, r)
 		}
 	}()
-	return s.core.Process(it, now)
+	return rep.Process(it, now)
 }
 
-// processBatch runs one coalesced pass over already-popped items,
-// converting panics into an error. A batch failure is not attributable
-// to a single client — the worker retries the items individually to
-// find the offender.
-func (s *Server) processBatch(items []queue.Item, now time.Duration) (replies []*transport.Message, err error) {
+// processBatch runs one coalesced pass over already-popped items on the
+// worker's replica, converting panics into an error. A batch failure is
+// not attributable to a single client — the worker retries the items
+// individually to find the offender.
+func (s *Server) processBatch(rep *core.Server, items []queue.Item, now time.Duration) (replies []*transport.Message, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("cluster: processing coalesced batch of %d: %v", len(items), r)
 		}
 	}()
-	return s.core.ProcessBatch(items, now)
+	return rep.ProcessBatch(items, now)
 }
 
 // evict terminates one client's session after a processing failure,
@@ -958,19 +1099,37 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
-// Core exposes the wrapped model server for evaluation after training.
-// It must not be touched while the worker is live — Shutdown first.
+// Core exposes the primary model server for evaluation after training.
+// It must not be touched while the pool is live — Shutdown first, which
+// folds every replica's work into the primary before returning.
 func (s *Server) Core() *core.Server { return s.core }
+
+// Replicas exposes every model replica (the primary first). Like Core,
+// it must not be touched while the pool is live.
+func (s *Server) Replicas() []*core.Server { return s.replicas }
+
+// FinalLoss reports the pool-wide window-averaged training loss: the
+// average over the last N served batches regardless of which replica
+// ran them — the same measurement the virtual-time simulation reports.
+// With one worker it equals the primary's Losses.Last().
+func (s *Server) FinalLoss() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.losses.Last()
+}
 
 // Snapshot captures live metrics; safe from any goroutine at any time.
 func (s *Server) Snapshot() Snapshot {
 	now := time.Now()
 	s.mu.Lock()
 	snap := Snapshot{
+		Workers:           len(s.replicas),
 		ServerSteps:       s.steps,
 		Rejected:          s.rejected,
 		Checkpoints:       s.checkpoints,
 		LastLoss:          s.lastLoss,
+		Syncs:             s.syncs,
+		ReplicaDivergence: s.lastDiv,
 		Clients:           s.snapshotClients(),
 		StepsPerSecWindow: s.windowRateLocked(now),
 	}

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"bufio"
 	"fmt"
 	"io"
+
+	"github.com/stsl/stsl/internal/tensor"
 )
 
 // SaveState writes the server's own training state — the step counter
@@ -23,21 +26,89 @@ func (s *Server) SaveState(w io.Writer) error {
 	return nil
 }
 
-// LoadState restores state written by SaveState into a server of
-// identical structure, resuming the step counter and the shared weights.
+// SavePoolState writes a worker pool's training state: the checkpoint
+// format is versioned by replica count, so a restore knows how many
+// stacks follow and can average them. A single replica degenerates to
+// the legacy STSLSRV1 format — a workers=1 server keeps producing
+// checkpoints any older reader understands. The recorded step count is
+// the pool total (every replica's contribution).
+func SavePoolState(w io.Writer, replicas []*Server) error {
+	if len(replicas) == 0 {
+		return fmt.Errorf("core: pool state needs at least one replica")
+	}
+	if len(replicas) == 1 {
+		return replicas[0].SaveState(w)
+	}
+	total := 0
+	for _, rep := range replicas {
+		total += rep.steps
+	}
+	if _, err := fmt.Fprintf(w, "STSLPOOL1 workers=%d steps=%d\n", len(replicas), total); err != nil {
+		return fmt.Errorf("core: pool state header: %w", err)
+	}
+	for i, rep := range replicas {
+		if err := rep.Stack.SaveWeights(w); err != nil {
+			return fmt.Errorf("core: pool state replica %d weights: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// LoadState restores state written by SaveState or SavePoolState into a
+// server of identical stack structure, resuming the step counter and
+// the shared weights. A pool (STSLPOOL1) checkpoint carrying N replica
+// stacks is restored as their uniform FedAvg average — the same
+// aggregation the pool would have produced at its next sync barrier —
+// so an N-replica checkpoint loads into an M-worker server for any N
+// and M: the caller fans the averaged weights out to however many
+// replicas it runs (average-then-fan-out, never dropped replicas).
 func (s *Server) LoadState(r io.Reader) error {
-	var steps int
-	if _, err := fmt.Fscanf(r, "STSLSRV1 steps=%d\n", &steps); err != nil {
+	br := bufio.NewReader(r)
+	header, err := br.ReadString('\n')
+	if err != nil {
 		return fmt.Errorf("core: server state header: %w", err)
 	}
-	if steps < 0 {
-		return fmt.Errorf("core: server state has negative step count %d", steps)
+	var steps, workers int
+	if n, _ := fmt.Sscanf(header, "STSLSRV1 steps=%d", &steps); n == 1 {
+		if steps < 0 {
+			return fmt.Errorf("core: server state has negative step count %d", steps)
+		}
+		if err := s.Stack.LoadWeights(br); err != nil {
+			return fmt.Errorf("core: restore server weights: %w", err)
+		}
+		s.steps = steps
+		return nil
 	}
-	if err := s.Stack.LoadWeights(r); err != nil {
-		return fmt.Errorf("core: restore server weights: %w", err)
+	if n, _ := fmt.Sscanf(header, "STSLPOOL1 workers=%d steps=%d", &workers, &steps); n == 2 {
+		if workers <= 0 {
+			return fmt.Errorf("core: pool state has non-positive worker count %d", workers)
+		}
+		if steps < 0 {
+			return fmt.Errorf("core: pool state has negative step count %d", steps)
+		}
+		// Average the N stacks through accumulator tensors: each stack
+		// is loaded into s.Stack in turn (the only structural twin we
+		// hold) and folded into the accumulators at weight 1/N.
+		params := s.Stack.Params()
+		accs := make([]*tensor.Tensor, len(params))
+		for i, p := range params {
+			accs[i] = tensor.New(p.Value.Shape()...)
+		}
+		for k := 0; k < workers; k++ {
+			if err := s.Stack.LoadWeights(br); err != nil {
+				return fmt.Errorf("core: restore pool replica %d weights: %w", k, err)
+			}
+			for i, p := range params {
+				accs[i].AXPY(1/float64(workers), p.Value)
+			}
+		}
+		for i, p := range params {
+			p.Value.CopyFrom(accs[i])
+		}
+		s.steps = steps
+		return nil
 	}
-	s.steps = steps
-	return nil
+	return fmt.Errorf("core: unrecognised server state header %q", header)
 }
 
 // SaveCheckpoint writes every weight in the deployment — the shared

@@ -34,6 +34,10 @@ type Server struct {
 	Instr *ServerInstruments
 
 	steps int
+	// lastBatchLoss is the raw (unwindowed) loss of the most recent
+	// pass — what a pool-level aggregate curve needs, since each
+	// replica's windowed Losses spans only its own local steps.
+	lastBatchLoss float64
 }
 
 // NewServer wires the centralized server together.
@@ -56,6 +60,11 @@ func NewServer(stack *nn.Sequential, optim opt.Optimizer, q queue.Policy) (*Serv
 
 // Steps returns the number of batches the server has processed.
 func (s *Server) Steps() int { return s.steps }
+
+// LastBatchLoss returns the raw loss of the most recent pass (0 before
+// the first). Unlike Losses.Last it is per-batch, not window-averaged —
+// the measurement a pool of replicas aggregates into one global curve.
+func (s *Server) LastBatchLoss() float64 { return s.lastBatchLoss }
 
 // Enqueue admits an arriving activation message to the scheduling queue.
 func (s *Server) Enqueue(msg *transport.Message, arrivedAt time.Duration) error {
@@ -110,6 +119,7 @@ func (s *Server) Process(it queue.Item, now time.Duration) (*transport.Message, 
 	dact := s.Stack.Backward(dlogits)
 	s.Optim.Step(s.Stack.Params())
 	s.Losses.Observe(loss)
+	s.lastBatchLoss = loss
 	s.steps++
 	if s.Instr != nil {
 		s.Instr.observePass(1, t1.Sub(t0), time.Since(t1), s.Losses.Last())
@@ -242,6 +252,7 @@ func (s *Server) ProcessBatch(items []queue.Item, now time.Duration) ([]*transpo
 	for range items {
 		s.Losses.Observe(loss)
 	}
+	s.lastBatchLoss = loss
 	s.steps += len(items)
 	if s.Instr != nil {
 		s.Instr.observePass(len(items), t1.Sub(t0), time.Since(t1), s.Losses.Last())

@@ -1,0 +1,120 @@
+package expt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// AnalyzeBench renders a human-readable markdown digest of one bench
+// report: the best-throughput cell per queue policy, and — when the
+// report spans more than one worker count — the speedup and scaling
+// efficiency of every multi-replica cell against the smallest worker
+// count measured for the same (clients, policy, coalesce, telemetry)
+// configuration. This is what `stsl-bench -analysis` writes as
+// analysis.md next to the BENCH snapshot.
+func AnalyzeBench(r *BenchReport) string {
+	var b strings.Builder
+	b.WriteString("# Live bench analysis\n\n")
+	fmt.Fprintf(&b, "Scale `%s`, seed %d, %d steps/client, transport `%s`, %d rows.\n\n",
+		r.Scale, r.Seed, r.StepsPerClient, r.Transport, len(r.Rows))
+
+	writeBestPerPolicy(&b, r)
+	writeWorkerScaling(&b, r)
+
+	if r.Overhead != nil {
+		b.WriteString("## Telemetry overhead\n\n")
+		fmt.Fprintf(&b, "At %d clients: %.1f steps/s bare vs %.1f instrumented — a %.1f%% tax.\n",
+			r.Overhead.Clients, r.Overhead.BareStepsPerSec,
+			r.Overhead.InstrumentedStepsPerSec, r.Overhead.Fraction*100)
+	}
+	return b.String()
+}
+
+func writeBestPerPolicy(b *strings.Builder, r *BenchReport) {
+	best := map[string]BenchRow{}
+	var policies []string
+	for _, row := range r.Rows {
+		cur, seen := best[row.Policy]
+		if !seen {
+			policies = append(policies, row.Policy)
+		}
+		if !seen || row.StepsPerSec > cur.StepsPerSec {
+			best[row.Policy] = row
+		}
+	}
+	sort.Strings(policies)
+
+	b.WriteString("## Best cell per policy\n\n")
+	b.WriteString("| policy | clients | coalesce | workers | steps/s | p95 wait (ms) | final loss |\n")
+	b.WriteString("|---|---:|---:|---:|---:|---:|---:|\n")
+	for _, p := range policies {
+		row := best[p]
+		fmt.Fprintf(b, "| %s | %d | %d | %d | %.1f | %.2f | %.4f |\n",
+			row.Policy, row.Clients, row.Coalesce, rowWorkers(row),
+			row.StepsPerSec, row.WaitP95*1e3, row.FinalLoss)
+	}
+	b.WriteString("\n")
+}
+
+// writeWorkerScaling compares cells that differ only in worker count.
+// Efficiency is speedup over ideal linear scaling: a perfect
+// data-parallel pool at 4× the replicas of its baseline scores 1.0
+// with a 4× speedup, 0.5 with 2×.
+func writeWorkerScaling(b *strings.Builder, r *BenchReport) {
+	type groupKey struct {
+		clients, coalesce int
+		policy            string
+		telemetry         bool
+	}
+	groups := map[groupKey][]BenchRow{}
+	var order []groupKey
+	for _, row := range r.Rows {
+		k := groupKey{row.Clients, row.Coalesce, row.Policy, row.Telemetry}
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], row)
+	}
+
+	b.WriteString("## Worker scaling\n\n")
+	wrote := false
+	for _, k := range order {
+		rows := groups[k]
+		if len(rows) < 2 {
+			continue
+		}
+		sort.Slice(rows, func(i, j int) bool { return rowWorkers(rows[i]) < rowWorkers(rows[j]) })
+		base := rows[0]
+		if base.StepsPerSec <= 0 {
+			continue
+		}
+		if !wrote {
+			b.WriteString("| clients | policy | coalesce | workers | steps/s | speedup | efficiency |\n")
+			b.WriteString("|---:|---|---:|---:|---:|---:|---:|\n")
+			wrote = true
+		}
+		fmt.Fprintf(b, "| %d | %s | %d | %d | %.1f | 1.00x | — |\n",
+			base.Clients, base.Policy, base.Coalesce, rowWorkers(base), base.StepsPerSec)
+		for _, row := range rows[1:] {
+			speedup := row.StepsPerSec / base.StepsPerSec
+			ideal := float64(rowWorkers(row)) / float64(rowWorkers(base))
+			fmt.Fprintf(b, "| %d | %s | %d | %d | %.1f | %.2fx | %.0f%% |\n",
+				row.Clients, row.Policy, row.Coalesce, rowWorkers(row),
+				row.StepsPerSec, speedup, speedup/ideal*100)
+		}
+	}
+	if !wrote {
+		b.WriteString("No cell was measured at more than one worker count — run with `-workers 1,2,4` to populate this section.\n")
+	}
+	b.WriteString("\n")
+}
+
+// rowWorkers normalises the replica count of rows written before the
+// workers axis existed (absent → 1), mirroring BenchRow.key.
+func rowWorkers(r BenchRow) int {
+	if r.Workers < 1 {
+		return 1
+	}
+	return r.Workers
+}

@@ -33,6 +33,10 @@ type LiveBenchConfig struct {
 	Clients  []int
 	Policies []string
 	Coalesce []int
+	// Workers spans the data-parallel replica axis (cluster.Config.Workers
+	// per cell). Empty defaults to {1} — the classic single-replica
+	// server, which keeps reports comparable with pre-workers baselines.
+	Workers []int
 	// Transport selects the carrier (default pipe: full wire framing,
 	// no sockets).
 	Transport cluster.Transport
@@ -53,9 +57,13 @@ type LiveBenchConfig struct {
 // BenchRow is one measured grid cell. Field names are part of the
 // stsl-bench/1 schema — append, never rename.
 type BenchRow struct {
-	Clients     int     `json:"clients"`
-	Policy      string  `json:"policy"`
-	Coalesce    int     `json:"coalesce"`
+	Clients  int    `json:"clients"`
+	Policy   string `json:"policy"`
+	Coalesce int    `json:"coalesce"`
+	// Workers is the cell's data-parallel replica count. Absent/0 in
+	// reports written before the axis existed and means 1 — key()
+	// normalises, so old baselines still match their single-worker cells.
+	Workers     int     `json:"workers,omitempty"`
 	Telemetry   bool    `json:"telemetry"`
 	ServerSteps int     `json:"server_steps"`
 	WallSeconds float64 `json:"wall_seconds"`
@@ -69,10 +77,15 @@ type BenchRow struct {
 	FinalLoss     float64 `json:"final_loss"`
 }
 
-// key identifies a row across reports for the regression gate.
+// key identifies a row across reports for the regression gate. Workers
+// 0 (reports predating the axis) and 1 are the same cell.
 func (r BenchRow) key() string {
-	return fmt.Sprintf("clients=%d policy=%s coalesce=%d telemetry=%v",
-		r.Clients, r.Policy, r.Coalesce, r.Telemetry)
+	w := r.Workers
+	if w == 0 {
+		w = 1
+	}
+	return fmt.Sprintf("clients=%d policy=%s coalesce=%d workers=%d telemetry=%v",
+		r.Clients, r.Policy, r.Coalesce, w, r.Telemetry)
 }
 
 // BenchOverhead is the measured telemetry tax at the largest grid
@@ -109,6 +122,9 @@ func (c LiveBenchConfig) withDefaults() LiveBenchConfig {
 	if len(c.Coalesce) == 0 {
 		c.Coalesce = []int{1, 4}
 	}
+	if len(c.Workers) == 0 {
+		c.Workers = []int{1}
+	}
 	if c.Transport == "" {
 		c.Transport = cluster.TransportPipe
 	}
@@ -144,14 +160,16 @@ func RunLiveBench(ctx context.Context, cfg LiveBenchConfig) (*BenchReport, error
 	for _, policy := range cfg.Policies {
 		for _, m := range cfg.Clients {
 			for _, b := range cfg.Coalesce {
-				row, err := runBenchCell(ctx, cfg, reg, policy, m, b)
-				if err != nil {
-					return nil, fmt.Errorf("expt: bench cell %s/%d clients/coalesce %d: %w",
-						policy, m, b, err)
-				}
-				report.Rows = append(report.Rows, row)
-				if cfg.Progress != nil {
-					cfg.Progress(row)
+				for _, w := range cfg.Workers {
+					row, err := runBenchCell(ctx, cfg, reg, policy, m, b, w)
+					if err != nil {
+						return nil, fmt.Errorf("expt: bench cell %s/%d clients/coalesce %d/workers %d: %w",
+							policy, m, b, w, err)
+					}
+					report.Rows = append(report.Rows, row)
+					if cfg.Progress != nil {
+						cfg.Progress(row)
+					}
 				}
 			}
 		}
@@ -160,6 +178,9 @@ func RunLiveBench(ctx context.Context, cfg LiveBenchConfig) (*BenchReport, error
 	if cfg.MeasureOverhead {
 		m := cfg.Clients[len(cfg.Clients)-1]
 		policy, b := cfg.Policies[0], cfg.Coalesce[len(cfg.Coalesce)-1]
+		// The overhead pair stays on the first (baseline) worker count —
+		// the tax being measured is telemetry's, not the sync barrier's.
+		w := cfg.Workers[0]
 		// The overhead pair runs 4× the grid's step budget (a longer
 		// window amortises per-run startup jitter) and best-of-N (at
 		// least 3) alternating bare/instrumented, so scheduler and GC
@@ -173,11 +194,11 @@ func RunLiveBench(ctx context.Context, cfg LiveBenchConfig) (*BenchReport, error
 		}
 		var bare, instr BenchRow
 		for rep := 0; rep < reps; rep++ {
-			bareRep, err := runBenchCellOnce(ctx, ovCfg, nil, policy, m, b)
+			bareRep, err := runBenchCellOnce(ctx, ovCfg, nil, policy, m, b, w)
 			if err != nil {
 				return nil, fmt.Errorf("expt: bench overhead bare run: %w", err)
 			}
-			instrRep, err := runBenchCellOnce(ctx, ovCfg, reg, policy, m, b)
+			instrRep, err := runBenchCellOnce(ctx, ovCfg, reg, policy, m, b, w)
 			if err != nil {
 				return nil, fmt.Errorf("expt: bench overhead instrumented run: %w", err)
 			}
@@ -210,10 +231,10 @@ func RunLiveBench(ctx context.Context, cfg LiveBenchConfig) (*BenchReport, error
 // best-throughput run. reg == nil runs bare (telemetry fully off — the
 // overhead baseline); otherwise the shared registry is Reset and
 // attached so the cell's wait quantiles land in the row.
-func runBenchCell(ctx context.Context, cfg LiveBenchConfig, reg *obs.Registry, policy string, clients, coalesce int) (BenchRow, error) {
+func runBenchCell(ctx context.Context, cfg LiveBenchConfig, reg *obs.Registry, policy string, clients, coalesce, workers int) (BenchRow, error) {
 	var best BenchRow
 	for rep := 0; rep < cfg.Repeats; rep++ {
-		row, err := runBenchCellOnce(ctx, cfg, reg, policy, clients, coalesce)
+		row, err := runBenchCellOnce(ctx, cfg, reg, policy, clients, coalesce, workers)
 		if err != nil {
 			return BenchRow{}, err
 		}
@@ -224,7 +245,7 @@ func runBenchCell(ctx context.Context, cfg LiveBenchConfig, reg *obs.Registry, p
 	return best, nil
 }
 
-func runBenchCellOnce(ctx context.Context, cfg LiveBenchConfig, reg *obs.Registry, policy string, clients, coalesce int) (BenchRow, error) {
+func runBenchCellOnce(ctx context.Context, cfg LiveBenchConfig, reg *obs.Registry, policy string, clients, coalesce, workers int) (BenchRow, error) {
 	s := cfg.Scale
 	gen := data.SynthCIFAR{Height: s.Model.Height, Width: s.Model.Width, Classes: s.Model.Classes}
 	ds, err := gen.Generate(s.BatchSize*2*clients, cfg.Seed)
@@ -247,6 +268,11 @@ func runBenchCellOnce(ctx context.Context, cfg LiveBenchConfig, reg *obs.Registr
 		StepsPerClient: cfg.Steps,
 		Transport:      cfg.Transport,
 	}
+	if workers > 1 {
+		// The runner auto-wires dep.NewServerReplica as the replica
+		// factory whenever Workers > 1 with no explicit NewReplica.
+		runnerCfg.Cluster.Workers = workers
+	}
 	if reg != nil {
 		reg.Reset()
 		runnerCfg.Cluster.Obs = reg
@@ -259,6 +285,7 @@ func runBenchCellOnce(ctx context.Context, cfg LiveBenchConfig, reg *obs.Registr
 		Clients:       clients,
 		Policy:        policy,
 		Coalesce:      coalesce,
+		Workers:       workers,
 		Telemetry:     reg != nil,
 		ServerSteps:   res.ServerSteps,
 		WallSeconds:   res.WallDuration.Seconds(),
@@ -303,6 +330,9 @@ func ValidateBenchJSON(raw []byte) (*BenchReport, error) {
 	for i, row := range r.Rows {
 		if row.Clients <= 0 || row.Coalesce <= 0 || row.Policy == "" {
 			return nil, fmt.Errorf("expt: bench row %d has incomplete config: %+v", i, row)
+		}
+		if row.Workers < 0 {
+			return nil, fmt.Errorf("expt: bench row %d has negative workers: %+v", i, row)
 		}
 		if row.StepsPerSec <= 0 || row.WallSeconds <= 0 || row.ServerSteps <= 0 {
 			return nil, fmt.Errorf("expt: bench row %d has non-positive measurements: %+v", i, row)

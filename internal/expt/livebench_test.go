@@ -107,6 +107,10 @@ func TestValidateBenchJSONRejects(t *testing.T) {
 		{"no rows", `{"schema":"stsl-bench/1","rows":[]}`, "no rows"},
 		{"zero throughput", `{"schema":"stsl-bench/1","rows":[{"clients":1,"policy":"fifo","coalesce":1,"server_steps":3,"wall_seconds":1,"steps_per_sec":0}]}`, "non-positive"},
 		{"missing policy", `{"schema":"stsl-bench/1","rows":[{"clients":1,"coalesce":1,"server_steps":3,"wall_seconds":1,"steps_per_sec":3}]}`, "incomplete"},
+		{"negative workers", `{"schema":"stsl-bench/1","rows":[{"clients":1,"policy":"fifo","coalesce":1,"workers":-2,"server_steps":3,"wall_seconds":1,"steps_per_sec":3}]}`, "negative workers"},
+		{"workers 0 and 1 same cell", `{"schema":"stsl-bench/1","rows":[
+			{"clients":1,"policy":"fifo","coalesce":1,"server_steps":3,"wall_seconds":1,"steps_per_sec":3},
+			{"clients":1,"policy":"fifo","coalesce":1,"workers":1,"server_steps":3,"wall_seconds":1,"steps_per_sec":4}]}`, "duplicates"},
 		{"duplicate cell", `{"schema":"stsl-bench/1","rows":[
 			{"clients":1,"policy":"fifo","coalesce":1,"server_steps":3,"wall_seconds":1,"steps_per_sec":3},
 			{"clients":1,"policy":"fifo","coalesce":1,"server_steps":3,"wall_seconds":1,"steps_per_sec":4}]}`, "duplicates"},
@@ -118,6 +122,63 @@ func TestValidateBenchJSONRejects(t *testing.T) {
 				t.Fatalf("error = %v, want mention of %q", err, tc.want)
 			}
 		})
+	}
+}
+
+// TestLiveBenchWorkersAxis runs a grid spanning the data-parallel
+// worker axis and checks the rows carry distinct keys, full step
+// counts, and stay comparable with a pre-workers baseline (absent
+// workers field == workers 1).
+func TestLiveBenchWorkersAxis(t *testing.T) {
+	cfg := tinyBenchConfig(t)
+	cfg.Clients = []int{2}
+	cfg.Coalesce = []int{1}
+	cfg.Workers = []int{1, 2}
+	report, err := RunLiveBench(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(report.Rows))
+	}
+	for i, w := range []int{1, 2} {
+		row := report.Rows[i]
+		if row.Workers != w {
+			t.Errorf("row %d workers = %d, want %d", i, row.Workers, w)
+		}
+		if want := row.Clients * cfg.Steps; row.ServerSteps != want {
+			t.Errorf("row %s: server steps = %d, want %d", row.key(), row.ServerSteps, want)
+		}
+	}
+	if report.Rows[0].key() == report.Rows[1].key() {
+		t.Fatalf("worker counts share a key: %s", report.Rows[0].key())
+	}
+
+	raw, err := MarshalBenchJSON(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateBenchJSON(raw); err != nil {
+		t.Fatalf("workers-axis report fails validation: %v\n%s", err, raw)
+	}
+
+	// A baseline written before the axis existed (no workers field) must
+	// gate against the new report's workers=1 rows: same cell, matched.
+	legacy := &BenchReport{
+		Schema: BenchSchema, Scale: report.Scale, Seed: report.Seed,
+		StepsPerClient: report.StepsPerClient, Transport: report.Transport,
+		Rows: []BenchRow{{
+			Clients: 2, Policy: "fifo", Coalesce: 1, Telemetry: true,
+			ServerSteps: 6, WallSeconds: 1,
+			StepsPerSec: report.Rows[0].StepsPerSec * 10, // force a regression
+		}},
+	}
+	regs, err := CompareBench(legacy, report, 0.10)
+	if err != nil {
+		t.Fatalf("legacy baseline did not match workers=1 row: %v", err)
+	}
+	if len(regs) != 1 {
+		t.Fatalf("regressions vs inflated legacy baseline = %v, want exactly the workers=1 cell", regs)
 	}
 }
 

@@ -1,0 +1,119 @@
+// Package paramsync is the shared parameter-aggregation kernel behind
+// every place the system averages model replicas: the FedAvg baseline
+// (internal/baseline), the cluster worker pool's periodic replica sync
+// (internal/cluster), and pool-checkpoint restore across differing
+// worker counts (internal/core). It was extracted from TrainFedAvg so
+// the cluster's data-parallel replicas reuse the exact averaging rule
+// the baseline already proved, rather than growing a second one.
+//
+// All functions operate on []*nn.Param slices as returned by
+// Sequential.Params() / PaperCNN.Net.Params(): position i of every
+// slice must be the same logical parameter (same shape), which holds
+// for structurally identical stacks built from the same config.
+package paramsync
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/stsl/stsl/internal/nn"
+	"github.com/stsl/stsl/internal/tensor"
+)
+
+// Copy overwrites dst's parameter values with src's. Gradients and
+// optimiser slots are untouched. The two sets must be structurally
+// identical (same length, same per-position shapes).
+func Copy(dst, src []*nn.Param) error {
+	if len(dst) != len(src) {
+		return fmt.Errorf("paramsync: copy %d params into %d", len(src), len(dst))
+	}
+	for i := range dst {
+		dst[i].Value.CopyFrom(src[i].Value)
+	}
+	return nil
+}
+
+// Average computes the weighted average of the parameter sets into dst
+// (dst may alias one of the sets — every source value is read through a
+// private accumulator before dst is written). weights is normalised
+// internally; nil means uniform. This is TrainFedAvg's example-weighted
+// aggregation rule, generalised to any structurally identical sets.
+func Average(dst []*nn.Param, sets [][]*nn.Param, weights []float64) error {
+	if len(sets) == 0 {
+		return fmt.Errorf("paramsync: average of zero parameter sets")
+	}
+	if weights != nil && len(weights) != len(sets) {
+		return fmt.Errorf("paramsync: %d weights for %d parameter sets", len(weights), len(sets))
+	}
+	total := 0.0
+	if weights == nil {
+		total = float64(len(sets))
+	} else {
+		for _, w := range weights {
+			if w < 0 {
+				return fmt.Errorf("paramsync: negative weight %v", w)
+			}
+			total += w
+		}
+		if total <= 0 {
+			return fmt.Errorf("paramsync: weights sum to %v, want positive", total)
+		}
+	}
+	for _, set := range sets {
+		if len(set) != len(dst) {
+			return fmt.Errorf("paramsync: averaging %d params into %d", len(set), len(dst))
+		}
+	}
+	for pi := range dst {
+		acc := tensor.New(sets[0][pi].Value.Shape()...)
+		for si, set := range sets {
+			w := 1.0 / total
+			if weights != nil {
+				w = weights[si] / total
+			}
+			acc.AXPY(w, set[pi].Value)
+		}
+		dst[pi].Value.CopyFrom(acc)
+	}
+	return nil
+}
+
+// Divergence measures how far the replica parameter sets have drifted
+// apart: the root-mean-square distance of each set from the elementwise
+// mean, normalised by the mean's own RMS magnitude. 0 means the
+// replicas are identical; values approaching 1 mean the replicas differ
+// from each other about as much as the weights differ from zero — the
+// signal that SyncEvery is set too wide. Fewer than two sets diverge by
+// definition 0.
+func Divergence(sets [][]*nn.Param) float64 {
+	if len(sets) < 2 {
+		return 0
+	}
+	var sqDist, sqNorm float64
+	var n int
+	params := len(sets[0])
+	for pi := 0; pi < params; pi++ {
+		mean := tensor.New(sets[0][pi].Value.Shape()...)
+		for _, set := range sets {
+			mean.AXPY(1/float64(len(sets)), set[pi].Value)
+		}
+		md := mean.Data()
+		for _, set := range sets {
+			sd := set[pi].Value.Data()
+			for i, m := range md {
+				d := sd[i] - m
+				sqDist += d * d
+			}
+		}
+		for _, m := range md {
+			sqNorm += m * m
+		}
+		n += len(md)
+	}
+	if n == 0 || sqNorm == 0 {
+		return 0
+	}
+	rmsDist := sqDist / float64(n*len(sets))
+	rmsNorm := sqNorm / float64(n)
+	return math.Sqrt(rmsDist) / math.Sqrt(rmsNorm)
+}

@@ -1,0 +1,110 @@
+package paramsync
+
+import (
+	"math"
+	"testing"
+
+	"github.com/stsl/stsl/internal/nn"
+	"github.com/stsl/stsl/internal/tensor"
+)
+
+// set builds one single-param set holding the given values.
+func set(vals ...float64) []*nn.Param {
+	t := tensor.New(len(vals))
+	copy(t.Data(), vals)
+	return []*nn.Param{{Name: "w", Value: t}}
+}
+
+func TestCopy(t *testing.T) {
+	dst, src := set(0, 0, 0), set(1, 2, 3)
+	if err := Copy(dst, src); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []float64{1, 2, 3} {
+		if got := dst[0].Value.Data()[i]; got != want {
+			t.Fatalf("dst[%d] = %v, want %v", i, got, want)
+		}
+	}
+	if err := Copy(dst, []*nn.Param{}); err == nil {
+		t.Fatal("Copy accepted mismatched set lengths")
+	}
+}
+
+func TestAverageUniform(t *testing.T) {
+	a, b := set(1, 2), set(3, 6)
+	dst := set(0, 0)
+	if err := Average(dst, [][]*nn.Param{a, b}, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []float64{2, 4} {
+		if got := dst[0].Value.Data()[i]; math.Abs(got-want) > 1e-12 {
+			t.Fatalf("dst[%d] = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestAverageWeighted(t *testing.T) {
+	a, b := set(0), set(10)
+	dst := set(0)
+	// Weights need not be normalised: 1:3 ≡ 0.25:0.75.
+	if err := Average(dst, [][]*nn.Param{a, b}, []float64{1, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if got := dst[0].Value.Data()[0]; math.Abs(got-7.5) > 1e-12 {
+		t.Fatalf("weighted average = %v, want 7.5", got)
+	}
+}
+
+// Average must be safe when dst aliases one of the source sets — that
+// is exactly how the worker pool syncs (average into replica 0).
+func TestAverageAliasesSource(t *testing.T) {
+	a, b := set(2, 4), set(4, 8)
+	if err := Average(a, [][]*nn.Param{a, b}, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []float64{3, 6} {
+		if got := a[0].Value.Data()[i]; math.Abs(got-want) > 1e-12 {
+			t.Fatalf("aliased average[%d] = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestAverageRejectsBadInput(t *testing.T) {
+	a := set(1)
+	if err := Average(a, nil, nil); err == nil {
+		t.Fatal("Average accepted zero sets")
+	}
+	if err := Average(a, [][]*nn.Param{a}, []float64{1, 2}); err == nil {
+		t.Fatal("Average accepted weight/set count mismatch")
+	}
+	if err := Average(a, [][]*nn.Param{a}, []float64{-1}); err == nil {
+		t.Fatal("Average accepted a negative weight")
+	}
+	if err := Average(a, [][]*nn.Param{a}, []float64{0}); err == nil {
+		t.Fatal("Average accepted all-zero weights")
+	}
+}
+
+func TestDivergence(t *testing.T) {
+	if d := Divergence(nil); d != 0 {
+		t.Fatalf("Divergence(nil) = %v, want 0", d)
+	}
+	if d := Divergence([][]*nn.Param{set(1, 2)}); d != 0 {
+		t.Fatalf("single-set divergence = %v, want 0", d)
+	}
+	same := [][]*nn.Param{set(1, 2, 3), set(1, 2, 3)}
+	if d := Divergence(same); d != 0 {
+		t.Fatalf("identical-set divergence = %v, want 0", d)
+	}
+	// Sets at 1±1: mean is 1, each set is RMS distance 1 from it, and
+	// the mean's RMS magnitude is 1 → divergence exactly 1.
+	apart := [][]*nn.Param{set(0, 0), set(2, 2)}
+	if d := Divergence(apart); math.Abs(d-1) > 1e-12 {
+		t.Fatalf("divergence = %v, want 1", d)
+	}
+	// Drifting one set further apart must increase the reading.
+	wider := [][]*nn.Param{set(-1, -1), set(3, 3)}
+	if Divergence(wider) <= Divergence(apart) {
+		t.Fatal("divergence did not grow with wider spread")
+	}
+}

@@ -118,9 +118,18 @@ func (s *Safe) Pop(now time.Duration) (Item, bool) {
 		s.ins.Wait.Observe(it.Staleness(now).Seconds())
 		s.observeDepthLocked()
 	}
+	remaining := s.inner.Len()
 	s.mu.Unlock()
 	if ok {
 		signal(s.popped)
+		if remaining > 0 {
+			// Cascade wakeup: Pushed() is edge-triggered with capacity 1,
+			// so one push burst can wake only one of N blocked consumers.
+			// Re-arming the push signal while work remains hands the next
+			// item's wakeup to the next consumer — without it a worker
+			// pool would strand queued items behind a single edge.
+			signal(s.pushed)
+		}
 	}
 	return it, ok
 }
@@ -139,9 +148,15 @@ func (s *Safe) PopBatch(now time.Duration, max int) []Item {
 		}
 		s.observeDepthLocked()
 	}
+	remaining := s.inner.Len()
 	s.mu.Unlock()
 	if len(items) > 0 {
 		signal(s.popped)
+		if remaining > 0 {
+			// Same cascade as Pop: keep the push edge armed while items
+			// remain so every blocked consumer in a pool gets its turn.
+			signal(s.pushed)
+		}
 	}
 	return items
 }

@@ -292,11 +292,150 @@ func TestSafeRequeue(t *testing.T) {
 			t.Fatalf("pop got client %d (ok=%v), want %d", it.ClientID(), ok, want)
 		}
 	}
+	// Drain the cascade edge first: the pops above re-arm Pushed()
+	// while items remain so sibling consumers in a pool get woken.
+	select {
+	case <-q.Pushed():
+	default:
+	}
 	// Requeueing nothing must not signal.
 	q.Requeue()
 	select {
 	case <-q.Pushed():
 		t.Fatal("empty Requeue signalled consumers")
 	default:
+	}
+}
+
+// TestSafeConcurrentPoppersExactlyOnce is the worker-pool contract: N
+// consumer goroutines PopBatch from one Safe queue while producers push
+// concurrently and deactivate themselves mid-stream (the shape of a
+// straggler eviction racing live workers on another replica). Across
+// all four policies every pushed item must be served exactly once —
+// no item lost between poppers, none double-scattered, and no popper
+// stranded by the edge-triggered push signal (the cascade wakeup).
+// Run with -race.
+func TestSafeConcurrentPoppersExactlyOnce(t *testing.T) {
+	const (
+		producers   = 6
+		poppers     = 4
+		perProducer = 300
+		totalItems  = producers * perProducer
+	)
+	clientIDs := make([]int, producers)
+	for i := range clientIDs {
+		clientIDs[i] = i
+	}
+	builders := []struct {
+		name  string
+		build func() Policy
+	}{
+		{"fifo", func() Policy { return NewFIFO() }},
+		{"staleness", func() Policy { return NewStalenessPriority() }},
+		{"fair-rr", func() Policy { return NewFairRoundRobin() }},
+		{"sync-rounds", func() Policy { return NewSyncRounds(clientIDs) }},
+	}
+	for _, b := range builders {
+		b := b
+		t.Run(b.name, func(t *testing.T) {
+			q := NewSafe(b.build())
+
+			var pwg sync.WaitGroup
+			for p := 0; p < producers; p++ {
+				p := p
+				pwg.Add(1)
+				go func() {
+					defer pwg.Done()
+					for i := 0; i < perProducer; i++ {
+						q.Push(Item{
+							Msg: &transport.Message{
+								Type:     transport.MsgControl,
+								ClientID: p,
+								Seq:      i,
+								SentAt:   time.Duration(p*perProducer + i),
+							},
+							ArrivedAt: time.Duration(p*perProducer + i),
+						})
+					}
+					// Budget exhausted: leave the gate while poppers are
+					// mid-drain (no-op for ungated policies).
+					q.Deactivate(p)
+				}()
+			}
+
+			var (
+				mu     sync.Mutex
+				seen   = make(map[[2]int]int, totalItems)
+				dup    [2]int
+				dupped bool
+				popped int64 // guarded by mu
+			)
+			var cwg sync.WaitGroup
+			for c := 0; c < poppers; c++ {
+				c := c
+				cwg.Add(1)
+				go func() {
+					defer cwg.Done()
+					for n := 0; ; n++ {
+						mu.Lock()
+						done := popped >= totalItems || dupped
+						mu.Unlock()
+						if done {
+							return
+						}
+						// Cycle the batch bound so single pops, partial
+						// batches and oversized requests all interleave.
+						batch := q.PopBatch(time.Duration(n), 1+(c+n)%5)
+						if len(batch) == 0 {
+							// The cascade wakeup re-arms Pushed() while
+							// items remain, so a short timeout here is a
+							// liveness backstop, not the drain mechanism.
+							select {
+							case <-q.Pushed():
+							case <-time.After(2 * time.Millisecond):
+							}
+							continue
+						}
+						mu.Lock()
+						for _, it := range batch {
+							key := [2]int{it.ClientID(), it.Msg.Seq}
+							seen[key]++
+							if seen[key] > 1 && !dupped {
+								dupped, dup = true, key
+							}
+						}
+						popped += int64(len(batch))
+						mu.Unlock()
+					}
+				}()
+			}
+
+			producersDone := make(chan struct{})
+			go func() { pwg.Wait(); close(producersDone) }()
+			select {
+			case <-producersDone:
+			case <-time.After(30 * time.Second):
+				t.Fatal("producers wedged")
+			}
+			consumersDone := make(chan struct{})
+			go func() { cwg.Wait(); close(consumersDone) }()
+			select {
+			case <-consumersDone:
+			case <-time.After(30 * time.Second):
+				mu.Lock()
+				defer mu.Unlock()
+				t.Fatalf("poppers stalled at %d/%d items (lost wakeup?)", popped, totalItems)
+			}
+
+			if dupped {
+				t.Fatalf("item %v served more than once", dup)
+			}
+			if len(seen) != totalItems {
+				t.Fatalf("served %d distinct items, want %d", len(seen), totalItems)
+			}
+			if it, ok := q.Pop(0); ok {
+				t.Fatalf("phantom extra item %v after full drain", [2]int{it.ClientID(), it.Msg.Seq})
+			}
+		})
 	}
 }
