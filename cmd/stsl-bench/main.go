@@ -56,6 +56,7 @@ func main() {
 		policy    = flag.String("policy", "fifo", "queue policies for the --live benchmark, comma-separated: fifo|staleness|fair-rr|sync-rounds")
 		coalesce  = flag.String("coalesce", "", "micro-batch coalescing caps for the --live benchmark, comma-separated (default 1,2,4,8)")
 		workers   = flag.String("workers", "", "data-parallel replica counts for the --live benchmark, comma-separated (default 1)")
+		dtypes    = flag.String("dtype", "", "compute/wire precisions for the --live benchmark, comma-separated: float64|float32 (default float64)")
 		jsonOut   = flag.String("json", "", "write the --live grid as a schema-stable JSON report to this path")
 		analysis  = flag.String("analysis", "", "write a human-readable markdown analysis of the bench report to this path (with --live: the fresh grid; otherwise reads the report at -json)")
 		overhead  = flag.Bool("overhead", false, "also measure the telemetry overhead (bare vs instrumented) at the largest client count")
@@ -108,7 +109,7 @@ func main() {
 	}
 
 	if *live {
-		if err := runLive(s, *seed, *steps, *clients, *policy, *coalesce, *workers,
+		if err := runLive(s, *seed, *steps, *clients, *policy, *coalesce, *workers, *dtypes,
 			*jsonOut, *analysis, *overhead, *compare, *tolerance, *repeats); err != nil {
 			fatal(err)
 		}
@@ -248,7 +249,7 @@ func main() {
 // concurrent end-system count, queue policy, and micro-batch coalescing
 // cap — over net.Pipe with full wire encode/decode, via the shared
 // expt.RunLiveBench harness (one telemetry registry across all cells).
-func runLive(s expt.Scale, seed uint64, steps int, clients, policy, coalesce, workers, jsonOut, analysis string, overhead bool, compare string, tolerance float64, repeats int) error {
+func runLive(s expt.Scale, seed uint64, steps int, clients, policy, coalesce, workers, dtypes, jsonOut, analysis string, overhead bool, compare string, tolerance float64, repeats int) error {
 	clientCounts, err := parseIntList(clients, []int{1, 4, 16})
 	if err != nil {
 		return fmt.Errorf("-clients: %w", err)
@@ -262,6 +263,10 @@ func runLive(s expt.Scale, seed uint64, steps int, clients, policy, coalesce, wo
 		return fmt.Errorf("-workers: %w", err)
 	}
 	policies := strings.Split(policy, ",")
+	dtypeList := []string{"float64"}
+	if dtypes != "" {
+		dtypeList = strings.Split(dtypes, ",")
+	}
 
 	var baseline *expt.BenchReport
 	if compare != "" {
@@ -283,12 +288,13 @@ func runLive(s expt.Scale, seed uint64, steps int, clients, policy, coalesce, wo
 
 	fmt.Printf("live cluster throughput — scale=%s, %d steps/client, wire framing over net.Pipe\n\n",
 		s.Name, steps)
-	fmt.Printf("%8s %12s %10s %9s %10s %12s %12s %12s %12s %10s\n",
-		"clients", "policy", "coalesce", "workers", "telem", "steps/s", "wall", "p95 wait", "maxdepth", "loss")
+	fmt.Printf("%8s %12s %10s %9s %9s %10s %12s %12s %12s %12s %10s\n",
+		"clients", "policy", "coalesce", "workers", "dtype", "telem", "steps/s", "wall", "p95 wait", "maxdepth", "loss")
 	cfg := expt.LiveBenchConfig{
 		Scale: s, Seed: seed, Steps: steps,
 		Clients: clientCounts, Policies: policies, Coalesce: coalesceCaps,
 		Workers:         workerCounts,
+		DTypes:          dtypeList,
 		MeasureOverhead: overhead,
 		Repeats:         repeats,
 		Progress: func(r expt.BenchRow) {
@@ -296,13 +302,17 @@ func runLive(s expt.Scale, seed uint64, steps int, clients, policy, coalesce, wo
 			if w < 1 {
 				w = 1
 			}
-			fmt.Printf("%8d %12s %10d %9d %10v %12.1f %12.3fs %11.1fms %12d %10.4f\n",
-				r.Clients, r.Policy, r.Coalesce, w, r.Telemetry, r.StepsPerSec,
+			dt := r.DType
+			if dt == "" {
+				dt = "float64"
+			}
+			fmt.Printf("%8d %12s %10d %9d %9s %10v %12.1f %12.3fs %11.1fms %12d %10.4f\n",
+				r.Clients, r.Policy, r.Coalesce, w, dt, r.Telemetry, r.StepsPerSec,
 				r.WallSeconds, r.WaitP95*1e3, r.MaxQueueDepth, r.FinalLoss)
 		},
 	}
 	if baseline != nil {
-		cfg.Clients, cfg.Policies, cfg.Coalesce, cfg.Workers = benchGrid(baseline)
+		cfg.Clients, cfg.Policies, cfg.Coalesce, cfg.Workers, cfg.DTypes = benchGrid(baseline)
 		cfg.MeasureOverhead = baseline.Overhead != nil
 	}
 	report, err := expt.RunLiveBench(context.Background(), cfg)
@@ -350,9 +360,11 @@ func runLive(s expt.Scale, seed uint64, steps int, clients, policy, coalesce, wo
 
 // benchGrid recovers the unique grid axes of a baseline report, in
 // first-seen order, so -compare re-measures exactly the same cells.
-// Rows predating the workers axis carry 0, which was (and keys as) 1.
-func benchGrid(r *expt.BenchReport) (clients []int, policies []string, coalesce, workers []int) {
+// Rows predating the workers axis carry 0, which was (and keys as) 1;
+// rows predating the dtype axis carry "", which keys as "float64".
+func benchGrid(r *expt.BenchReport) (clients []int, policies []string, coalesce, workers []int, dtypes []string) {
 	seenC, seenP, seenB, seenW := map[int]bool{}, map[string]bool{}, map[int]bool{}, map[int]bool{}
+	seenD := map[string]bool{}
 	for _, row := range r.Rows {
 		if !seenC[row.Clients] {
 			seenC[row.Clients] = true
@@ -374,8 +386,16 @@ func benchGrid(r *expt.BenchReport) (clients []int, policies []string, coalesce,
 			seenW[w] = true
 			workers = append(workers, w)
 		}
+		dt := row.DType
+		if dt == "" {
+			dt = "float64"
+		}
+		if !seenD[dt] {
+			seenD[dt] = true
+			dtypes = append(dtypes, dt)
+		}
 	}
-	return clients, policies, coalesce, workers
+	return clients, policies, coalesce, workers, dtypes
 }
 
 // compareFiles gates an already-measured report against a baseline,

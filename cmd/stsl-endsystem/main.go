@@ -27,6 +27,7 @@ import (
 	"github.com/stsl/stsl/internal/mathx"
 	"github.com/stsl/stsl/internal/nn"
 	"github.com/stsl/stsl/internal/opt"
+	"github.com/stsl/stsl/internal/tensor"
 	"github.com/stsl/stsl/internal/transport"
 )
 
@@ -44,6 +45,7 @@ func main() {
 		timeout = flag.Duration("grad-timeout", time.Minute, "max wait for any gradient (0 = forever)")
 		retry   = flag.Int("retry", 0, "reconnect attempts after a lost connection (0 = fail immediately); reconnects resume the session and resend the in-flight batch")
 		retryBk = flag.Duration("retry-backoff", 250*time.Millisecond, "pause before each reconnect attempt")
+		dtName  = flag.String("dtype", "float64", "compute and wire precision: float64|float32 (float32 halves wire bytes via TSL2 frames; must match the server)")
 	)
 	flag.Parse()
 
@@ -86,6 +88,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	dtype, err := tensor.ParseDType(*dtName)
+	if err != nil {
+		fatal(err)
+	}
+	lower.SetDType(dtype)
+	es.WireDType = dtype
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

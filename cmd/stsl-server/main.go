@@ -46,6 +46,7 @@ import (
 	"github.com/stsl/stsl/internal/obs"
 	"github.com/stsl/stsl/internal/opt"
 	"github.com/stsl/stsl/internal/queue"
+	"github.com/stsl/stsl/internal/tensor"
 	"github.com/stsl/stsl/internal/transport"
 )
 
@@ -70,6 +71,7 @@ func main() {
 		resume      = flag.Bool("resume", false, "restore training state from -checkpoint-dir before serving (missing checkpoint = fresh start)")
 		statusEvery = flag.Duration("status-every", 5*time.Second, "periodic one-line status log interval (0 = off)")
 		adminAddr   = flag.String("admin-addr", "", "admin HTTP listener: /metrics (Prometheus), /statusz (JSON), /trace, /debug/pprof. Serves operational internals — bind loopback (e.g. 127.0.0.1:9090) unless the network is trusted. Empty = off")
+		dtypeName   = flag.String("dtype", "float64", "compute and wire precision: float64|float32 (float32 halves wire bytes via TSL2 frames; must match the end-systems)")
 		weights     = flag.String("weights", "", "path to write learned server weights (optional)")
 	)
 	flag.Parse()
@@ -101,6 +103,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	dtype, err := tensor.ParseDType(*dtypeName)
+	if err != nil {
+		fatal(err)
+	}
+	upper.SetDType(dtype)
+	coreSrv.WireDType = dtype
 	clusterCfg := cluster.Config{
 		QueueCap:         *queueCap,
 		Overflow:         cluster.Overflow(*overflow),
@@ -129,7 +137,13 @@ func main() {
 			if err != nil {
 				return nil, err
 			}
-			return core.NewServer(up, o, p)
+			replica, err := core.NewServer(up, o, p)
+			if err != nil {
+				return nil, err
+			}
+			up.SetDType(dtype)
+			replica.WireDType = dtype
+			return replica, nil
 		},
 	}
 	// Telemetry comes alive with the admin listener: a registry for
@@ -198,8 +212,8 @@ func main() {
 		defer admin.Close()
 		fmt.Printf("stsl-server: admin listener on http://%s (/metrics /statusz /trace /debug/pprof)\n", admin.Addr())
 	}
-	fmt.Printf("stsl-server: listening on %s for %d end-system(s), cut=%d policy=%s cap=%d overflow=%s coalesce=%d workers=%d\n",
-		lis.Addr(), *clients, *cut, *policy, *queueCap, *overflow, *coalesce, *workers)
+	fmt.Printf("stsl-server: listening on %s for %d end-system(s), cut=%d policy=%s cap=%d overflow=%s coalesce=%d workers=%d dtype=%s\n",
+		lis.Addr(), *clients, *cut, *policy, *queueCap, *overflow, *coalesce, *workers, dtype)
 	go srv.ServeListener(lis)
 
 	// The ticker stops when training ends, not at process exit, so late

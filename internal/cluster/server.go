@@ -923,29 +923,29 @@ func (s *Server) admit(sess *session, conn transport.Conn, msg *transport.Messag
 	// Count the work as pending before it becomes poppable, so the
 	// janitor never sees a gap between push and accounting.
 	sess.pending.Add(1)
-	parkCounted := false
-	for !s.q.TryPush(it, s.cfg.QueueCap) {
-		if s.cfg.Overflow == OverflowReject {
+
+	if s.cfg.Overflow == OverflowReject {
+		// The queue counts the refusal (Instruments.Rejected) inside its
+		// own critical section; only the server-level snapshot counter and
+		// the bounce reply live here.
+		if !s.q.TryPush(it, s.cfg.QueueCap) {
 			sess.pending.Add(-1)
 			unclaim()
 			s.mu.Lock()
 			s.rejected++
 			s.mu.Unlock()
-			if s.qIns != nil {
-				s.qIns.Rejected.Inc()
-			}
 			return conn.Send(&transport.Message{
 				Type: transport.MsgControl, ClientID: sess.id, Seq: msg.Seq,
 				Note: core.RejectedNote, SentAt: s.now(),
 			})
 		}
-		if !parkCounted {
-			// One parked admission, however many wait rounds it takes.
-			parkCounted = true
-			if s.qIns != nil {
-				s.qIns.Parked.Inc()
-			}
-		}
+		s.core.QueueMetrics.ObserveOccupancy(s.q.Len())
+		return nil
+	}
+
+	// Park mode: wait for headroom and retry. The queue counts the park
+	// (Instruments.Parked) on the first refusal only.
+	for first := true; !s.q.TryPushParking(it, s.cfg.QueueCap, first); first = false {
 		select {
 		case <-s.q.Popped():
 		case <-time.After(5 * time.Millisecond):

@@ -9,6 +9,7 @@ import (
 	"github.com/stsl/stsl/internal/nn"
 	"github.com/stsl/stsl/internal/opt"
 	"github.com/stsl/stsl/internal/queue"
+	"github.com/stsl/stsl/internal/tensor"
 )
 
 // Config describes a spatio-temporal split-learning deployment.
@@ -48,6 +49,12 @@ type Config struct {
 	// cluster.Config.BatchCoalesce. With sync-rounds the gated round is
 	// atomic and may exceed this cap.
 	BatchCoalesce int
+	// DType selects the deployment's precision: "" or "float64" keeps
+	// the full-precision kernels and TSL1 wire frames; "float32" runs
+	// every client and server matmul in single precision and ships
+	// activations and gradients as TSL2 float32 frames (half the wire
+	// bytes). Both runtimes inherit it, so sim and live stay comparable.
+	DType string
 }
 
 func (c Config) withDefaults() Config {
@@ -86,6 +93,10 @@ func NewDeployment(cfg Config, shards []*data.Dataset) (*Deployment, error) {
 	if len(shards) != cfg.Clients {
 		return nil, fmt.Errorf("core: %d shards for %d clients", len(shards), cfg.Clients)
 	}
+	dtype, err := tensor.ParseDType(cfg.DType)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	template, err := nn.BuildPaperCNN(cfg.Model, mathx.NewRNG(cfg.Seed))
 	if err != nil {
 		return nil, fmt.Errorf("core: build template: %w", err)
@@ -106,6 +117,10 @@ func NewDeployment(cfg Config, shards []*data.Dataset) (*Deployment, error) {
 	if err != nil {
 		return nil, err
 	}
+	// One config field switches the whole deployment: compute precision
+	// on every stack, wire precision on every payload either direction.
+	serverStack.SetDType(dtype)
+	server.WireDType = dtype
 
 	seedGen := mathx.NewRNG(cfg.Seed ^ 0xc2b2ae3d27d4eb4f)
 	clients := make([]*EndSystem, cfg.Clients)
@@ -143,6 +158,8 @@ func NewDeployment(cfg Config, shards []*data.Dataset) (*Deployment, error) {
 			}
 			es.QuantizeBits = cfg.QuantizeBits
 		}
+		lower.SetDType(dtype)
+		es.WireDType = dtype
 		clients[i] = es
 	}
 	return &Deployment{
@@ -177,7 +194,19 @@ func (d *Deployment) NewServerReplica() (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return NewServer(serverStack, serverOpt, pol)
+	replica, err := NewServer(serverStack, serverOpt, pol)
+	if err != nil {
+		return nil, err
+	}
+	// Replicas inherit the deployment precision; cfg.DType was validated
+	// when the deployment was built.
+	dtype, err := tensor.ParseDType(cfg.DType)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	serverStack.SetDType(dtype)
+	replica.WireDType = dtype
+	return replica, nil
 }
 
 func newOptimizer(name string, lr float64) (opt.Optimizer, error) {

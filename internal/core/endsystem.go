@@ -8,6 +8,7 @@ import (
 	"github.com/stsl/stsl/internal/data"
 	"github.com/stsl/stsl/internal/nn"
 	"github.com/stsl/stsl/internal/opt"
+	"github.com/stsl/stsl/internal/tensor"
 	"github.com/stsl/stsl/internal/transport"
 )
 
@@ -40,6 +41,10 @@ type EndSystem struct {
 	// outgoing activations — the model trains on what the server will
 	// actually see, and the network is charged the compressed size.
 	QuantizeBits int
+	// WireDType tags outgoing activation payloads: tensor.Float32 ships
+	// them as TSL2 float32 frames (half the wire bytes). The zero value
+	// keeps the legacy TSL1 float64 frames.
+	WireDType tensor.DType
 }
 
 // NewEndSystem wires a client together.
@@ -100,7 +105,7 @@ func (e *EndSystem) ProduceBatch(now time.Duration) (*transport.Message, error) 
 		Seq:      e.seq,
 		Epoch:    e.epoch,
 		SentAt:   now,
-		Payload:  act,
+		Payload:  act.SetDType(e.WireDType),
 		Labels:   batch.Y,
 		WireSize: wireSize,
 	}

@@ -32,6 +32,9 @@ type Server struct {
 	// and the running loss — the same bundle whichever runtime drives
 	// the server, so simulated and live step counters stay comparable.
 	Instr *ServerInstruments
+	// WireDType tags outgoing gradient payloads: tensor.Float32 ships
+	// them as TSL2 float32 frames. The zero value keeps TSL1 float64.
+	WireDType tensor.DType
 
 	steps int
 	// lastBatchLoss is the raw (unwindowed) loss of the most recent
@@ -131,7 +134,7 @@ func (s *Server) Process(it queue.Item, now time.Duration) (*transport.Message, 
 		Seq:      it.Msg.Seq,
 		Epoch:    it.Msg.Epoch,
 		SentAt:   now,
-		Payload:  dact,
+		Payload:  dact.SetDType(s.WireDType),
 	}, nil
 }
 
@@ -268,7 +271,7 @@ func (s *Server) ProcessBatch(items []queue.Item, now time.Duration) ([]*transpo
 			Seq:      it.Msg.Seq,
 			Epoch:    it.Msg.Epoch,
 			SentAt:   now,
-			Payload:  grads[i],
+			Payload:  grads[i].SetDType(s.WireDType),
 		}
 	}
 	return replies, nil

@@ -21,6 +21,7 @@ func AnalyzeBench(r *BenchReport) string {
 
 	writeBestPerPolicy(&b, r)
 	writeWorkerScaling(&b, r)
+	writeDTypeComparison(&b, r)
 
 	if r.Overhead != nil {
 		b.WriteString("## Telemetry overhead\n\n")
@@ -46,12 +47,12 @@ func writeBestPerPolicy(b *strings.Builder, r *BenchReport) {
 	sort.Strings(policies)
 
 	b.WriteString("## Best cell per policy\n\n")
-	b.WriteString("| policy | clients | coalesce | workers | steps/s | p95 wait (ms) | final loss |\n")
-	b.WriteString("|---|---:|---:|---:|---:|---:|---:|\n")
+	b.WriteString("| policy | clients | coalesce | workers | dtype | steps/s | p95 wait (ms) | final loss |\n")
+	b.WriteString("|---|---:|---:|---:|---|---:|---:|---:|\n")
 	for _, p := range policies {
 		row := best[p]
-		fmt.Fprintf(b, "| %s | %d | %d | %d | %.1f | %.2f | %.4f |\n",
-			row.Policy, row.Clients, row.Coalesce, rowWorkers(row),
+		fmt.Fprintf(b, "| %s | %d | %d | %d | %s | %.1f | %.2f | %.4f |\n",
+			row.Policy, row.Clients, row.Coalesce, rowWorkers(row), rowDType(row),
 			row.StepsPerSec, row.WaitP95*1e3, row.FinalLoss)
 	}
 	b.WriteString("\n")
@@ -64,13 +65,13 @@ func writeBestPerPolicy(b *strings.Builder, r *BenchReport) {
 func writeWorkerScaling(b *strings.Builder, r *BenchReport) {
 	type groupKey struct {
 		clients, coalesce int
-		policy            string
+		policy, dtype     string
 		telemetry         bool
 	}
 	groups := map[groupKey][]BenchRow{}
 	var order []groupKey
 	for _, row := range r.Rows {
-		k := groupKey{row.Clients, row.Coalesce, row.Policy, row.Telemetry}
+		k := groupKey{row.Clients, row.Coalesce, row.Policy, rowDType(row), row.Telemetry}
 		if _, ok := groups[k]; !ok {
 			order = append(order, k)
 		}
@@ -110,6 +111,52 @@ func writeWorkerScaling(b *strings.Builder, r *BenchReport) {
 	b.WriteString("\n")
 }
 
+// writeDTypeComparison compares cells that differ only in precision:
+// the float32 cell's throughput against the float64 cell with the same
+// (clients, policy, coalesce, workers, telemetry) configuration, plus
+// the final-loss gap — single precision should buy wire bytes and
+// matmul time without moving the loss.
+func writeDTypeComparison(b *strings.Builder, r *BenchReport) {
+	type groupKey struct {
+		clients, coalesce, workers int
+		policy                     string
+		telemetry                  bool
+	}
+	groups := map[groupKey]map[string]BenchRow{}
+	var order []groupKey
+	for _, row := range r.Rows {
+		k := groupKey{row.Clients, row.Coalesce, rowWorkers(row), row.Policy, row.Telemetry}
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+			groups[k] = map[string]BenchRow{}
+		}
+		groups[k][rowDType(row)] = row
+	}
+
+	b.WriteString("## Precision (float32 vs float64)\n\n")
+	wrote := false
+	for _, k := range order {
+		f64, ok64 := groups[k]["float64"]
+		f32, ok32 := groups[k]["float32"]
+		if !ok64 || !ok32 || f64.StepsPerSec <= 0 {
+			continue
+		}
+		if !wrote {
+			b.WriteString("| clients | policy | coalesce | workers | f64 steps/s | f32 steps/s | speedup | loss gap |\n")
+			b.WriteString("|---:|---|---:|---:|---:|---:|---:|---:|\n")
+			wrote = true
+		}
+		fmt.Fprintf(b, "| %d | %s | %d | %d | %.1f | %.1f | %.2fx | %+.4f |\n",
+			k.clients, k.policy, k.coalesce, k.workers,
+			f64.StepsPerSec, f32.StepsPerSec, f32.StepsPerSec/f64.StepsPerSec,
+			f32.FinalLoss-f64.FinalLoss)
+	}
+	if !wrote {
+		b.WriteString("No cell was measured at both precisions — run with `-dtype float64,float32` to populate this section.\n")
+	}
+	b.WriteString("\n")
+}
+
 // rowWorkers normalises the replica count of rows written before the
 // workers axis existed (absent → 1), mirroring BenchRow.key.
 func rowWorkers(r BenchRow) int {
@@ -117,4 +164,13 @@ func rowWorkers(r BenchRow) int {
 		return 1
 	}
 	return r.Workers
+}
+
+// rowDType normalises the precision of rows written before the dtype
+// axis existed (absent → float64), mirroring BenchRow.key.
+func rowDType(r BenchRow) string {
+	if r.DType == "" {
+		return "float64"
+	}
+	return r.DType
 }

@@ -31,8 +31,8 @@ func TestAnalyzeBench(t *testing.T) {
 		"# Live bench analysis",
 		"## Best cell per policy",
 		// fifo's best cell is the workers=4 row at 300 steps/s.
-		"| fifo | 8 | 4 | 4 | 300.0 |",
-		"| staleness | 8 | 4 | 1 | 95.0 |",
+		"| fifo | 8 | 4 | 4 | float64 | 300.0 |",
+		"| staleness | 8 | 4 | 1 | float64 | 95.0 |",
 		"## Worker scaling",
 		// workers=2: 180/100 = 1.80x speedup, 90% of linear.
 		"| 1.80x | 90% |",
@@ -44,6 +44,34 @@ func TestAnalyzeBench(t *testing.T) {
 		if !strings.Contains(md, want) {
 			t.Errorf("analysis missing %q\n%s", want, md)
 		}
+	}
+}
+
+// TestAnalyzeBenchDTypes: cells measured at both precisions produce the
+// float32-vs-float64 comparison table, keyed on otherwise-identical
+// configuration; rows written before the dtype axis read as float64.
+func TestAnalyzeBenchDTypes(t *testing.T) {
+	r := analysisFixture()
+	r.Rows = []BenchRow{
+		{Clients: 8, Policy: "fifo", Coalesce: 4, Workers: 1, Telemetry: true,
+			ServerSteps: 64, WallSeconds: 1, StepsPerSec: 100, FinalLoss: 1.2},
+		{Clients: 8, Policy: "fifo", Coalesce: 4, Workers: 1, DType: "float32", Telemetry: true,
+			ServerSteps: 64, WallSeconds: 1, StepsPerSec: 125, FinalLoss: 1.21},
+	}
+	md := AnalyzeBench(r)
+	for _, want := range []string{
+		"## Precision (float32 vs float64)",
+		// 125/100 = 1.25x speedup, loss gap 1.21-1.20 = +0.01.
+		"| 8 | fifo | 4 | 1 | 100.0 | 125.0 | 1.25x | +0.0100 |",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("analysis missing %q\n%s", want, md)
+		}
+	}
+	// The dtype-less f64 row and the f32 row differ only in precision, so
+	// the worker-scaling section must not treat them as a scaling pair.
+	if !strings.Contains(md, "No cell was measured at more than one worker count") {
+		t.Errorf("worker scaling mixed precisions:\n%s", md)
 	}
 }
 
@@ -59,8 +87,11 @@ func TestAnalyzeBenchSingleWorker(t *testing.T) {
 	if !strings.Contains(md, "No cell was measured at more than one worker count") {
 		t.Errorf("missing single-worker fallback:\n%s", md)
 	}
-	if !strings.Contains(md, "| fifo | 8 | 4 | 1 | 100.0 |") {
+	if !strings.Contains(md, "| fifo | 8 | 4 | 1 | float64 | 100.0 |") {
 		t.Errorf("legacy workers=0 row not normalised to 1:\n%s", md)
+	}
+	if !strings.Contains(md, "No cell was measured at both precisions") {
+		t.Errorf("missing single-precision fallback:\n%s", md)
 	}
 	if strings.Contains(md, "Telemetry overhead") {
 		t.Errorf("overhead section emitted without overhead data:\n%s", md)

@@ -37,6 +37,10 @@ type LiveBenchConfig struct {
 	// per cell). Empty defaults to {1} — the classic single-replica
 	// server, which keeps reports comparable with pre-workers baselines.
 	Workers []int
+	// DTypes spans the precision axis (core.Config.DType per cell:
+	// "float64" or "float32"). Empty defaults to {"float64"}, which keeps
+	// reports comparable with pre-dtype baselines.
+	DTypes []string
 	// Transport selects the carrier (default pipe: full wire framing,
 	// no sockets).
 	Transport cluster.Transport
@@ -63,7 +67,11 @@ type BenchRow struct {
 	// Workers is the cell's data-parallel replica count. Absent/0 in
 	// reports written before the axis existed and means 1 — key()
 	// normalises, so old baselines still match their single-worker cells.
-	Workers     int     `json:"workers,omitempty"`
+	Workers int `json:"workers,omitempty"`
+	// DType is the cell's compute/wire precision. Absent/"" in reports
+	// written before the axis existed and means float64 — key()
+	// normalises, so old baselines still match their float64 cells.
+	DType       string  `json:"dtype,omitempty"`
 	Telemetry   bool    `json:"telemetry"`
 	ServerSteps int     `json:"server_steps"`
 	WallSeconds float64 `json:"wall_seconds"`
@@ -78,14 +86,19 @@ type BenchRow struct {
 }
 
 // key identifies a row across reports for the regression gate. Workers
-// 0 (reports predating the axis) and 1 are the same cell.
+// 0 (reports predating the axis) and 1 are the same cell, as are DType
+// "" and "float64".
 func (r BenchRow) key() string {
 	w := r.Workers
 	if w == 0 {
 		w = 1
 	}
-	return fmt.Sprintf("clients=%d policy=%s coalesce=%d workers=%d telemetry=%v",
-		r.Clients, r.Policy, r.Coalesce, w, r.Telemetry)
+	dt := r.DType
+	if dt == "" {
+		dt = "float64"
+	}
+	return fmt.Sprintf("clients=%d policy=%s coalesce=%d workers=%d dtype=%s telemetry=%v",
+		r.Clients, r.Policy, r.Coalesce, w, dt, r.Telemetry)
 }
 
 // BenchOverhead is the measured telemetry tax at the largest grid
@@ -125,6 +138,9 @@ func (c LiveBenchConfig) withDefaults() LiveBenchConfig {
 	if len(c.Workers) == 0 {
 		c.Workers = []int{1}
 	}
+	if len(c.DTypes) == 0 {
+		c.DTypes = []string{"float64"}
+	}
 	if c.Transport == "" {
 		c.Transport = cluster.TransportPipe
 	}
@@ -161,14 +177,16 @@ func RunLiveBench(ctx context.Context, cfg LiveBenchConfig) (*BenchReport, error
 		for _, m := range cfg.Clients {
 			for _, b := range cfg.Coalesce {
 				for _, w := range cfg.Workers {
-					row, err := runBenchCell(ctx, cfg, reg, policy, m, b, w)
-					if err != nil {
-						return nil, fmt.Errorf("expt: bench cell %s/%d clients/coalesce %d/workers %d: %w",
-							policy, m, b, w, err)
-					}
-					report.Rows = append(report.Rows, row)
-					if cfg.Progress != nil {
-						cfg.Progress(row)
+					for _, dt := range cfg.DTypes {
+						row, err := runBenchCell(ctx, cfg, reg, policy, m, b, w, dt)
+						if err != nil {
+							return nil, fmt.Errorf("expt: bench cell %s/%d clients/coalesce %d/workers %d/dtype %s: %w",
+								policy, m, b, w, dt, err)
+						}
+						report.Rows = append(report.Rows, row)
+						if cfg.Progress != nil {
+							cfg.Progress(row)
+						}
 					}
 				}
 			}
@@ -178,9 +196,11 @@ func RunLiveBench(ctx context.Context, cfg LiveBenchConfig) (*BenchReport, error
 	if cfg.MeasureOverhead {
 		m := cfg.Clients[len(cfg.Clients)-1]
 		policy, b := cfg.Policies[0], cfg.Coalesce[len(cfg.Coalesce)-1]
-		// The overhead pair stays on the first (baseline) worker count —
-		// the tax being measured is telemetry's, not the sync barrier's.
+		// The overhead pair stays on the first (baseline) worker count
+		// and precision — the tax being measured is telemetry's, not the
+		// sync barrier's or the float32 kernels'.
 		w := cfg.Workers[0]
+		dt := cfg.DTypes[0]
 		// The overhead pair runs 4× the grid's step budget (a longer
 		// window amortises per-run startup jitter) and best-of-N (at
 		// least 3) alternating bare/instrumented, so scheduler and GC
@@ -194,11 +214,11 @@ func RunLiveBench(ctx context.Context, cfg LiveBenchConfig) (*BenchReport, error
 		}
 		var bare, instr BenchRow
 		for rep := 0; rep < reps; rep++ {
-			bareRep, err := runBenchCellOnce(ctx, ovCfg, nil, policy, m, b, w)
+			bareRep, err := runBenchCellOnce(ctx, ovCfg, nil, policy, m, b, w, dt)
 			if err != nil {
 				return nil, fmt.Errorf("expt: bench overhead bare run: %w", err)
 			}
-			instrRep, err := runBenchCellOnce(ctx, ovCfg, reg, policy, m, b, w)
+			instrRep, err := runBenchCellOnce(ctx, ovCfg, reg, policy, m, b, w, dt)
 			if err != nil {
 				return nil, fmt.Errorf("expt: bench overhead instrumented run: %w", err)
 			}
@@ -231,10 +251,10 @@ func RunLiveBench(ctx context.Context, cfg LiveBenchConfig) (*BenchReport, error
 // best-throughput run. reg == nil runs bare (telemetry fully off — the
 // overhead baseline); otherwise the shared registry is Reset and
 // attached so the cell's wait quantiles land in the row.
-func runBenchCell(ctx context.Context, cfg LiveBenchConfig, reg *obs.Registry, policy string, clients, coalesce, workers int) (BenchRow, error) {
+func runBenchCell(ctx context.Context, cfg LiveBenchConfig, reg *obs.Registry, policy string, clients, coalesce, workers int, dtype string) (BenchRow, error) {
 	var best BenchRow
 	for rep := 0; rep < cfg.Repeats; rep++ {
-		row, err := runBenchCellOnce(ctx, cfg, reg, policy, clients, coalesce, workers)
+		row, err := runBenchCellOnce(ctx, cfg, reg, policy, clients, coalesce, workers, dtype)
 		if err != nil {
 			return BenchRow{}, err
 		}
@@ -245,7 +265,7 @@ func runBenchCell(ctx context.Context, cfg LiveBenchConfig, reg *obs.Registry, p
 	return best, nil
 }
 
-func runBenchCellOnce(ctx context.Context, cfg LiveBenchConfig, reg *obs.Registry, policy string, clients, coalesce, workers int) (BenchRow, error) {
+func runBenchCellOnce(ctx context.Context, cfg LiveBenchConfig, reg *obs.Registry, policy string, clients, coalesce, workers int, dtype string) (BenchRow, error) {
 	s := cfg.Scale
 	gen := data.SynthCIFAR{Height: s.Model.Height, Width: s.Model.Width, Classes: s.Model.Classes}
 	ds, err := gen.Generate(s.BatchSize*2*clients, cfg.Seed)
@@ -259,7 +279,7 @@ func runBenchCellOnce(ctx context.Context, cfg LiveBenchConfig, reg *obs.Registr
 	dep, err := core.NewDeployment(core.Config{
 		Model: s.Model, Cut: 1, Clients: clients, Seed: cfg.Seed,
 		BatchSize: s.BatchSize, LR: s.LR,
-		QueuePolicy: policy, BatchCoalesce: coalesce,
+		QueuePolicy: policy, BatchCoalesce: coalesce, DType: dtype,
 	}, shards)
 	if err != nil {
 		return BenchRow{}, err
@@ -286,6 +306,7 @@ func runBenchCellOnce(ctx context.Context, cfg LiveBenchConfig, reg *obs.Registr
 		Policy:        policy,
 		Coalesce:      coalesce,
 		Workers:       workers,
+		DType:         dtype,
 		Telemetry:     reg != nil,
 		ServerSteps:   res.ServerSteps,
 		WallSeconds:   res.WallDuration.Seconds(),

@@ -1,0 +1,92 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"github.com/stsl/stsl/internal/mathx"
+	"github.com/stsl/stsl/internal/tensor"
+)
+
+// TestSetDTypeParity trains two identically-seeded MLPs — one on the
+// float64 kernels, one switched to float32 via SetDType — and requires
+// the loss trajectories to track within 10%: single precision changes
+// rounding, not learning.
+func TestSetDTypeParity(t *testing.T) {
+	build := func() *Sequential {
+		r := mathx.NewRNG(42)
+		return smallMLP(t, r)
+	}
+	data := mathx.NewRNG(7)
+	const (
+		steps = 20
+		batch = 8
+		lr    = 0.1
+	)
+	x := tensor.Randn(data, 1, batch, 4)
+	labels := make([]int, batch)
+	for i := range labels {
+		labels[i] = data.Intn(3)
+	}
+
+	train := func(m *Sequential) []float64 {
+		losses := make([]float64, steps)
+		for s := 0; s < steps; s++ {
+			logits := m.Forward(x, true)
+			loss, grad, err := SoftmaxCrossEntropy(logits, labels)
+			if err != nil {
+				t.Fatal(err)
+			}
+			losses[s] = loss
+			m.Backward(grad)
+			for _, p := range m.Params() {
+				p.Value.AXPY(-lr, p.Grad)
+			}
+			m.ZeroGrad()
+		}
+		return losses
+	}
+
+	m64 := build()
+	m32 := build()
+	m32.SetDType(tensor.Float32)
+
+	l64 := train(m64)
+	l32 := train(m32)
+	for s := range l64 {
+		if diff := math.Abs(l64[s] - l32[s]); diff > 0.1*math.Abs(l64[s]) {
+			t.Errorf("step %d: f64 loss %.6f vs f32 loss %.6f (diff %.2f%%)",
+				s, l64[s], l32[s], 100*diff/math.Abs(l64[s]))
+		}
+	}
+	if l64[steps-1] >= l64[0] || l32[steps-1] >= l32[0] {
+		t.Errorf("training did not reduce loss: f64 %.4f→%.4f, f32 %.4f→%.4f",
+			l64[0], l64[steps-1], l32[0], l32[steps-1])
+	}
+}
+
+// TestSetDTypeRecursesNestedStacks: SetDType reaches layers inside
+// nested Sequentials via the optional interface.
+func TestSetDTypeRecursesNestedStacks(t *testing.T) {
+	r := mathx.NewRNG(5)
+	inner := smallMLP(t, r)
+	d, err := NewDense("outer", 3, 2, nil, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer, err := NewSequential("outer-stack", inner, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer.SetDType(tensor.Float32)
+	// The inner stack's first dense layer must now run the f32 kernels:
+	// its forward output should match MatMul32, not MatMul (they differ
+	// in rounding for generic inputs).
+	x := tensor.Randn(r, 1, 4, 4)
+	d1 := inner.Layers()[0].(*Dense)
+	got := d1.Forward(x, false)
+	want := tensor.MatMul32(x, d1.weight.Value).AddRowVector(d1.bias.Value)
+	if !got.Equal(want, 0) {
+		t.Error("nested dense layer did not switch to float32 kernels")
+	}
+}

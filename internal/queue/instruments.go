@@ -16,11 +16,13 @@ type Instruments struct {
 	// (stsl_queue_requeued_total).
 	Requeued *obs.Counter
 	// Parked counts admissions that blocked on the depth cap
-	// (stsl_queue_parked_total). Incremented by the admission path that
-	// owns the overflow policy.
+	// (stsl_queue_parked_total). Incremented inside Safe.TryPushParking's
+	// critical section, once per parked admission.
 	Parked *obs.Counter
 	// Rejected counts admissions bounced at the depth cap
-	// (stsl_queue_rejected_total). Incremented by the admission path.
+	// (stsl_queue_rejected_total). Incremented inside Safe.TryPush's
+	// critical section, so the counter can never drift from the refusals
+	// it describes.
 	Rejected *obs.Counter
 	// Wait is the per-item queue-wait distribution, observed at pop
 	// (stsl_queue_wait_seconds) — the live measurement of the paper's

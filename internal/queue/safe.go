@@ -93,9 +93,41 @@ func (s *Safe) Push(it Item) {
 // reporting whether the push happened. cap <= 0 means unbounded. The
 // check and push are atomic, so concurrent producers cannot overshoot
 // the cap.
+//
+// A refusal is counted as Rejected inside the same critical section that
+// made the decision — callers bouncing work at the cap must not count it
+// again. Park-mode admission, which retries instead of bouncing, uses
+// TryPushParking so refusals are counted as parks, and only once.
 func (s *Safe) TryPush(it Item, cap int) bool {
 	s.mu.Lock()
 	if cap > 0 && s.inner.Len() >= cap {
+		if s.ins != nil {
+			s.ins.Rejected.Inc()
+		}
+		s.mu.Unlock()
+		return false
+	}
+	s.inner.Push(it)
+	if s.ins != nil {
+		s.ins.Enqueued.Inc()
+		s.observeDepthLocked()
+	}
+	s.mu.Unlock()
+	signal(s.pushed)
+	return true
+}
+
+// TryPushParking is TryPush for park-mode admission: the caller will wait
+// for headroom and retry rather than bounce the item. A refusal is
+// counted as Parked — under the queue's lock, like every other counter —
+// but only when firstAttempt is true, so one parked admission counts once
+// however many wait-retry rounds it takes to land.
+func (s *Safe) TryPushParking(it Item, cap int, firstAttempt bool) bool {
+	s.mu.Lock()
+	if cap > 0 && s.inner.Len() >= cap {
+		if firstAttempt && s.ins != nil {
+			s.ins.Parked.Inc()
+		}
 		s.mu.Unlock()
 		return false
 	}

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/stsl/stsl/internal/obs"
 	"github.com/stsl/stsl/internal/transport"
 )
 
@@ -437,5 +438,69 @@ func TestSafeConcurrentPoppersExactlyOnce(t *testing.T) {
 				t.Fatalf("phantom extra item %v after full drain", [2]int{it.ClientID(), it.Msg.Seq})
 			}
 		})
+	}
+}
+
+// TestSafeCounterOwnership: reject/park outcomes are counted by the
+// queue itself, inside the critical section that refused the push — the
+// admission caller owns no counter increments.
+func TestSafeCounterOwnership(t *testing.T) {
+	reg := obs.NewRegistry()
+	ins := NewInstruments(reg, "fifo")
+	q := NewSafe(NewFIFO())
+	q.SetInstruments(ins)
+
+	item := func(seq int) Item {
+		return Item{Msg: &transport.Message{Type: transport.MsgControl, Seq: seq}}
+	}
+	const cap = 2
+	for i := 0; i < cap; i++ {
+		if !q.TryPush(item(i), cap) {
+			t.Fatalf("push %d refused below cap", i)
+		}
+	}
+	if ins.Rejected.Value() != 0 || ins.Parked.Value() != 0 {
+		t.Fatalf("counters moved before any refusal: rejected=%d parked=%d",
+			ins.Rejected.Value(), ins.Parked.Value())
+	}
+
+	// Reject mode: every refusal is one rejection.
+	if q.TryPush(item(10), cap) {
+		t.Fatal("push above cap succeeded")
+	}
+	if q.TryPush(item(11), cap) {
+		t.Fatal("push above cap succeeded")
+	}
+	if got := ins.Rejected.Value(); got != 2 {
+		t.Errorf("Rejected = %d, want 2", got)
+	}
+
+	// Park mode: one parked admission counts once, however many retry
+	// rounds it takes.
+	if q.TryPushParking(item(20), cap, true) {
+		t.Fatal("parking push above cap succeeded")
+	}
+	for i := 0; i < 5; i++ {
+		if q.TryPushParking(item(20), cap, false) {
+			t.Fatal("parking retry above cap succeeded")
+		}
+	}
+	if got := ins.Parked.Value(); got != 1 {
+		t.Errorf("Parked = %d, want 1 (retries must not re-count)", got)
+	}
+
+	// Headroom opens, the retry lands: counted as enqueued, nothing else.
+	if _, ok := q.Pop(0); !ok {
+		t.Fatal("pop failed")
+	}
+	if !q.TryPushParking(item(20), cap, false) {
+		t.Fatal("parking push with headroom refused")
+	}
+	if got := ins.Enqueued.Value(); got != cap+1 {
+		t.Errorf("Enqueued = %d, want %d", got, cap+1)
+	}
+	if ins.Rejected.Value() != 2 || ins.Parked.Value() != 1 {
+		t.Errorf("counters drifted after successful retry: rejected=%d parked=%d",
+			ins.Rejected.Value(), ins.Parked.Value())
 	}
 }

@@ -6,43 +6,115 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 )
 
 // The wire format is deliberately simple and explicit rather than gob-based
-// so that the transport layer has a stable, versioned encoding:
+// so that the transport layer has a stable, versioned encoding. Two formats
+// coexist; the magic makes every frame self-describing, so a decoder needs
+// no out-of-band negotiation:
+//
+// TSL1 — the legacy full-precision format, emitted for Float64 tensors
+// (byte-for-byte identical to every release before dtypes existed):
 //
 //	magic   uint32 = 0x54534c31 ("TSL1")
 //	rank    uint32
 //	shape   rank × uint32
 //	data    volume × float64 (IEEE-754, little endian)
+//
+// TSL2 — the dtype-tagged format, emitted for Float32 tensors:
+//
+//	magic   uint32 = 0x54534c32 ("TSL2")
+//	dtype   uint8  (0 = float64, 1 = float32)
+//	rank    uint32
+//	shape   rank × uint32
+//	data    volume × elemSize(dtype) (IEEE-754, little endian)
+//
+// Both directions stream through one pooled scratch buffer: encode converts
+// directly into it and writes straight to the (typically bufio-backed)
+// connection, decode reads into it and converts straight into the tensor's
+// backing slice — no staging copies, zero allocations at steady state.
+const (
+	codecMagic  uint32 = 0x54534c31
+	codecMagic2 uint32 = 0x54534c32
+)
 
-const codecMagic uint32 = 0x54534c31
-
-// ErrBadEncoding is wrapped by all decode failures.
+// ErrBadEncoding is wrapped by all decode failures. A clean end of stream
+// at a frame boundary is NOT a decode failure: ReadFrom returns bare
+// io.EOF when zero bytes are available, so receive loops can tell a
+// graceful peer close from a corrupt frame.
 var ErrBadEncoding = errors.New("tensor: bad encoding")
 
 // maxDecodeElems bounds a single decoded tensor to ~256 MiB of float64 so a
 // corrupted or malicious header cannot trigger an unbounded allocation.
 const maxDecodeElems = 32 << 20
 
-// WriteTo serialises t to w in the TSL1 format. It implements io.WriterTo.
+// codecChunk is the number of float64 elements converted per streamed
+// chunk; the scratch buffer holds 8×codecChunk bytes (32 KiB — within L1
+// on anything modern, big enough to amortise the Write call).
+const codecChunk = 4096
+
+// codecBufPool recycles codec scratch buffers across WriteTo/ReadFrom
+// calls so the steady-state encode/decode path allocates nothing.
+var codecBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 8*codecChunk)
+		return &b
+	},
+}
+
+// WriteTo serialises t to w: TSL1 for Float64 tensors (the legacy bytes,
+// unchanged), TSL2 for Float32. It implements io.WriterTo and performs no
+// allocations — header and data stream through one pooled scratch buffer.
 func (t *Tensor) WriteTo(w io.Writer) (int64, error) {
-	hdr := make([]byte, 8+4*len(t.shape))
-	binary.LittleEndian.PutUint32(hdr[0:], codecMagic)
-	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(t.shape)))
-	for i, d := range t.shape {
-		binary.LittleEndian.PutUint32(hdr[8+4*i:], uint32(d))
+	bufp := codecBufPool.Get().(*[]byte)
+	defer codecBufPool.Put(bufp)
+	buf := *bufp
+
+	h := 0
+	if t.dtype == Float64 {
+		binary.LittleEndian.PutUint32(buf[0:], codecMagic)
+		binary.LittleEndian.PutUint32(buf[4:], uint32(len(t.shape)))
+		h = 8
+	} else {
+		binary.LittleEndian.PutUint32(buf[0:], codecMagic2)
+		buf[4] = byte(t.dtype)
+		binary.LittleEndian.PutUint32(buf[5:], uint32(len(t.shape)))
+		h = 9
 	}
-	n, err := w.Write(hdr)
+	for _, d := range t.shape {
+		binary.LittleEndian.PutUint32(buf[h:], uint32(d))
+		h += 4
+	}
+	n, err := w.Write(buf[:h])
 	written := int64(n)
 	if err != nil {
 		return written, fmt.Errorf("tensor: write header: %w", err)
 	}
-	buf := make([]byte, 8*4096)
+
+	if t.dtype == Float32 {
+		// 4-byte elements: twice as many fit per scratch chunk.
+		for off := 0; off < len(t.data); {
+			chunk := len(t.data) - off
+			if chunk > 2*codecChunk {
+				chunk = 2 * codecChunk
+			}
+			for i := 0; i < chunk; i++ {
+				binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(float32(t.data[off+i])))
+			}
+			n, err = w.Write(buf[:4*chunk])
+			written += int64(n)
+			if err != nil {
+				return written, fmt.Errorf("tensor: write data: %w", err)
+			}
+			off += chunk
+		}
+		return written, nil
+	}
 	for off := 0; off < len(t.data); {
 		chunk := len(t.data) - off
-		if chunk > 4096 {
-			chunk = 4096
+		if chunk > codecChunk {
+			chunk = codecChunk
 		}
 		for i := 0; i < chunk; i++ {
 			binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(t.data[off+i]))
@@ -57,59 +129,139 @@ func (t *Tensor) WriteTo(w io.Writer) (int64, error) {
 	return written, nil
 }
 
-// ReadFrom deserialises a TSL1-format tensor from r, replacing t's shape
-// and contents. It implements io.ReaderFrom.
+// ReadFrom deserialises a TSL1- or TSL2-format tensor from r, replacing
+// t's shape, contents and dtype tag. It implements io.ReaderFrom.
+//
+// Two properties matter to receive loops:
+//
+//   - A stream that ends cleanly before the first header byte returns
+//     bare io.EOF, not ErrBadEncoding — a graceful peer close is not a
+//     corrupt frame. Any truncation after the first byte IS corruption.
+//   - t's backing storage is reused when its capacity suffices, so a
+//     loop decoding into one long-lived tensor allocates nothing at
+//     steady state. Callers that retain the previous contents must
+//     decode into a fresh tensor.
 func (t *Tensor) ReadFrom(r io.Reader) (int64, error) {
-	var hdr [8]byte
-	n, err := io.ReadFull(r, hdr[:])
+	bufp := codecBufPool.Get().(*[]byte)
+	defer codecBufPool.Put(bufp)
+	buf := *bufp
+
+	n, err := io.ReadFull(r, buf[:4])
 	read := int64(n)
 	if err != nil {
+		if n == 0 && err == io.EOF {
+			return 0, io.EOF
+		}
 		return read, fmt.Errorf("%w: header: %v", ErrBadEncoding, err)
 	}
-	if got := binary.LittleEndian.Uint32(hdr[0:]); got != codecMagic {
-		return read, fmt.Errorf("%w: bad magic %#x", ErrBadEncoding, got)
+	dt := Float64
+	var rank uint32
+	switch magic := binary.LittleEndian.Uint32(buf[:4]); magic {
+	case codecMagic:
+		n, err = io.ReadFull(r, buf[:4])
+		read += int64(n)
+		if err != nil {
+			return read, fmt.Errorf("%w: header: %v", ErrBadEncoding, err)
+		}
+		rank = binary.LittleEndian.Uint32(buf[:4])
+	case codecMagic2:
+		n, err = io.ReadFull(r, buf[:5])
+		read += int64(n)
+		if err != nil {
+			return read, fmt.Errorf("%w: header: %v", ErrBadEncoding, err)
+		}
+		switch DType(buf[0]) {
+		case Float64, Float32:
+			dt = DType(buf[0])
+		default:
+			return read, fmt.Errorf("%w: unknown dtype %d", ErrBadEncoding, buf[0])
+		}
+		rank = binary.LittleEndian.Uint32(buf[1:5])
+	default:
+		return read, fmt.Errorf("%w: bad magic %#x", ErrBadEncoding, magic)
 	}
-	rank := binary.LittleEndian.Uint32(hdr[4:])
 	if rank > 8 {
 		return read, fmt.Errorf("%w: implausible rank %d", ErrBadEncoding, rank)
 	}
-	shapeBuf := make([]byte, 4*rank)
-	n, err = io.ReadFull(r, shapeBuf)
+	n, err = io.ReadFull(r, buf[:4*rank])
 	read += int64(n)
 	if err != nil {
 		return read, fmt.Errorf("%w: shape: %v", ErrBadEncoding, err)
 	}
-	shape := make([]int, rank)
+	shape := t.shape[:0]
+	if cap(shape) < int(rank) {
+		shape = make([]int, 0, rank)
+	}
 	vol := 1
-	for i := range shape {
-		d := binary.LittleEndian.Uint32(shapeBuf[4*i:])
-		shape[i] = int(d)
+	for i := 0; i < int(rank); i++ {
+		d := binary.LittleEndian.Uint32(buf[4*i:])
+		shape = append(shape, int(d))
 		vol *= int(d)
 		if vol > maxDecodeElems {
 			return read, fmt.Errorf("%w: tensor too large (%d elems)", ErrBadEncoding, vol)
 		}
 	}
-	data := make([]float64, vol)
-	buf := make([]byte, 8*4096)
-	for off := 0; off < vol; {
-		chunk := vol - off
-		if chunk > 4096 {
-			chunk = 4096
+	data := t.data
+	if cap(data) < vol {
+		data = make([]float64, vol)
+	} else {
+		data = data[:vol]
+	}
+
+	if dt == Float32 {
+		for off := 0; off < vol; {
+			chunk := vol - off
+			if chunk > 2*codecChunk {
+				chunk = 2 * codecChunk
+			}
+			n, err = io.ReadFull(r, buf[:4*chunk])
+			read += int64(n)
+			if err != nil {
+				return read, fmt.Errorf("%w: data: %v", ErrBadEncoding, err)
+			}
+			for i := 0; i < chunk; i++ {
+				data[off+i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:])))
+			}
+			off += chunk
 		}
-		n, err = io.ReadFull(r, buf[:8*chunk])
-		read += int64(n)
-		if err != nil {
-			return read, fmt.Errorf("%w: data: %v", ErrBadEncoding, err)
+	} else {
+		for off := 0; off < vol; {
+			chunk := vol - off
+			if chunk > codecChunk {
+				chunk = codecChunk
+			}
+			n, err = io.ReadFull(r, buf[:8*chunk])
+			read += int64(n)
+			if err != nil {
+				return read, fmt.Errorf("%w: data: %v", ErrBadEncoding, err)
+			}
+			for i := 0; i < chunk; i++ {
+				data[off+i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+			}
+			off += chunk
 		}
-		for i := 0; i < chunk; i++ {
-			data[off+i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
-		}
-		off += chunk
 	}
 	t.shape = shape
-	t.stride = strides(shape)
+	t.stride = stridesInto(t.stride, shape)
 	t.data = data
+	t.dtype = dt
 	return read, nil
+}
+
+// stridesInto is strides with caller-supplied storage, reused when its
+// capacity suffices — the zero-allocation path for decode loops.
+func stridesInto(dst, shape []int) []int {
+	if cap(dst) < len(shape) {
+		dst = make([]int, len(shape))
+	} else {
+		dst = dst[:len(shape)]
+	}
+	acc := 1
+	for i := len(shape) - 1; i >= 0; i-- {
+		dst[i] = acc
+		acc *= shape[i]
+	}
+	return dst
 }
 
 // Interface compliance checks.

@@ -1,0 +1,302 @@
+package tensor
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math"
+	"testing"
+)
+
+// goldenTSL1 builds the byte-exact TSL1 frame for a 2×2 [1 2 3 4] tensor.
+func goldenTSL1() []byte {
+	var b bytes.Buffer
+	hdr := make([]byte, 4)
+	binary.LittleEndian.PutUint32(hdr, 0x54534c31)
+	b.Write(hdr)
+	for _, v := range []uint32{2, 2, 2} { // rank, then shape
+		binary.LittleEndian.PutUint32(hdr, v)
+		b.Write(hdr)
+	}
+	w := make([]byte, 8)
+	for _, v := range []float64{1, 2, 3, 4} {
+		binary.LittleEndian.PutUint64(w, math.Float64bits(v))
+		b.Write(w)
+	}
+	return b.Bytes()
+}
+
+// goldenTSL2 builds the byte-exact TSL2 float32 frame for the same tensor.
+func goldenTSL2() []byte {
+	var b bytes.Buffer
+	hdr := make([]byte, 4)
+	binary.LittleEndian.PutUint32(hdr, 0x54534c32)
+	b.Write(hdr)
+	b.WriteByte(1) // dtype = float32
+	for _, v := range []uint32{2, 2, 2} {
+		binary.LittleEndian.PutUint32(hdr, v)
+		b.Write(hdr)
+	}
+	for _, v := range []float32{1, 2, 3, 4} {
+		binary.LittleEndian.PutUint32(hdr, math.Float32bits(v))
+		b.Write(hdr)
+	}
+	return b.Bytes()
+}
+
+// TestGoldenBytes pins both wire formats: TSL1 must stay byte-for-byte
+// what every pre-dtype release emitted, TSL2 is pinned from birth.
+func TestGoldenBytes(t *testing.T) {
+	src := FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+
+	var buf bytes.Buffer
+	if _, err := src.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo (f64): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), goldenTSL1()) {
+		t.Errorf("TSL1 encoding drifted:\n got %x\nwant %x", buf.Bytes(), goldenTSL1())
+	}
+
+	buf.Reset()
+	if _, err := src.Clone().SetDType(Float32).WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo (f32): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), goldenTSL2()) {
+		t.Errorf("TSL2 encoding drifted:\n got %x\nwant %x", buf.Bytes(), goldenTSL2())
+	}
+}
+
+// TestGoldenDecode proves both pinned frames decode to the same values,
+// with the dtype tag recovered from the wire.
+func TestGoldenDecode(t *testing.T) {
+	want := []float64{1, 2, 3, 4}
+	for _, tc := range []struct {
+		name  string
+		frame []byte
+		dt    DType
+	}{
+		{"TSL1", goldenTSL1(), Float64},
+		{"TSL2", goldenTSL2(), Float32},
+	} {
+		var got Tensor
+		n, err := got.ReadFrom(bytes.NewReader(tc.frame))
+		if err != nil {
+			t.Fatalf("%s: ReadFrom: %v", tc.name, err)
+		}
+		if n != int64(len(tc.frame)) {
+			t.Errorf("%s: read %d bytes, frame is %d", tc.name, n, len(tc.frame))
+		}
+		if got.DType() != tc.dt {
+			t.Errorf("%s: decoded dtype %v, want %v", tc.name, got.DType(), tc.dt)
+		}
+		if !got.Equal(FromSlice(want, 2, 2), 0) {
+			t.Errorf("%s: decoded %v, want %v", tc.name, got.Data(), want)
+		}
+	}
+}
+
+// TestReadFromCleanEOF is the graceful-disconnect contract: zero bytes at
+// the frame boundary is bare io.EOF, not a decode error.
+func TestReadFromCleanEOF(t *testing.T) {
+	var tt Tensor
+	n, err := tt.ReadFrom(bytes.NewReader(nil))
+	if err != io.EOF {
+		t.Fatalf("ReadFrom(empty) = %v, want bare io.EOF", err)
+	}
+	if errors.Is(err, ErrBadEncoding) {
+		t.Fatal("clean EOF must not wrap ErrBadEncoding")
+	}
+	if n != 0 {
+		t.Fatalf("read %d bytes from empty stream", n)
+	}
+}
+
+// TestReadFromTruncation: anything after the first byte is corruption,
+// including a TSL2 frame cut exactly at the dtype byte.
+func TestReadFromTruncation(t *testing.T) {
+	full2 := goldenTSL2()
+	cases := map[string][]byte{
+		"mid-magic":        goldenTSL1()[:2],
+		"at-dtype-byte":    full2[:4], // magic complete, dtype byte missing
+		"mid-rank":         full2[:6],
+		"mid-shape":        full2[:11],
+		"mid-data":         full2[:len(full2)-3],
+		"garbage-magic":    []byte("not a tensor at all"),
+		"truncated-header": goldenTSL1()[:7],
+	}
+	for name, frame := range cases {
+		var tt Tensor
+		_, err := tt.ReadFrom(bytes.NewReader(frame))
+		if !errors.Is(err, ErrBadEncoding) {
+			t.Errorf("%s: err = %v, want ErrBadEncoding", name, err)
+		}
+	}
+}
+
+// TestReadFromUnknownDType rejects a TSL2 frame with a dtype the decoder
+// does not know.
+func TestReadFromUnknownDType(t *testing.T) {
+	frame := goldenTSL2()
+	frame[4] = 7
+	var tt Tensor
+	if _, err := tt.ReadFrom(bytes.NewReader(frame)); !errors.Is(err, ErrBadEncoding) {
+		t.Fatalf("unknown dtype: err = %v, want ErrBadEncoding", err)
+	}
+}
+
+// TestCrossDecode: a float32 frame decodes into a tensor that previously
+// held float64 and vice versa — the dtype tag always follows the wire.
+func TestCrossDecode(t *testing.T) {
+	f64 := FromSlice([]float64{1.5, -2.25, 1.0 / 3.0, 4096.125}, 4)
+	f32 := f64.Clone().SetDType(Float32)
+
+	var buf bytes.Buffer
+	if _, err := f32.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Decode the f32 frame into a tensor currently tagged Float64.
+	dst := FromSlice([]float64{9, 9, 9, 9}, 4)
+	if _, err := dst.ReadFrom(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if dst.DType() != Float32 {
+		t.Fatalf("dtype after f32 decode = %v", dst.DType())
+	}
+	for i, v := range f64.Data() {
+		if got, want := dst.Data()[i], float64(float32(v)); got != want {
+			t.Errorf("elem %d: %v, want f32-rounded %v", i, got, want)
+		}
+	}
+
+	// And back: a float64 frame into the float32-tagged tensor.
+	buf.Reset()
+	if _, err := f64.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dst.ReadFrom(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if dst.DType() != Float64 {
+		t.Fatalf("dtype after f64 decode = %v", dst.DType())
+	}
+	if !dst.Equal(f64, 0) {
+		t.Errorf("f64 round trip lost precision: %v vs %v", dst.Data(), f64.Data())
+	}
+}
+
+// TestDTypeRoundTrip: encode/decode preserves values (exactly for f64,
+// f32-rounded for f32) across ranks and dtypes.
+func TestDTypeRoundTrip(t *testing.T) {
+	shapes := [][]int{{}, {1}, {7}, {3, 5}, {2, 3, 4}}
+	for _, dt := range []DType{Float64, Float32} {
+		for _, shape := range shapes {
+			orig := New(shape...).SetDType(dt)
+			for i := range orig.data {
+				orig.data[i] = float64(i)*0.37 - 2
+			}
+			var buf bytes.Buffer
+			if _, err := orig.WriteTo(&buf); err != nil {
+				t.Fatal(err)
+			}
+			var back Tensor
+			if _, err := back.ReadFrom(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if back.DType() != dt {
+				t.Fatalf("%v %v: dtype %v", dt, shape, back.DType())
+			}
+			if !back.SameShape(orig) {
+				t.Fatalf("%v %v: shape %v", dt, shape, back.Shape())
+			}
+			for i, v := range orig.data {
+				want := v
+				if dt == Float32 {
+					want = float64(float32(v))
+				}
+				if back.data[i] != want {
+					t.Errorf("%v %v elem %d: %v, want %v", dt, shape, i, back.data[i], want)
+				}
+			}
+		}
+	}
+}
+
+// TestCodecSteadyStateAllocs is the pooling contract: encoding to a
+// ready writer and decoding into a reused tensor allocate nothing.
+func TestCodecSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items at random under -race; alloc counts are nondeterministic")
+	}
+	src := New(8, 64)
+	for i := range src.data {
+		src.data[i] = float64(i)
+	}
+	for _, dt := range []DType{Float64, Float32} {
+		src.SetDType(dt)
+		if n := testing.AllocsPerRun(100, func() {
+			if _, err := src.WriteTo(io.Discard); err != nil {
+				t.Fatal(err)
+			}
+		}); n != 0 {
+			t.Errorf("WriteTo (%v): %v allocs/op, want 0", dt, n)
+		}
+
+		var buf bytes.Buffer
+		if _, err := src.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		frame := buf.Bytes()
+		r := bytes.NewReader(frame)
+		var dst Tensor
+		if _, err := dst.ReadFrom(r); err != nil { // warm the storage
+			t.Fatal(err)
+		}
+		if n := testing.AllocsPerRun(100, func() {
+			r.Reset(frame)
+			if _, err := dst.ReadFrom(r); err != nil {
+				t.Fatal(err)
+			}
+		}); n != 0 {
+			t.Errorf("ReadFrom (%v): %v allocs/op, want 0", dt, n)
+		}
+	}
+}
+
+// BenchmarkCodec measures the steady-state encode/decode hot path; CI
+// gates on 0 allocs/op here.
+func BenchmarkCodec(b *testing.B) {
+	src := New(32, 256) // a realistic activation batch
+	for i := range src.data {
+		src.data[i] = float64(i) * 0.001
+	}
+	for _, dt := range []DType{Float64, Float32} {
+		src.SetDType(dt)
+		b.Run("encode-"+dt.String(), func(b *testing.B) {
+			b.SetBytes(int64(src.Size() * dt.Size()))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := src.WriteTo(io.Discard); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		var buf bytes.Buffer
+		if _, err := src.WriteTo(&buf); err != nil {
+			b.Fatal(err)
+		}
+		frame := buf.Bytes()
+		b.Run("decode-"+dt.String(), func(b *testing.B) {
+			b.SetBytes(int64(len(frame)))
+			b.ReportAllocs()
+			r := bytes.NewReader(frame)
+			var dst Tensor
+			for i := 0; i < b.N; i++ {
+				r.Reset(frame)
+				if _, err := dst.ReadFrom(r); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,410 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// float32 compute kernels. Tensors always store float64 (see dtype.go),
+// so the float32 path converts the operands into pooled []float32
+// scratch, runs the whole O(m·k·n) product in single precision — half
+// the cache and memory-bandwidth footprint of the float64 kernels — and
+// widens the result back on the way out. The O(m·k + k·n) conversions
+// are noise next to the product for the layer shapes that matter.
+//
+// The kernels mirror block.go exactly: same tiles, same 4-wide unroll,
+// same full-problem-size dispatch shared by serial and parallel
+// callers, so MatMulP32 is bitwise identical to MatMul32.
+
+// f32Pool recycles float32 scratch slices across kernel calls so the
+// steady-state training loop allocates nothing for conversions.
+var f32Pool = sync.Pool{
+	New: func() any {
+		s := make([]float32, 0, 4096)
+		return &s
+	},
+}
+
+// getF32 returns a pooled length-n float32 slice (contents undefined).
+func getF32(n int) *[]float32 {
+	sp := f32Pool.Get().(*[]float32)
+	if cap(*sp) < n {
+		*sp = make([]float32, n)
+	}
+	*sp = (*sp)[:n]
+	return sp
+}
+
+func putF32(sp *[]float32) { f32Pool.Put(sp) }
+
+// narrow fills dst with src rounded to float32.
+func narrow(dst []float32, src []float64) {
+	for i, v := range src {
+		dst[i] = float32(v)
+	}
+}
+
+// widen fills dst with src widened to float64.
+func widen(dst []float64, src []float32) {
+	for i, v := range src {
+		dst[i] = float64(v)
+	}
+}
+
+// MatMul32 is MatMul computed in single precision: operands are rounded
+// to float32, the product is accumulated in float32, and the result is
+// widened back to the tensor's float64 storage. The output tensor is
+// tagged Float32.
+func MatMul32(a, b *Tensor) *Tensor {
+	if a.Dims() != 2 || b.Dims() != 2 {
+		panic(fmt.Sprintf("tensor: MatMul requires rank-2 operands, got %v and %v", a.shape, b.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v · %v", a.shape, b.shape))
+	}
+	af, bf, of := getF32(m*k), getF32(k*n), getF32(m*n)
+	defer putF32(af)
+	defer putF32(bf)
+	defer putF32(of)
+	narrow(*af, a.data)
+	narrow(*bf, b.data)
+	clearF32(*of)
+	matMulRangeF32(*af, *bf, *of, m, k, n, 0, m)
+	out := New(m, n)
+	out.dtype = Float32
+	widen(out.data, *of)
+	return out
+}
+
+// MatMulTransA32 is MatMulTransA (aᵀ·b) in single precision.
+func MatMulTransA32(a, b *Tensor) *Tensor {
+	if a.Dims() != 2 || b.Dims() != 2 {
+		panic(fmt.Sprintf("tensor: MatMulTransA requires rank-2 operands, got %v and %v", a.shape, b.shape))
+	}
+	k, m := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransA inner dimension mismatch %v · %v", a.shape, b.shape))
+	}
+	af, bf, of := getF32(k*m), getF32(k*n), getF32(m*n)
+	defer putF32(af)
+	defer putF32(bf)
+	defer putF32(of)
+	narrow(*af, a.data)
+	narrow(*bf, b.data)
+	clearF32(*of)
+	matMulTransAColsF32(*af, *bf, *of, k, m, n, 0, m)
+	out := New(m, n)
+	out.dtype = Float32
+	widen(out.data, *of)
+	return out
+}
+
+// MatMulTransB32 is MatMulTransB (a·bᵀ) in single precision.
+func MatMulTransB32(a, b *Tensor) *Tensor {
+	if a.Dims() != 2 || b.Dims() != 2 {
+		panic(fmt.Sprintf("tensor: MatMulTransB requires rank-2 operands, got %v and %v", a.shape, b.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	n, k2 := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransB inner dimension mismatch %v · %v", a.shape, b.shape))
+	}
+	af, bf, of := getF32(m*k), getF32(n*k), getF32(m*n)
+	defer putF32(af)
+	defer putF32(bf)
+	defer putF32(of)
+	narrow(*af, a.data)
+	narrow(*bf, b.data)
+	matMulTransBRangeF32(*af, *bf, *of, m, k, n, 0, m)
+	out := New(m, n)
+	out.dtype = Float32
+	widen(out.data, *of)
+	return out
+}
+
+// MatMulP32 is the parallel variant of MatMul32; bitwise identical to it
+// (shared range kernels, shared dispatch decision).
+func MatMulP32(a, b *Tensor) *Tensor {
+	if a.Dims() != 2 || b.Dims() != 2 {
+		return MatMul32(a, b)
+	}
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[1]
+	if k != b.shape[0] || m*k*n < parallelThreshold {
+		return MatMul32(a, b)
+	}
+	af, bf, of := getF32(m*k), getF32(k*n), getF32(m*n)
+	defer putF32(af)
+	defer putF32(bf)
+	defer putF32(of)
+	narrow(*af, a.data)
+	narrow(*bf, b.data)
+	clearF32(*of)
+	parallelRowsF32(m, func(lo, hi int) {
+		matMulRangeF32(*af, *bf, *of, m, k, n, lo, hi)
+	})
+	out := New(m, n)
+	out.dtype = Float32
+	widen(out.data, *of)
+	return out
+}
+
+// MatMulTransBP32 is the parallel variant of MatMulTransB32.
+func MatMulTransBP32(a, b *Tensor) *Tensor {
+	if a.Dims() != 2 || b.Dims() != 2 {
+		return MatMulTransB32(a, b)
+	}
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[0]
+	if k != b.shape[1] || m*k*n < parallelThreshold {
+		return MatMulTransB32(a, b)
+	}
+	af, bf, of := getF32(m*k), getF32(n*k), getF32(m*n)
+	defer putF32(af)
+	defer putF32(bf)
+	defer putF32(of)
+	narrow(*af, a.data)
+	narrow(*bf, b.data)
+	parallelRowsF32(m, func(lo, hi int) {
+		matMulTransBRangeF32(*af, *bf, *of, m, k, n, lo, hi)
+	})
+	out := New(m, n)
+	out.dtype = Float32
+	widen(out.data, *of)
+	return out
+}
+
+// parallelRowsF32 partitions [0,m) across GOMAXPROCS workers.
+func parallelRowsF32(m int, f func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m {
+		workers = m
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * m / workers
+		hi := (w + 1) * m / workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			f(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Dispatch helpers: route to the float32 kernels when dt is Float32,
+// otherwise to the float64 defaults. The nn layers call these so one
+// dtype field switches an entire model's compute precision.
+
+// MatMulDT is MatMul at the given compute precision.
+func MatMulDT(a, b *Tensor, dt DType) *Tensor {
+	if dt == Float32 {
+		return MatMul32(a, b)
+	}
+	return MatMul(a, b)
+}
+
+// MatMulTransADT is MatMulTransA at the given compute precision.
+func MatMulTransADT(a, b *Tensor, dt DType) *Tensor {
+	if dt == Float32 {
+		return MatMulTransA32(a, b)
+	}
+	return MatMulTransA(a, b)
+}
+
+// MatMulTransBDT is MatMulTransB at the given compute precision.
+func MatMulTransBDT(a, b *Tensor, dt DType) *Tensor {
+	if dt == Float32 {
+		return MatMulTransB32(a, b)
+	}
+	return MatMulTransB(a, b)
+}
+
+// MatMulPDT is MatMulP at the given compute precision.
+func MatMulPDT(a, b *Tensor, dt DType) *Tensor {
+	if dt == Float32 {
+		return MatMulP32(a, b)
+	}
+	return MatMulP(a, b)
+}
+
+// MatMulTransBPDT is MatMulTransBP at the given compute precision.
+func MatMulTransBPDT(a, b *Tensor, dt DType) *Tensor {
+	if dt == Float32 {
+		return MatMulTransBP32(a, b)
+	}
+	return MatMulTransBP(a, b)
+}
+
+func clearF32(s []float32) {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// Range kernels — float32 mirrors of block.go, same tiles and same
+// accumulation order rules.
+
+func matMulRangeF32(a, b, out []float32, m, k, n, lo, hi int) {
+	if m*k*n >= blockedThreshold && k >= 4 {
+		matMulRowsBlockedF32(a, b, out, k, n, lo, hi)
+		return
+	}
+	for i := lo; i < hi; i++ {
+		arow := a[i*k : (i+1)*k]
+		orow := out[i*n : (i+1)*n]
+		for kk := 0; kk < k; kk++ {
+			av := arow[kk]
+			if av == 0 {
+				continue
+			}
+			brow := b[kk*n : (kk+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+func matMulRowsBlockedF32(a, b, out []float32, k, n, lo, hi int) {
+	// float32 elements are half the size, so the same element-count tile
+	// covers twice the matrix — keep the element counts and enjoy the
+	// halved cache footprint.
+	for kc := 0; kc < k; kc += blockK {
+		kmax := kc + blockK
+		if kmax > k {
+			kmax = k
+		}
+		for jc := 0; jc < n; jc += blockN {
+			jmax := jc + blockN
+			if jmax > n {
+				jmax = n
+			}
+			for i := lo; i < hi; i++ {
+				arow := a[i*k : (i+1)*k]
+				orow := out[i*n+jc : i*n+jmax]
+				kk := kc
+				for ; kk+4 <= kmax; kk += 4 {
+					av0, av1, av2, av3 := arow[kk], arow[kk+1], arow[kk+2], arow[kk+3]
+					b0 := b[kk*n+jc : kk*n+jmax]
+					b1 := b[(kk+1)*n+jc : (kk+1)*n+jmax]
+					b2 := b[(kk+2)*n+jc : (kk+2)*n+jmax]
+					b3 := b[(kk+3)*n+jc : (kk+3)*n+jmax]
+					for j := range orow {
+						orow[j] += av0*b0[j] + av1*b1[j] + av2*b2[j] + av3*b3[j]
+					}
+				}
+				for ; kk < kmax; kk++ {
+					av := arow[kk]
+					brow := b[kk*n+jc : kk*n+jmax]
+					for j := range orow {
+						orow[j] += av * brow[j]
+					}
+				}
+			}
+		}
+	}
+}
+
+func matMulTransBRangeF32(a, b, out []float32, m, k, n, lo, hi int) {
+	if m*k*n >= blockedThreshold {
+		rows := blockN
+		if k > 0 {
+			if r := (blockK * blockN) / k; r < rows {
+				rows = r
+			}
+		}
+		if rows < 1 {
+			rows = 1
+		}
+		for jc := 0; jc < n; jc += rows {
+			jmax := jc + rows
+			if jmax > n {
+				jmax = n
+			}
+			for i := lo; i < hi; i++ {
+				arow := a[i*k : (i+1)*k]
+				orow := out[i*n : (i+1)*n]
+				for j := jc; j < jmax; j++ {
+					orow[j] = dotUnrolledF32(arow, b[j*k:(j+1)*k])
+				}
+			}
+		}
+		return
+	}
+	for i := lo; i < hi; i++ {
+		arow := a[i*k : (i+1)*k]
+		orow := out[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			orow[j] = dotUnrolledF32(arow, b[j*k:(j+1)*k])
+		}
+	}
+}
+
+func dotUnrolledF32(x, y []float32) float32 {
+	var s0, s1, s2, s3 float32
+	kk := 0
+	for ; kk+4 <= len(x); kk += 4 {
+		s0 += x[kk] * y[kk]
+		s1 += x[kk+1] * y[kk+1]
+		s2 += x[kk+2] * y[kk+2]
+		s3 += x[kk+3] * y[kk+3]
+	}
+	s := s0 + s1 + s2 + s3
+	for ; kk < len(x); kk++ {
+		s += x[kk] * y[kk]
+	}
+	return s
+}
+
+func matMulTransAColsF32(a, b, out []float32, k, m, n, lo, hi int) {
+	if k*(hi-lo)*n < blockedThreshold {
+		for kk := 0; kk < k; kk++ {
+			arow := a[kk*m+lo : kk*m+hi]
+			brow := b[kk*n : (kk+1)*n]
+			for i, av := range arow {
+				if av == 0 {
+					continue
+				}
+				orow := out[(lo+i)*n : (lo+i+1)*n]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+		return
+	}
+	for ic := lo; ic < hi; ic += blockK {
+		imax := ic + blockK
+		if imax > hi {
+			imax = hi
+		}
+		for jc := 0; jc < n; jc += blockN {
+			jmax := jc + blockN
+			if jmax > n {
+				jmax = n
+			}
+			for kk := 0; kk < k; kk++ {
+				arow := a[kk*m+ic : kk*m+imax]
+				brow := b[kk*n+jc : kk*n+jmax]
+				for i, av := range arow {
+					if av == 0 {
+						continue
+					}
+					orow := out[(ic+i)*n+jc : (ic+i)*n+jmax]
+					for j, bv := range brow {
+						orow[j] += av * bv
+					}
+				}
+			}
+		}
+	}
+}

@@ -142,9 +142,9 @@ func (t *Tensor) mustMatch(o *Tensor, op string) {
 }
 
 // MatMul returns the matrix product of two rank-2 tensors: (m×k)·(k×n) →
-// (m×n). The inner loops are ordered i-k-j so the innermost loop walks both
-// operands with unit stride, which is the standard cache-friendly layout
-// for row-major data.
+// (m×n). Small products use an i-k-j loop whose innermost loop walks both
+// operands with unit stride and skips zero A elements; large products
+// switch to the cache-blocked kernel in block.go.
 func MatMul(a, b *Tensor) *Tensor {
 	if a.Dims() != 2 || b.Dims() != 2 {
 		panic(fmt.Sprintf("tensor: MatMul requires rank-2 operands, got %v and %v", a.shape, b.shape))
@@ -155,20 +155,7 @@ func MatMul(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v · %v", a.shape, b.shape))
 	}
 	out := New(m, n)
-	for i := 0; i < m; i++ {
-		arow := a.data[i*k : (i+1)*k]
-		orow := out.data[i*n : (i+1)*n]
-		for kk := 0; kk < k; kk++ {
-			av := arow[kk]
-			if av == 0 {
-				continue
-			}
-			brow := b.data[kk*n : (kk+1)*n]
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
+	matMulRange(a.data, b.data, out.data, m, k, n, 0, m)
 	return out
 }
 
@@ -184,19 +171,7 @@ func MatMulTransA(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMulTransA inner dimension mismatch %v · %v", a.shape, b.shape))
 	}
 	out := New(m, n)
-	for kk := 0; kk < k; kk++ {
-		arow := a.data[kk*m : (kk+1)*m]
-		brow := b.data[kk*n : (kk+1)*n]
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			orow := out.data[i*n : (i+1)*n]
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
+	matMulTransACols(a.data, b.data, out.data, k, m, n, 0, m)
 	return out
 }
 
@@ -212,18 +187,7 @@ func MatMulTransB(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMulTransB inner dimension mismatch %v · %v", a.shape, b.shape))
 	}
 	out := New(m, n)
-	for i := 0; i < m; i++ {
-		arow := a.data[i*k : (i+1)*k]
-		orow := out.data[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			brow := b.data[j*k : (j+1)*k]
-			s := 0.0
-			for kk, av := range arow {
-				s += av * brow[kk]
-			}
-			orow[j] = s
-		}
-	}
+	matMulTransBRange(a.data, b.data, out.data, m, k, n, 0, m)
 	return out
 }
 

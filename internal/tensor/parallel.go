@@ -41,20 +41,9 @@ func MatMulP(a, b *Tensor) *Tensor {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				arow := a.data[i*k : (i+1)*k]
-				orow := out.data[i*n : (i+1)*n]
-				for kk := 0; kk < k; kk++ {
-					av := arow[kk]
-					if av == 0 {
-						continue
-					}
-					brow := b.data[kk*n : (kk+1)*n]
-					for j, bv := range brow {
-						orow[j] += av * bv
-					}
-				}
-			}
+			// Same range kernel (and same full-size dispatch decision) as
+			// the serial path, so results match it bitwise.
+			matMulRange(a.data, b.data, out.data, m, k, n, lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()
@@ -90,18 +79,8 @@ func MatMulTransBP(a, b *Tensor) *Tensor {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				arow := a.data[i*k : (i+1)*k]
-				orow := out.data[i*n : (i+1)*n]
-				for j := 0; j < n; j++ {
-					brow := b.data[j*k : (j+1)*k]
-					s := 0.0
-					for kk, av := range arow {
-						s += av * brow[kk]
-					}
-					orow[j] = s
-				}
-			}
+			// Shared range kernel — see MatMulP.
+			matMulTransBRange(a.data, b.data, out.data, m, k, n, lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()

@@ -27,6 +27,9 @@ type Tensor struct {
 	// dimension i.
 	stride []int
 	data   []float64
+	// dtype tags the wire/compute precision (see dtype.go). Storage is
+	// always float64; the zero value Float64 preserves legacy behaviour.
+	dtype DType
 }
 
 // New returns a zero-filled tensor with the given shape. A call with no
@@ -148,10 +151,11 @@ func (t *Tensor) At(idx ...int) float64 { return t.data[t.offset(idx)] }
 // Set assigns the element at the given multi-index.
 func (t *Tensor) Set(v float64, idx ...int) { t.data[t.offset(idx)] = v }
 
-// Clone returns a deep copy of t.
+// Clone returns a deep copy of t, preserving its dtype tag.
 func (t *Tensor) Clone() *Tensor {
 	c := New(t.shape...)
 	copy(c.data, t.data)
+	c.dtype = t.dtype
 	return c
 }
 

@@ -18,6 +18,10 @@ func corpusMessages(tb testing.TB) []*Message {
 	}
 	grad := tensor.New(2, 8)
 	grad.Data()[3] = -1.5
+	// TSL2 frames: the same payloads tagged float32 exercise the
+	// dtype-byte header path end to end.
+	act32 := act.Clone().SetDType(tensor.Float32)
+	grad32 := grad.Clone().SetDType(tensor.Float32)
 	return []*Message{
 		{Type: MsgActivation, ClientID: 3, Seq: 7, Epoch: 1, SentAt: 1234,
 			Payload: act, Labels: []int{0, 2}},
@@ -26,6 +30,9 @@ func corpusMessages(tb testing.TB) []*Message {
 		{Type: MsgControl, ClientID: 1, Seq: 0x7ead11ed, Note: "welcome"},
 		{Type: MsgFeatures, ClientID: 0, Seq: 2, Payload: tensor.New(1, 6)},
 		{Type: MsgFeatureGrad, ClientID: 0, Seq: 2, Payload: tensor.New(1, 6)},
+		{Type: MsgActivation, ClientID: 5, Seq: 9, Epoch: 2, SentAt: 3456,
+			Payload: act32, Labels: []int{1, 3}},
+		{Type: MsgGradient, ClientID: 5, Seq: 9, Epoch: 2, SentAt: 4567, Payload: grad32},
 	}
 }
 
@@ -49,8 +56,8 @@ func FuzzDecode(f *testing.F) {
 		raw := encode(f, m)
 		f.Add(raw)
 		// Truncations at structural boundaries: header, payload header,
-		// mid-data, labels, note length.
-		for _, cut := range []int{1, 4, 29, 31, len(raw) / 2, len(raw) - 1} {
+		// the TSL2 dtype byte (34), mid-data, labels, note length.
+		for _, cut := range []int{1, 4, 29, 31, 34, len(raw) / 2, len(raw) - 1} {
 			if cut > 0 && cut < len(raw) {
 				f.Add(raw[:cut])
 			}
@@ -61,6 +68,15 @@ func FuzzDecode(f *testing.F) {
 	big := encode(f, corpusMessages(f)[0])
 	big[26], big[27], big[28] = 0xff, 0xff, 0xff
 	f.Add(big)
+	// A flipped payload-present flag: must be rejected as bad framing,
+	// not silently decoded without its payload.
+	flag2 := encode(f, corpusMessages(f)[0])
+	flag2[25] = 2
+	f.Add(flag2)
+	// A TSL2 payload whose dtype byte is not a dtype.
+	badDT := encode(f, corpusMessages(f)[6])
+	badDT[34] = 0x7f
+	f.Add(badDT)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := Decode(bytes.NewReader(data))

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"github.com/stsl/stsl/internal/tensor"
@@ -124,24 +125,47 @@ const msgMagic uint32 = 0x4d534731 // "MSG1"
 // maxLabels bounds decoded label slices against corrupted headers.
 const maxLabels = 1 << 24
 
+// msgHdrLen is the fixed framing header size in bytes.
+const msgHdrLen = 30
+
+// frameChunk sizes the pooled framing scratch: big enough for the header,
+// the note length word, and a useful run of labels per Write call.
+const frameChunk = 4096
+
+// framePool recycles framing scratch across Encode/Decode calls so the
+// steady-state codec path allocates nothing. (Tensor payloads stream
+// through the tensor package's own pool.)
+var framePool = sync.Pool{
+	New: func() any {
+		b := make([]byte, frameChunk)
+		return &b
+	},
+}
+
 // Encode writes the message in the framing format. It is the inverse of
-// Decode.
+// Decode and performs no allocations: header, labels and note length all
+// stream through one pooled scratch buffer straight to w, which in the
+// TCP carrier is the connection's bufio writer.
 func (m *Message) Encode(w io.Writer) error {
 	if err := m.Validate(); err != nil {
 		return err
 	}
-	var hdr [30]byte
+	bufp := framePool.Get().(*[]byte)
+	defer framePool.Put(bufp)
+	hdr := *bufp
+
 	binary.LittleEndian.PutUint32(hdr[0:], msgMagic)
 	hdr[4] = uint8(m.Type)
 	binary.LittleEndian.PutUint32(hdr[5:], uint32(m.ClientID))
 	binary.LittleEndian.PutUint32(hdr[9:], uint32(m.Seq))
 	binary.LittleEndian.PutUint32(hdr[13:], uint32(m.Epoch))
 	binary.LittleEndian.PutUint64(hdr[17:], uint64(m.SentAt))
+	hdr[25] = 0 // pooled scratch is dirty; every byte must be set
 	if m.Payload != nil {
 		hdr[25] = 1
 	}
 	binary.LittleEndian.PutUint32(hdr[26:], uint32(len(m.Labels)))
-	if _, err := w.Write(hdr[:]); err != nil {
+	if _, err := w.Write(hdr[:msgHdrLen]); err != nil {
 		return fmt.Errorf("transport: write header: %w", err)
 	}
 	if m.Payload != nil {
@@ -149,84 +173,134 @@ func (m *Message) Encode(w io.Writer) error {
 			return fmt.Errorf("transport: write payload: %w", err)
 		}
 	}
-	if len(m.Labels) > 0 {
-		lbuf := make([]byte, 4*len(m.Labels))
-		for i, l := range m.Labels {
-			binary.LittleEndian.PutUint32(lbuf[4*i:], uint32(l))
+	for off := 0; off < len(m.Labels); {
+		chunk := len(m.Labels) - off
+		if chunk > frameChunk/4 {
+			chunk = frameChunk / 4
 		}
-		if _, err := w.Write(lbuf); err != nil {
+		for i := 0; i < chunk; i++ {
+			binary.LittleEndian.PutUint32(hdr[4*i:], uint32(m.Labels[off+i]))
+		}
+		if _, err := w.Write(hdr[:4*chunk]); err != nil {
 			return fmt.Errorf("transport: write labels: %w", err)
 		}
+		off += chunk
 	}
-	nbuf := []byte(m.Note)
-	var nlen [4]byte
-	binary.LittleEndian.PutUint32(nlen[:], uint32(len(nbuf)))
-	if _, err := w.Write(nlen[:]); err != nil {
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(m.Note)))
+	if _, err := w.Write(hdr[:4]); err != nil {
 		return fmt.Errorf("transport: write note length: %w", err)
 	}
-	if len(nbuf) > 0 {
-		if _, err := w.Write(nbuf); err != nil {
+	if len(m.Note) > 0 {
+		// io.WriteString avoids the []byte copy for string-aware writers
+		// (bufio.Writer, bytes.Buffer — both carriers qualify).
+		if _, err := io.WriteString(w, m.Note); err != nil {
 			return fmt.Errorf("transport: write note: %w", err)
 		}
 	}
 	return nil
 }
 
-// Decode reads one message in the framing format.
+// Decode reads one message in the framing format into a fresh Message.
+//
+// A stream that ends cleanly before the first header byte returns bare
+// io.EOF — a graceful peer close, not an error. Truncation anywhere past
+// that point surfaces as a wrapped io.ErrUnexpectedEOF or decode error.
 func Decode(r io.Reader) (*Message, error) {
-	var hdr [30]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, fmt.Errorf("transport: read header: %w", err)
+	m := new(Message)
+	if err := DecodeInto(r, m); err != nil {
+		return nil, err
 	}
-	if got := binary.LittleEndian.Uint32(hdr[0:]); got != msgMagic {
-		return nil, fmt.Errorf("transport: bad magic %#x", got)
+	return m, nil
+}
+
+// DecodeInto is Decode reusing m's storage: the payload tensor's backing
+// slices and the label slice are retained when their capacity suffices,
+// so a receive loop decoding into one long-lived Message allocates
+// nothing at steady state. All fields of m are overwritten; callers that
+// retain the previous payload or labels must decode into a fresh Message.
+func DecodeInto(r io.Reader, m *Message) error {
+	bufp := framePool.Get().(*[]byte)
+	defer framePool.Put(bufp)
+	buf := *bufp
+
+	n, err := io.ReadFull(r, buf[:msgHdrLen])
+	if err != nil {
+		if n == 0 && err == io.EOF {
+			// Clean close at the frame boundary: not a decode failure.
+			return io.EOF
+		}
+		return fmt.Errorf("transport: read header: %w", err)
 	}
-	m := &Message{
-		Type:     MsgType(hdr[4]),
-		ClientID: int(int32(binary.LittleEndian.Uint32(hdr[5:]))),
-		Seq:      int(int32(binary.LittleEndian.Uint32(hdr[9:]))),
-		Epoch:    int(int32(binary.LittleEndian.Uint32(hdr[13:]))),
-		SentAt:   time.Duration(binary.LittleEndian.Uint64(hdr[17:])),
+	if got := binary.LittleEndian.Uint32(buf[0:]); got != msgMagic {
+		return fmt.Errorf("transport: bad magic %#x", got)
 	}
-	hasPayload := hdr[25] == 1
-	nLabels := binary.LittleEndian.Uint32(hdr[26:])
+	m.Type = MsgType(buf[4])
+	m.ClientID = int(int32(binary.LittleEndian.Uint32(buf[5:])))
+	m.Seq = int(int32(binary.LittleEndian.Uint32(buf[9:])))
+	m.Epoch = int(int32(binary.LittleEndian.Uint32(buf[13:])))
+	m.SentAt = time.Duration(binary.LittleEndian.Uint64(buf[17:]))
+	m.Note = ""
+	m.WireSize = 0
+	// A flipped flag bit must read as bad framing, not as a silently
+	// dropped payload followed by a misleading Validate failure.
+	var hasPayload bool
+	switch buf[25] {
+	case 0:
+		hasPayload = false
+	case 1:
+		hasPayload = true
+	default:
+		return fmt.Errorf("transport: bad payload flag %d", buf[25])
+	}
+	nLabels := binary.LittleEndian.Uint32(buf[26:])
 	if nLabels > maxLabels {
-		return nil, fmt.Errorf("transport: implausible label count %d", nLabels)
+		return fmt.Errorf("transport: implausible label count %d", nLabels)
 	}
 	if hasPayload {
-		var t tensor.Tensor
-		if _, err := t.ReadFrom(r); err != nil {
-			return nil, fmt.Errorf("transport: read payload: %w", err)
+		if m.Payload == nil {
+			m.Payload = new(tensor.Tensor)
 		}
-		m.Payload = &t
+		if _, err := m.Payload.ReadFrom(r); err != nil {
+			if err == io.EOF {
+				// Mid-frame end of stream: the header promised a payload.
+				err = io.ErrUnexpectedEOF
+			}
+			return fmt.Errorf("transport: read payload: %w", err)
+		}
+	} else {
+		m.Payload = nil
 	}
-	if nLabels > 0 {
-		lbuf := make([]byte, 4*nLabels)
-		if _, err := io.ReadFull(r, lbuf); err != nil {
-			return nil, fmt.Errorf("transport: read labels: %w", err)
-		}
+	if cap(m.Labels) < int(nLabels) {
 		m.Labels = make([]int, nLabels)
-		for i := range m.Labels {
-			m.Labels[i] = int(int32(binary.LittleEndian.Uint32(lbuf[4*i:])))
+	} else {
+		m.Labels = m.Labels[:nLabels]
+	}
+	for off := 0; off < int(nLabels); {
+		chunk := int(nLabels) - off
+		if chunk > frameChunk/4 {
+			chunk = frameChunk / 4
 		}
+		if _, err := io.ReadFull(r, buf[:4*chunk]); err != nil {
+			return fmt.Errorf("transport: read labels: %w", err)
+		}
+		for i := 0; i < chunk; i++ {
+			m.Labels[off+i] = int(int32(binary.LittleEndian.Uint32(buf[4*i:])))
+		}
+		off += chunk
 	}
-	var nlen [4]byte
-	if _, err := io.ReadFull(r, nlen[:]); err != nil {
-		return nil, fmt.Errorf("transport: read note length: %w", err)
+	if _, err := io.ReadFull(r, buf[:4]); err != nil {
+		return fmt.Errorf("transport: read note length: %w", err)
 	}
-	noteLen := binary.LittleEndian.Uint32(nlen[:])
+	noteLen := binary.LittleEndian.Uint32(buf[:4])
 	if noteLen > 1<<20 {
-		return nil, fmt.Errorf("transport: implausible note length %d", noteLen)
+		return fmt.Errorf("transport: implausible note length %d", noteLen)
 	}
 	if noteLen > 0 {
 		nbuf := make([]byte, noteLen)
 		if _, err := io.ReadFull(r, nbuf); err != nil {
-			return nil, fmt.Errorf("transport: read note: %w", err)
+			return fmt.Errorf("transport: read note: %w", err)
 		}
 		m.Note = string(nbuf)
 	}
-	if err := m.Validate(); err != nil {
-		return nil, err
-	}
-	return m, nil
+	return m.Validate()
 }

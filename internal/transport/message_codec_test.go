@@ -1,0 +1,180 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"github.com/stsl/stsl/internal/tensor"
+)
+
+// TestDecodeCleanEOF: zero bytes at the frame boundary is a graceful
+// disconnect — bare io.EOF, not a decode error.
+func TestDecodeCleanEOF(t *testing.T) {
+	if _, err := Decode(bytes.NewReader(nil)); err != io.EOF {
+		t.Fatalf("Decode(empty) = %v, want bare io.EOF", err)
+	}
+}
+
+// TestDecodeTruncation: a stream that dies after the first byte is
+// corruption, reported as an error that is NOT bare io.EOF.
+func TestDecodeTruncation(t *testing.T) {
+	frame := encode(t, corpusMessages(t)[0])
+	for _, cut := range []int{1, 15, 29, 30, 34, len(frame) - 1} {
+		_, err := Decode(bytes.NewReader(frame[:cut]))
+		if err == nil {
+			t.Fatalf("cut=%d: decode succeeded on truncated frame", cut)
+		}
+		if err == io.EOF {
+			t.Errorf("cut=%d: truncation returned bare io.EOF — receive loops would treat it as a clean close", cut)
+		}
+		if cut >= 30 && !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, tensor.ErrBadEncoding) {
+			t.Errorf("cut=%d: err = %v, want unexpected-EOF or bad-encoding", cut, err)
+		}
+	}
+}
+
+// TestDecodeBadPayloadFlag: flag bytes other than 0/1 are bad framing.
+func TestDecodeBadPayloadFlag(t *testing.T) {
+	frame := encode(t, corpusMessages(t)[0])
+	for _, flag := range []byte{2, 0x80, 0xff} {
+		frame[25] = flag
+		_, err := Decode(bytes.NewReader(frame))
+		if err == nil || !strings.Contains(err.Error(), "bad payload flag") {
+			t.Errorf("flag=%d: err = %v, want bad payload flag rejection", flag, err)
+		}
+	}
+}
+
+// TestTSL2MessageRoundTrip: a float32-tagged payload crosses the wire in
+// TSL2 (half the payload bytes) and comes back float32-rounded.
+func TestTSL2MessageRoundTrip(t *testing.T) {
+	payload := tensor.FromSlice([]float64{0.1, 0.2, 0.3, 1.0 / 3.0}, 2, 2)
+	m64 := &Message{Type: MsgActivation, ClientID: 1, Seq: 1, Payload: payload.Clone(), Labels: []int{0, 1}}
+	m32 := &Message{Type: MsgActivation, ClientID: 1, Seq: 1,
+		Payload: payload.Clone().SetDType(tensor.Float32), Labels: []int{0, 1}}
+
+	var b64, b32 bytes.Buffer
+	if err := m64.Encode(&b64); err != nil {
+		t.Fatal(err)
+	}
+	if err := m32.Encode(&b32); err != nil {
+		t.Fatal(err)
+	}
+	// TSL2 spends 1 extra header byte (dtype) and saves 4 per element.
+	if want := 4*payload.Size() - 1; b64.Len()-b32.Len() != want {
+		t.Errorf("f32 frame saves %d bytes, want %d", b64.Len()-b32.Len(), want)
+	}
+
+	got, err := Decode(&b32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Payload.DType() != tensor.Float32 {
+		t.Fatalf("decoded payload dtype %v", got.Payload.DType())
+	}
+	for i, v := range payload.Data() {
+		if want := float64(float32(v)); got.Payload.Data()[i] != want {
+			t.Errorf("elem %d: %v, want f32-rounded %v", i, got.Payload.Data()[i], want)
+		}
+	}
+}
+
+// TestDecodeIntoOverwrites: reusing one Message across frames must not
+// leak fields from the previous decode.
+func TestDecodeIntoOverwrites(t *testing.T) {
+	msgs := corpusMessages(t)
+	var m Message
+	// Decode a payload+labels+note-free activation, then a control frame
+	// with a note, then the activation again.
+	for _, want := range []*Message{msgs[0], msgs[2], msgs[0]} {
+		if err := DecodeInto(bytes.NewReader(encode(t, want)), &m); err != nil {
+			t.Fatal(err)
+		}
+		if (m.Payload != nil) != (want.Payload != nil) {
+			t.Fatalf("payload presence leaked: got %v, want %v", m.Payload != nil, want.Payload != nil)
+		}
+		if len(m.Labels) != len(want.Labels) || m.Note != want.Note {
+			t.Fatalf("fields leaked across reuse: %+v vs %+v", m, want)
+		}
+	}
+}
+
+// TestMessageCodecSteadyStateAllocs: Encode and DecodeInto allocate
+// nothing once the reused Message's storage is warm.
+func TestMessageCodecSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items at random under -race; alloc counts are nondeterministic")
+	}
+	for _, dt := range []tensor.DType{tensor.Float64, tensor.Float32} {
+		payload := tensor.New(8, 64).SetDType(dt)
+		labels := make([]int, 8)
+		src := &Message{Type: MsgActivation, ClientID: 2, Seq: 5, Payload: payload, Labels: labels}
+
+		if n := testing.AllocsPerRun(100, func() {
+			if err := src.Encode(io.Discard); err != nil {
+				t.Fatal(err)
+			}
+		}); n != 0 {
+			t.Errorf("Encode (%v): %v allocs/op, want 0", dt, n)
+		}
+
+		var buf bytes.Buffer
+		if err := src.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		frame := buf.Bytes()
+		r := bytes.NewReader(frame)
+		var dst Message
+		if err := DecodeInto(r, &dst); err != nil { // warm the storage
+			t.Fatal(err)
+		}
+		if n := testing.AllocsPerRun(100, func() {
+			r.Reset(frame)
+			if err := DecodeInto(r, &dst); err != nil {
+				t.Fatal(err)
+			}
+		}); n != 0 {
+			t.Errorf("DecodeInto (%v): %v allocs/op, want 0", dt, n)
+		}
+	}
+}
+
+// BenchmarkMessageCodec measures the framing hot path; CI gates on
+// 0 allocs/op for encode and decode-into.
+func BenchmarkMessageCodec(b *testing.B) {
+	for _, dt := range []tensor.DType{tensor.Float64, tensor.Float32} {
+		payload := tensor.New(32, 256).SetDType(dt)
+		for i := range payload.Data() {
+			payload.Data()[i] = float64(i) * 0.001
+		}
+		src := &Message{Type: MsgActivation, ClientID: 2, Seq: 5, Payload: payload, Labels: make([]int, 32)}
+		b.Run("encode-"+dt.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := src.Encode(io.Discard); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		var buf bytes.Buffer
+		if err := src.Encode(&buf); err != nil {
+			b.Fatal(err)
+		}
+		frame := buf.Bytes()
+		b.Run("decode-"+dt.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(frame)))
+			r := bytes.NewReader(frame)
+			var dst Message
+			for i := 0; i < b.N; i++ {
+				r.Reset(frame)
+				if err := DecodeInto(r, &dst); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

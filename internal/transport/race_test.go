@@ -1,0 +1,8 @@
+//go:build race
+
+package transport
+
+// raceEnabled reports that this test binary was built with -race, where
+// sync.Pool deliberately drops items at random (to widen race coverage)
+// and steady-state allocation counts stop being deterministic.
+const raceEnabled = true
