@@ -14,12 +14,22 @@
 // -resume restores it — so a restarted server carries on from the last
 // step while clients started with -retry re-handshake on their own.
 //
+// The server degrades gracefully under overload instead of collapsing:
+// -max-sessions caps admitted sessions, -shed-depth/-shed-p95 open a
+// hysteresis shed gate that refuses new joins (with a RetryAfter hint on
+// the wire) and brownouts the lowest-priority sessions until the backlog
+// drains, -work-deadline sheds queued activations too stale to be worth
+// serving, and -send-timeout evicts clients that stall reading their
+// replies. -straggler-auto derives the silence deadline from how fast
+// healthy clients actually talk instead of a fixed worst case.
+//
 // With -admin-addr the server also exposes an admin HTTP listener:
-// Prometheus metrics on /metrics, a JSON status superset of the periodic
-// -status-every log line on /statusz, the recent-event flight recorder
-// on /trace, and net/http/pprof under /debug/pprof. The admin surface
-// exposes operational internals, so bind it to loopback unless the
-// network is trusted.
+// readiness on /healthz (200 while serving, 503 once shedding or
+// stopped), Prometheus metrics on /metrics, a JSON status superset of
+// the periodic -status-every log line on /statusz, the recent-event
+// flight recorder on /trace, and net/http/pprof under /debug/pprof. The
+// admin surface exposes operational internals, so bind it to loopback
+// unless the network is trusted.
 //
 // Usage (server plus two end-systems on one machine):
 //
@@ -52,27 +62,33 @@ import (
 
 func main() {
 	var (
-		addr        = flag.String("addr", ":9000", "listen address")
-		clients     = flag.Int("clients", 1, "number of end-systems to await")
-		cut         = flag.Int("cut", 1, "split point (must match the end-systems)")
-		scale       = flag.String("scale", "small", "model scale: tiny|small|paper")
-		seed        = flag.Uint64("seed", 1, "weight seed (must match the end-systems)")
-		lr          = flag.Float64("lr", 0.05, "learning rate")
-		policy      = flag.String("policy", "fifo", "queue policy: fifo|staleness|fair-rr")
-		queueCap    = flag.Int("queue-cap", 64, "scheduling queue depth cap (-1 = unbounded)")
-		overflow    = flag.String("overflow", "park", "behaviour at the cap: park|reject")
-		coalesce    = flag.Int("coalesce", 1, "micro-batch coalescing cap: stack up to this many queued activations per pass")
-		workers     = flag.Int("workers", 1, "data-parallel model replicas draining the queue concurrently (1 = classic single worker)")
-		syncEvery   = flag.Int("sync-every", 0, "pool steps between FedAvg replica-averaging barriers (0 = default; only with -workers > 1)")
-		straggler   = flag.Duration("straggler-timeout", 0, "drop silent clients after this long (0 = never)")
-		grace       = flag.Duration("resume-grace", 30*time.Second, "how long a disconnected client may reconnect and resume its session (0 = evict immediately)")
-		ckptDir     = flag.String("checkpoint-dir", "", "directory for periodic server checkpoints (empty = no checkpointing)")
-		ckptEvery   = flag.Int("checkpoint-every", 50, "server steps between checkpoints (with -checkpoint-dir)")
-		resume      = flag.Bool("resume", false, "restore training state from -checkpoint-dir before serving (missing checkpoint = fresh start)")
-		statusEvery = flag.Duration("status-every", 5*time.Second, "periodic one-line status log interval (0 = off)")
-		adminAddr   = flag.String("admin-addr", "", "admin HTTP listener: /metrics (Prometheus), /statusz (JSON), /trace, /debug/pprof. Serves operational internals — bind loopback (e.g. 127.0.0.1:9090) unless the network is trusted. Empty = off")
-		dtypeName   = flag.String("dtype", "float64", "compute and wire precision: float64|float32 (float32 halves wire bytes via TSL2 frames; must match the end-systems)")
-		weights     = flag.String("weights", "", "path to write learned server weights (optional)")
+		addr         = flag.String("addr", ":9000", "listen address")
+		clients      = flag.Int("clients", 1, "number of end-systems to await")
+		cut          = flag.Int("cut", 1, "split point (must match the end-systems)")
+		scale        = flag.String("scale", "small", "model scale: tiny|small|paper")
+		seed         = flag.Uint64("seed", 1, "weight seed (must match the end-systems)")
+		lr           = flag.Float64("lr", 0.05, "learning rate")
+		policy       = flag.String("policy", "fifo", "queue policy: fifo|staleness|fair-rr")
+		queueCap     = flag.Int("queue-cap", 64, "scheduling queue depth cap (-1 = unbounded)")
+		overflow     = flag.String("overflow", "park", "behaviour at the cap: park|reject")
+		coalesce     = flag.Int("coalesce", 1, "micro-batch coalescing cap: stack up to this many queued activations per pass")
+		workers      = flag.Int("workers", 1, "data-parallel model replicas draining the queue concurrently (1 = classic single worker)")
+		syncEvery    = flag.Int("sync-every", 0, "pool steps between FedAvg replica-averaging barriers (0 = default; only with -workers > 1)")
+		straggler    = flag.Duration("straggler-timeout", 0, "drop silent clients after this long (0 = never; -straggler-auto overrides)")
+		stragglerAut = flag.Bool("straggler-auto", false, "derive the straggler deadline adaptively from observed client cadence (8× smoothed inter-message gap, clamped 250ms–20s)")
+		maxSessions  = flag.Int("max-sessions", 0, "admission cap on concurrently live sessions; joins beyond it are refused with a RetryAfter hint (0 = unlimited)")
+		shedDepth    = flag.Int("shed-depth", 0, "queue depth at which the shed gate opens: new joins refused, brownout active until it drains (0 = off)")
+		shedP95      = flag.Duration("shed-p95", 0, "p95 service latency at which the shed gate opens (0 = off)")
+		workDeadline = flag.Duration("work-deadline", 0, "queued activations older than this are shed un-served and the client told to resend (0 = serve everything)")
+		sendTimeout  = flag.Duration("send-timeout", 0, "per-reply write deadline; a client that stalls reading longer than this is evicted instead of wedging a worker (0 = block forever)")
+		grace        = flag.Duration("resume-grace", 30*time.Second, "how long a disconnected client may reconnect and resume its session (0 = evict immediately)")
+		ckptDir      = flag.String("checkpoint-dir", "", "directory for periodic server checkpoints (empty = no checkpointing)")
+		ckptEvery    = flag.Int("checkpoint-every", 50, "server steps between checkpoints (with -checkpoint-dir)")
+		resume       = flag.Bool("resume", false, "restore training state from -checkpoint-dir before serving (missing checkpoint = fresh start)")
+		statusEvery  = flag.Duration("status-every", 5*time.Second, "periodic one-line status log interval (0 = off)")
+		adminAddr    = flag.String("admin-addr", "", "admin HTTP listener: /metrics (Prometheus), /statusz (JSON), /trace, /debug/pprof. Serves operational internals — bind loopback (e.g. 127.0.0.1:9090) unless the network is trusted. Empty = off")
+		dtypeName    = flag.String("dtype", "float64", "compute and wire precision: float64|float32 (float32 halves wire bytes via TSL2 frames; must match the end-systems)")
+		weights      = flag.String("weights", "", "path to write learned server weights (optional)")
 	)
 	flag.Parse()
 	if *resume && *ckptDir == "" {
@@ -109,14 +125,23 @@ func main() {
 	}
 	upper.SetDType(dtype)
 	coreSrv.WireDType = dtype
+	stragglerTimeout := *straggler
+	if *stragglerAut {
+		stragglerTimeout = cluster.StragglerAuto
+	}
 	clusterCfg := cluster.Config{
 		QueueCap:         *queueCap,
 		Overflow:         cluster.Overflow(*overflow),
-		StragglerTimeout: *straggler,
+		StragglerTimeout: stragglerTimeout,
 		BatchCoalesce:    *coalesce,
 		ResumeGrace:      *grace,
 		Workers:          *workers,
 		SyncEvery:        *syncEvery,
+		MaxSessions:      *maxSessions,
+		ShedDepth:        *shedDepth,
+		ShedLatencyP95:   *shedP95,
+		WorkDeadline:     *workDeadline,
+		SendTimeout:      *sendTimeout,
 		// Each extra worker gets a structurally identical replica of the
 		// server stack, built the same way as the primary; NewServer fans
 		// the primary's weights (including any -resume restore) out to it.
@@ -199,6 +224,7 @@ func main() {
 		admin, err := obs.StartAdmin(*adminAddr, obs.AdminConfig{
 			Registry: reg,
 			Tracer:   tracer,
+			Healthz:  srv.HealthzFunc(),
 			Statusz: func() any {
 				return struct {
 					cluster.Snapshot
@@ -210,7 +236,7 @@ func main() {
 			fatal(err)
 		}
 		defer admin.Close()
-		fmt.Printf("stsl-server: admin listener on http://%s (/metrics /statusz /trace /debug/pprof)\n", admin.Addr())
+		fmt.Printf("stsl-server: admin listener on http://%s (/healthz /metrics /statusz /trace /debug/pprof)\n", admin.Addr())
 	}
 	fmt.Printf("stsl-server: listening on %s for %d end-system(s), cut=%d policy=%s cap=%d overflow=%s coalesce=%d workers=%d dtype=%s\n",
 		lis.Addr(), *clients, *cut, *policy, *queueCap, *overflow, *coalesce, *workers, dtype)

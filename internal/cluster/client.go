@@ -10,32 +10,71 @@ import (
 
 	"github.com/stsl/stsl/internal/core"
 	"github.com/stsl/stsl/internal/obs"
+	"github.com/stsl/stsl/internal/overload"
 	"github.com/stsl/stsl/internal/transport"
+)
+
+// Typed overload errors. Callers match them with errors.Is against
+// RunClient's return to distinguish "the server is drowning" from a
+// protocol failure — the load generator keys its refusal-rate metric on
+// exactly this.
+var (
+	// ErrServerOverloaded marks a join refused by admission control: the
+	// session cap is full or the shed gate is open. The refusal carries a
+	// RetryAfter hint; with a Dial configured the client backs off and
+	// retries on its own, so RunClient only returns this when it cannot
+	// (no Dial) or will not (budget exhausted) keep trying.
+	ErrServerOverloaded = errors.New("cluster: server overloaded")
+	// ErrRetryLater marks any transient, hinted refusal — overload
+	// refusals match it too, so it is the broad "worth retrying" class.
+	ErrRetryLater = errors.New("cluster: server asked to retry later")
 )
 
 // ClientConfig parameterises one live end-system actor.
 type ClientConfig struct {
 	// Steps is the number of batches to contribute (required).
 	Steps int
-	// GradTimeout bounds how long the client waits for any single
-	// gradient (and for the join welcome) before declaring the server a
-	// straggler (0 = wait forever).
+	// GradTimeout is the hard bound on waiting for any single gradient
+	// (and for the join welcome) before declaring the server a straggler
+	// (0 = wait forever). Once a few round trips have been observed the
+	// client waits adaptively — an RTO-style SRTT + 4·RTTVAR window,
+	// doubling per fire — and resends well before this bound; GradTimeout
+	// remains the terminal backstop.
 	GradTimeout time.Duration
-	// RejectBackoff is the pause before resending an activation the
-	// server bounced for backpressure (default 2ms).
+	// RejectBackoff is the jitter floor of the pause before resending an
+	// activation the server bounced for backpressure (default 2ms). When
+	// the bounce carries a RetryAfter hint the pause is hint + jitter.
 	RejectBackoff time.Duration
 	// Dial, when non-nil, re-establishes a lost connection: the client
 	// redials, resumes its session with the token issued at join, and
 	// resends the in-flight batch — surviving link drops, frame
-	// truncation, and server restarts. nil keeps the original
-	// fail-on-disconnect behaviour.
+	// truncation, and server restarts. It also enables admission-refusal
+	// retries: a refused join waits out the server's RetryAfter hint
+	// (plus decorrelated jitter) and redials. nil keeps the original
+	// fail-on-first-fault behaviour.
 	Dial func() (transport.Conn, error)
-	// MaxReconnects bounds reconnection attempts across the whole run
-	// (default 8 when Dial is set). Failed dials count: a server that
-	// stays down exhausts the budget.
+	// MaxReconnects bounds reconnection attempts after connection losses
+	// across the whole run (default 8 when Dial is set). Failed dials
+	// count: a server that stays down exhausts the budget. Admission
+	// refusals do NOT count — the server is alive and explicitly asked
+	// for patience; those retries are bounded by RetryBudget instead.
 	MaxReconnects int
-	// ReconnectBackoff is the pause before each redial (default 5ms).
+	// ReconnectBackoff is the decorrelated-jitter floor of the pause
+	// before each redial (default 5ms). Delays grow up to 100× the floor
+	// and desynchronise a cohort of clients that failed together.
 	ReconnectBackoff time.Duration
+	// BackoffSeed seeds the jitter streams (0 derives one from the wall
+	// clock and the end-system id). Fix it for reproducible retry traces.
+	BackoffSeed uint64
+	// RetryBudget is the token-bucket burst of retries (refusal waits,
+	// adaptive resends) the client may spend ahead of the refill rate
+	// (0 = default 8).
+	RetryBudget float64
+	// RetryRefill is the budget's refill rate in tokens/second (0 =
+	// default 4; negative = no refill, a pure burst budget). A client out
+	// of tokens waits for the next refill instead of retrying — this is
+	// what keeps a refused cohort from amplifying the overload.
+	RetryRefill float64
 	// Now supplies protocol timestamps; nil uses a monotonic wall clock
 	// started at the first batch.
 	Now func() time.Duration
@@ -58,13 +97,54 @@ type ClientResult struct {
 	// Reconnects counts redial attempts made after connection losses
 	// (successful or not).
 	Reconnects int
+	// Refused counts admission refusals the client waited out and
+	// retried (session cap, shed gate).
+	Refused int
+	// Resends counts batch retransmissions triggered by the adaptive
+	// wait window or a deadline-shed notice — not backpressure bounces,
+	// which Rejected counts.
+	Resends int
+	// JoinAttempts records the protocol timestamp of every join attempt
+	// (first contact and post-refusal retries). A cohort refused together
+	// should NOT retry together — the join-storm chaos test asserts the
+	// decorrelated jitter spreads these out.
+	JoinAttempts []time.Duration
 }
 
 // refusedError is a handshake rejection: the server answered, and the
-// answer was no. Retrying cannot help, unlike a connection loss.
-type refusedError struct{ note string }
+// answer was no. Unlike a connection loss a redial alone cannot help —
+// but a *hinted* refusal (overload, retry-later) is worth retrying after
+// backing off, which retryable reports.
+type refusedError struct {
+	note       string
+	code       transport.RefusalCode
+	retryAfter time.Duration
+}
 
 func (e refusedError) Error() string { return "cluster: server refused session: " + e.note }
+
+// Is maps refusal codes onto the package's typed errors so callers can
+// errors.Is without reaching into the wire representation.
+func (e refusedError) Is(target error) bool {
+	switch target {
+	case ErrServerOverloaded:
+		return e.code == transport.RefusalOverloaded
+	case ErrRetryLater:
+		return e.code == transport.RefusalOverloaded || e.code == transport.RefusalRetryLater
+	}
+	return false
+}
+
+// retryable reports whether backing off and rejoining can succeed.
+func (e refusedError) retryable() bool {
+	return e.code == transport.RefusalOverloaded || e.code == transport.RefusalRetryLater
+}
+
+// errAwaitTimeout marks an await that gave up on its timer. The delivery
+// loop tells the adaptive (RTO-derived) window — which triggers a
+// budget-charged resend — apart from the hard GradTimeout, which stays
+// terminal.
+var errAwaitTimeout = errors.New("await timeout")
 
 // connLostError marks a failure of the carrier itself — the class of
 // error a redial can cure.
@@ -119,10 +199,13 @@ func (p *pump) stop() {
 // handshake, then the lock-step produce → upload → await gradient →
 // apply loop, then a done announcement. The network send/receive runs in
 // a separate goroutine from the compute, so a slow or dead server is
-// detected by GradTimeout (or ctx) instead of hanging the actor forever.
-// With Dial configured the client is churn-tolerant: a lost connection
-// is redialled, the session resumed by token, and the in-flight batch
-// resent — the server's dedup-by-seq keeps every batch exactly-once.
+// detected by the wait window (or ctx) instead of hanging the actor
+// forever. With Dial configured the client is churn- and
+// overload-tolerant: a lost connection is redialled and the session
+// resumed by token; a refused join backs off with decorrelated jitter
+// (honouring the server's RetryAfter hint and a retry token budget) and
+// rejoins — the server's dedup-by-seq keeps every batch exactly-once
+// through all of it.
 func RunClient(ctx context.Context, es *core.EndSystem, conn transport.Conn, cfg ClientConfig) (*ClientResult, error) {
 	if es == nil || conn == nil {
 		return nil, fmt.Errorf("cluster: RunClient needs an end-system and a connection")
@@ -135,9 +218,9 @@ func RunClient(ctx context.Context, es *core.EndSystem, conn transport.Conn, cfg
 		start := time.Now()
 		now = func() time.Duration { return time.Since(start) }
 	}
-	backoff := cfg.RejectBackoff
-	if backoff <= 0 {
-		backoff = 2 * time.Millisecond
+	rejectBackoff := cfg.RejectBackoff
+	if rejectBackoff <= 0 {
+		rejectBackoff = 2 * time.Millisecond
 	}
 	maxReconnects := cfg.MaxReconnects
 	if maxReconnects <= 0 && cfg.Dial != nil {
@@ -147,6 +230,27 @@ func RunClient(ctx context.Context, es *core.EndSystem, conn transport.Conn, cfg
 	if reconnectBackoff <= 0 {
 		reconnectBackoff = 5 * time.Millisecond
 	}
+	seed := cfg.BackoffSeed
+	if seed == 0 {
+		seed = uint64(time.Now().UnixNano()) ^ uint64(es.ID)<<32 ^ uint64(es.ID)
+	}
+	refill := cfg.RetryRefill
+	if refill == 0 {
+		refill = 4
+	}
+	// The overload-control kit: jittered redial delays, a second
+	// independent jitter stream for backpressure bounces, a token-bucket
+	// retry budget, a breaker that honours the server's RetryAfter hints,
+	// and an RTO estimator driving the adaptive gradient wait.
+	joinJitter := overload.NewBackoff(reconnectBackoff, 0, seed)
+	rejJitter := overload.NewBackoff(rejectBackoff, 0, seed^0x9e3779b97f4a7c15)
+	budget := overload.NewBudget(cfg.RetryBudget, refill)
+	breaker := overload.NewBreaker(overload.BreakerConfig{})
+	rttMax := 30 * time.Second
+	if cfg.GradTimeout > 0 {
+		rttMax = cfg.GradTimeout
+	}
+	rtt := overload.NewRTTEstimator(time.Millisecond, rttMax)
 
 	res := &ClientResult{}
 	var token int // session credential from the welcome; 0 before join
@@ -172,20 +276,52 @@ func RunClient(ctx context.Context, es *core.EndSystem, conn transport.Conn, cfg
 		p.stop()
 	}()
 
-	await := func(p *pump) (*transport.Message, error) {
-		var timeout <-chan time.Time
-		if cfg.GradTimeout > 0 {
-			t := time.NewTimer(cfg.GradTimeout)
+	sleep := func(d time.Duration) error {
+		if d <= 0 {
+			return nil
+		}
+		select {
+		case <-time.After(d):
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	// spendRetry withdraws one retry token, waiting out the refill when
+	// the burst is spent — throttling, not failing, is what keeps a
+	// cohort of retrying clients from amplifying the overload that
+	// bounced them. It fails only when the budget can never recover.
+	spendRetry := func() error {
+		for {
+			n := now()
+			if budget.Take(n) {
+				return nil
+			}
+			at, ok := budget.NextAt(n)
+			if !ok {
+				return fmt.Errorf("cluster: client %d retry budget exhausted", es.ID)
+			}
+			if err := sleep(at - n + time.Millisecond); err != nil {
+				return err
+			}
+		}
+	}
+
+	await := func(p *pump, timeout time.Duration) (*transport.Message, error) {
+		var tc <-chan time.Time
+		if timeout > 0 {
+			t := time.NewTimer(timeout)
 			defer t.Stop()
-			timeout = t.C
+			tc = t.C
 		}
 		select {
 		case msg := <-p.in:
 			return msg, nil
 		case err := <-p.errc:
 			return nil, connLostError{fmt.Errorf("cluster: client %d connection lost: %w", es.ID, err)}
-		case <-timeout:
-			return nil, fmt.Errorf("cluster: client %d timed out after %v awaiting server", es.ID, cfg.GradTimeout)
+		case <-tc:
+			return nil, fmt.Errorf("cluster: client %d timed out after %v awaiting server: %w",
+				es.ID, timeout, errAwaitTimeout)
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		}
@@ -217,6 +353,11 @@ func RunClient(ctx context.Context, es *core.EndSystem, conn transport.Conn, cfg
 		if token != 0 {
 			note, seq = core.ResumeNote, token
 		}
+		if note == core.JoinNote {
+			// Stamped before the send so the join-storm test can assert
+			// refused cohorts retry desynchronised, not in lockstep.
+			res.JoinAttempts = append(res.JoinAttempts, now())
+		}
 		if err := send(p, &transport.Message{
 			Type: transport.MsgControl, ClientID: es.ID, Note: note, Seq: seq, SentAt: now(),
 		}); err != nil {
@@ -230,7 +371,7 @@ func RunClient(ctx context.Context, es *core.EndSystem, conn transport.Conn, cfg
 		// any needed gradient from the server's reply cache by resending
 		// the in-flight batch.
 		for skipped := 0; ; skipped++ {
-			welcome, err := await(p)
+			welcome, err := await(p, cfg.GradTimeout)
 			if err != nil {
 				return err
 			}
@@ -241,11 +382,50 @@ func RunClient(ctx context.Context, es *core.EndSystem, conn transport.Conn, cfg
 				continue
 			}
 			if welcome.Note != core.WelcomeNote {
-				return refusedError{note: welcome.Note}
+				return refusedError{note: welcome.Note, code: welcome.Code, retryAfter: welcome.RetryAfter}
 			}
 			token = welcome.Seq
+			breaker.Success()
+			joinJitter.Reset()
 			return nil
 		}
+	}
+
+	// refusalWait spends the pause a hinted refusal demands: the server's
+	// RetryAfter plus a decorrelated-jitter draw (additive, so a refused
+	// cohort that shares a hint still spreads out), stretched to the
+	// breaker's cooldown when repeated refusals have tripped it, and
+	// charged against the retry budget.
+	refusalWait := func(ref refusedError) error {
+		res.Refused++
+		breaker.Failure(now(), ref.retryAfter)
+		if err := spendRetry(); err != nil {
+			return fmt.Errorf("%w (last refusal: %s)", err, ref.note)
+		}
+		wait := ref.retryAfter + joinJitter.Next()
+		if n := now(); breaker.OpenUntil() > n+wait {
+			wait = breaker.OpenUntil() - n
+		}
+		if err := sleep(wait); err != nil {
+			return err
+		}
+		breaker.Allow(now()) // open → half-open: the next hello is the probe
+		return nil
+	}
+
+	// redial replaces a carrier the server refused (it closes the
+	// connection behind a refusal) with a fresh one and retries the
+	// handshake. Unlike reconnect this does not charge MaxReconnects:
+	// the server is alive and asked us to come back.
+	redial := func(dead *pump) error {
+		dead.stop()
+		c, err := cfg.Dial()
+		if err != nil {
+			return connLostError{fmt.Errorf("cluster: client %d redial: %w", es.ID, err)}
+		}
+		np := startPump(c)
+		setPump(np)
+		return hello(np)
 	}
 
 	// reconnect retires the dead carrier and redials until a handshake
@@ -258,10 +438,11 @@ func RunClient(ctx context.Context, es *core.EndSystem, conn transport.Conn, cfg
 		lastErr := cause
 		for res.Reconnects < maxReconnects {
 			res.Reconnects++
-			select {
-			case <-time.After(reconnectBackoff):
-			case <-ctx.Done():
-				return ctx.Err()
+			if err := spendRetry(); err != nil {
+				return err
+			}
+			if err := sleep(joinJitter.Next()); err != nil {
+				return err
 			}
 			c, err := cfg.Dial()
 			if err != nil {
@@ -271,13 +452,15 @@ func RunClient(ctx context.Context, es *core.EndSystem, conn transport.Conn, cfg
 			np := startPump(c)
 			setPump(np)
 			if err := hello(np); err != nil {
-				np.stop()
 				var ref refusedError
 				if errors.As(err, &ref) {
-					// The server answered and said no (bad token, done
-					// session): redialling cannot change its mind.
+					// The server answered and said no. A terminal refusal
+					// (bad token, done session) ends the run; a hinted one
+					// propagates so recoverConn can wait it out without
+					// charging this budget further.
 					return err
 				}
+				np.stop()
 				if ctx.Err() != nil {
 					return ctx.Err()
 				}
@@ -289,18 +472,49 @@ func RunClient(ctx context.Context, es *core.EndSystem, conn transport.Conn, cfg
 		return fmt.Errorf("cluster: client %d gave up after %d reconnect attempts: %w",
 			es.ID, res.Reconnects, lastErr)
 	}
-	// recoverConn funnels any carrier failure through the reconnect path.
+	// recoverConn funnels every recoverable failure — carrier deaths and
+	// hinted refusals — through its cure until the handshake lands or the
+	// error proves terminal. Only hinted refusals loop (each iteration
+	// waits out a hint, so a shedding server is retried patiently, not
+	// hammered); reconnect handles its own retries internally, so its
+	// non-refusal errors are final.
 	recoverConn := func(err error) error {
-		if !connLost(err) {
-			return err
+		for {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			var ref refusedError
+			if errors.As(err, &ref) && ref.retryable() {
+				if cfg.Dial == nil {
+					// Cannot get a fresh carrier, so the hint is moot;
+					// surface the typed refusal to the caller.
+					return err
+				}
+				if werr := refusalWait(ref); werr != nil {
+					return werr
+				}
+				if err = redial(p); err == nil {
+					return nil
+				}
+				continue
+			}
+			if !connLost(err) || cfg.Dial == nil {
+				return err
+			}
+			if err = reconnect(p, err); err == nil {
+				return nil
+			}
+			if !errors.As(err, &ref) || !ref.retryable() {
+				return err // budget exhausted, or the server said a terminal no
+			}
+			// A hinted refusal met during reconnect: loop to wait it out.
 		}
-		return reconnect(p, err)
 	}
 
-	// Join handshake (with reconnect recovery — the very first exchange
-	// can hit a fault too). recoverConn returns nil only after reconnect
-	// completed a fresh handshake, so it must not be followed by another
-	// hello: the server ignores handshake notes on an established
+	// Join handshake (with full recovery — the very first exchange can
+	// hit a fault or an overloaded server). recoverConn returns nil only
+	// after a complete fresh handshake, so it must not be followed by
+	// another hello: the server ignores handshake notes on an established
 	// session and the client would hang awaiting a second welcome.
 	if err := hello(p); err != nil {
 		if err = recoverConn(err); err != nil {
@@ -314,6 +528,8 @@ func RunClient(ctx context.Context, es *core.EndSystem, conn transport.Conn, cfg
 			return res, fmt.Errorf("cluster: client %d produce step %d: %w", es.ID, i, err)
 		}
 		sendNeeded := true
+		resent := false // Karn's rule: an RTT sample is only clean if the batch was sent exactly once
+		scale := time.Duration(1)
 		var sentAt time.Time
 	delivery:
 		for {
@@ -322,31 +538,59 @@ func RunClient(ctx context.Context, es *core.EndSystem, conn transport.Conn, cfg
 					if err = recoverConn(err); err != nil {
 						return res, fmt.Errorf("cluster: client %d send step %d: %w", es.ID, i, err)
 					}
+					resent = true
 					continue // resumed on a fresh carrier; resend
 				}
 				sendNeeded = false
-				if cfg.GradRTT != nil {
-					sentAt = time.Now()
+				sentAt = time.Now()
+			}
+			// Wait adaptively once the estimator has warmed up: an
+			// RTO-style window (doubling per fire) resends long before
+			// the hard GradTimeout would give up on a reply lost to a
+			// shed or a dropped frame.
+			wait, adaptive := cfg.GradTimeout, false
+			if rtt.Samples() >= 3 {
+				if aw := scale * rtt.Timeout(); cfg.GradTimeout <= 0 || aw < cfg.GradTimeout {
+					wait, adaptive = aw, true
 				}
 			}
-			reply, err := await(p)
+			reply, err := await(p, wait)
 			if err != nil {
+				if adaptive && errors.Is(err, errAwaitTimeout) {
+					if berr := spendRetry(); berr != nil {
+						return res, fmt.Errorf("cluster: client %d step %d: %w", es.ID, i, berr)
+					}
+					res.Resends++
+					resent = true
+					scale *= 2
+					sendNeeded = true
+					continue
+				}
 				if err = recoverConn(err); err != nil {
 					return res, err
 				}
+				resent = true
 				sendNeeded = true // the in-flight batch may be lost; resend
 				continue
 			}
 			switch {
 			case reply.Type == transport.MsgControl && reply.Note == core.RejectedNote:
-				// Backpressure: give the queue a moment and resend the
-				// same batch.
+				// Backpressure (or a brownout park): wait out the server's
+				// hint plus jitter and resend the same batch.
 				res.Rejected++
-				select {
-				case <-time.After(backoff):
-				case <-ctx.Done():
-					return res, ctx.Err()
+				if err := sleep(reply.RetryAfter + rejJitter.Next()); err != nil {
+					return res, err
 				}
+				resent = true
+				sendNeeded = true
+			case reply.Type == transport.MsgControl && reply.Note == core.ExpiredNote:
+				// The server shed the queued batch past its deadline and
+				// rolled its watermark back; resend after the hinted pause.
+				res.Resends++
+				if err := sleep(reply.RetryAfter + rejJitter.Next()); err != nil {
+					return res, err
+				}
+				resent = true
 				sendNeeded = true
 			case reply.Type == transport.MsgControl && reply.Note == core.WelcomeNote:
 				// A duplicated welcome replayed by the network; ignore.
@@ -366,6 +610,9 @@ func RunClient(ctx context.Context, es *core.EndSystem, conn transport.Conn, cfg
 				}
 				if cfg.GradRTT != nil {
 					cfg.GradRTT.ObserveSince(sentAt)
+				}
+				if !resent {
+					rtt.Observe(time.Since(sentAt))
 				}
 				break delivery
 			}

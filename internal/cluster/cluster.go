@@ -53,11 +53,21 @@
 package cluster
 
 import (
+	"fmt"
 	"time"
 
 	"github.com/stsl/stsl/internal/core"
 	"github.com/stsl/stsl/internal/obs"
 )
+
+// StragglerAuto, as Config.StragglerTimeout, derives the straggler
+// deadline from live traffic instead of a fixed constant: the janitor
+// uses 8× the smoothed inter-message gap (an RFC 6298-style estimator
+// fed by every received message), clamped to [250ms, 20s]. A fixed
+// timeout is either too tight for a far end-system or uselessly loose
+// for a near one; the adaptive deadline tracks what "silent too long"
+// means for the cadence the server actually observes.
+const StragglerAuto time.Duration = -1
 
 // Overflow selects what the server does with an activation that arrives
 // while the scheduling queue is at its depth cap.
@@ -84,8 +94,9 @@ type Config struct {
 	// Overflow selects park (default) or reject behaviour at the cap.
 	Overflow Overflow
 	// StragglerTimeout drops a session whose client has been silent for
-	// this long (0 = never). Dropped clients are deactivated in gated
-	// queue policies so they cannot stall a synchronous round.
+	// this long (0 = never; StragglerAuto derives the deadline from the
+	// live inter-message cadence). Dropped clients are deactivated in
+	// gated queue policies so they cannot stall a synchronous round.
 	StragglerTimeout time.Duration
 	// BatchCoalesce caps how many queued activations the worker drains
 	// per PopBatch and stacks into one coalesced forward/backward pass
@@ -164,6 +175,81 @@ type Config struct {
 	// recorder behind the admin listener's /trace endpoint. nil
 	// disables tracing.
 	Tracer *obs.Tracer
+
+	// MaxSessions caps concurrently live sessions (joined, not yet done
+	// or ended). A join beyond the cap is refused with a structured
+	// RefusalOverloaded control reply carrying a RetryAfter hint — the
+	// client backs off and retries — rather than a dropped connection.
+	// Resuming a session the server still holds never counts against the
+	// cap (its slot is already held). 0 = unlimited.
+	MaxSessions int
+	// ShedDepth arms the admission gate's queue-depth input: when
+	// occupancy reaches it the server refuses new joins and enters
+	// brownout, recovering with hysteresis once depth falls back below
+	// roughly half the trip point. 0 disables the depth input.
+	ShedDepth int
+	// ShedLatencyP95 arms the admission gate's latency input: a p95
+	// service latency (enqueue → gradient sent) at or above it trips the
+	// shed gate. 0 disables the latency input.
+	ShedLatencyP95 time.Duration
+	// WorkDeadline stamps every admitted activation with an enqueue
+	// deadline; the worker sheds items that outlive it un-served (counted
+	// in stsl_queue_expired_total) and tells the client to resend, so a
+	// collapsed queue spends model passes only on work whose client is
+	// still waiting for the answer. 0 = no deadline.
+	WorkDeadline time.Duration
+	// SendTimeout bounds any single worker reply send when the carrier
+	// supports write deadlines (TCP and net.Pipe do): a client that stops
+	// reading — a stalled reader — is evicted instead of wedging the
+	// worker that serves everyone behind its backpressure. Carriers
+	// without deadlines keep the blocking behaviour. 0 = no bound.
+	SendTimeout time.Duration
+	// BrownoutCoalesce is the effective BatchCoalesce while the shed
+	// gate is open: brownout drains the backlog in bigger coalesced
+	// passes, trading per-item latency for queue recovery. 0 defaults to
+	// 4×BatchCoalesce (at least 4). Ignored while the gate is closed.
+	BrownoutCoalesce int
+	// RetryAfterHint is the floor of the RetryAfter hint carried by
+	// refusals; the live hint grows to twice the observed p95 service
+	// latency so refused clients retry after the backlog they were
+	// refused over has had time to drain. 0 defaults to 25ms.
+	RetryAfterHint time.Duration
+}
+
+// validate rejects nonsensical knob values at construction with a
+// descriptive error. A negative duration silently treated as "disabled"
+// costs real debugging time in a deployment manifest; fail loudly
+// instead.
+func (c Config) validate() error {
+	if c.StragglerTimeout < 0 && c.StragglerTimeout != StragglerAuto {
+		return fmt.Errorf("cluster: StragglerTimeout must be positive, 0 (off), or StragglerAuto, got %v", c.StragglerTimeout)
+	}
+	if c.ResumeGrace < 0 {
+		return fmt.Errorf("cluster: ResumeGrace must be >= 0, got %v", c.ResumeGrace)
+	}
+	if c.MaxSessions < 0 {
+		return fmt.Errorf("cluster: MaxSessions must be >= 0 (0 = unlimited), got %d", c.MaxSessions)
+	}
+	if c.ShedDepth < 0 {
+		return fmt.Errorf("cluster: ShedDepth must be >= 0 (0 = off), got %d", c.ShedDepth)
+	}
+	if c.BrownoutCoalesce < 0 {
+		return fmt.Errorf("cluster: BrownoutCoalesce must be >= 0 (0 = 4×BatchCoalesce), got %d", c.BrownoutCoalesce)
+	}
+	for _, d := range []struct {
+		name string
+		v    time.Duration
+	}{
+		{"ShedLatencyP95", c.ShedLatencyP95},
+		{"WorkDeadline", c.WorkDeadline},
+		{"SendTimeout", c.SendTimeout},
+		{"RetryAfterHint", c.RetryAfterHint},
+	} {
+		if d.v < 0 {
+			return fmt.Errorf("cluster: %s must be >= 0, got %v", d.name, d.v)
+		}
+	}
+	return nil
 }
 
 func (c Config) withDefaults() Config {
@@ -181,6 +267,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SyncEvery <= 0 {
 		c.SyncEvery = 16
+	}
+	if c.RetryAfterHint == 0 {
+		c.RetryAfterHint = 25 * time.Millisecond
+	}
+	if c.BrownoutCoalesce == 0 {
+		c.BrownoutCoalesce = 4 * c.BatchCoalesce
+		if c.BrownoutCoalesce < 4 {
+			c.BrownoutCoalesce = 4
+		}
 	}
 	return c
 }

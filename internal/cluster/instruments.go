@@ -22,6 +22,8 @@ type instruments struct {
 	parks     *obs.Counter
 	leaves    *obs.Counter
 	evictions *obs.Counter
+	refusals  *obs.Counter
+	brownouts *obs.Counter
 
 	// workers holds one per-stage histogram set per model replica.
 	workers []workerInstruments
@@ -61,6 +63,8 @@ func newInstruments(reg *obs.Registry, workers int) *instruments {
 		parks:       event("park"),
 		leaves:      event("leave"),
 		evictions:   event("evict"),
+		refusals:    event("refuse"),
+		brownouts:   event("brownout-park"),
 		workers:     make([]workerInstruments, workers),
 		syncSeconds: reg.Histogram("stsl_sync_seconds", nil),
 		divergence:  reg.Gauge("stsl_replica_divergence", nil),
@@ -92,6 +96,10 @@ func (s *Server) lifecycle(kind string, client int, note string) {
 			ins.leaves.Inc()
 		case "session.evict":
 			ins.evictions.Inc()
+		case "session.refuse":
+			ins.refusals.Inc()
+		case "session.brownout":
+			ins.brownouts.Inc()
 		}
 	}
 	s.tr.Event(kind, client, -1, note)

@@ -27,6 +27,15 @@ type Snapshot struct {
 	MaxQueueDepth int
 	// Rejected counts activations refused for backpressure.
 	Rejected int
+	// Refused counts join handshakes bounced by admission control — the
+	// session cap or an open shed gate.
+	Refused int
+	// Shed counts queued activations expired past WorkDeadline and shed
+	// un-served.
+	Shed int
+	// Degraded reports whether the shed gate is currently open (brownout
+	// active: joins refused, coalesce widened, newest sessions parked).
+	Degraded bool
 	// Workers is the number of data-parallel model replicas serving the
 	// queue (1 = the classic single model-owning worker).
 	Workers int

@@ -170,6 +170,9 @@ func Run(ctx context.Context, dep *core.Deployment, cfg RunnerConfig) (*RunnerRe
 				Steps:       cfg.StepsPerClient,
 				GradTimeout: cfg.GradTimeout,
 				Now:         now,
+				// Deterministic per-client seed so a seeded run's retry
+				// trace replays exactly.
+				BackoffSeed: uint64(i)*0x9e3779b97f4a7c15 + 1,
 				// Per-client series; a nil registry yields a nil (no-op)
 				// histogram, so this is free when telemetry is off.
 				GradRTT: cfg.Cluster.Obs.Histogram(

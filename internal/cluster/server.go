@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,6 +14,7 @@ import (
 	"github.com/stsl/stsl/internal/mathx"
 	"github.com/stsl/stsl/internal/metrics"
 	"github.com/stsl/stsl/internal/obs"
+	"github.com/stsl/stsl/internal/overload"
 	"github.com/stsl/stsl/internal/paramsync"
 	"github.com/stsl/stsl/internal/queue"
 	"github.com/stsl/stsl/internal/transport"
@@ -67,6 +70,17 @@ type session struct {
 	// already-served seq is answered from here rather than reprocessed —
 	// the other half of exactly-once.
 	lastReply *transport.Message
+	// joinOrder is the session's admission rank (the value of
+	// Server.joined at register time) — brownout parks the newest
+	// sessions first, since they have the least sunk training progress.
+	joinOrder int
+	// brownout marks a session parked by the shed gate: its new
+	// activations are bounced with RefusalRetryLater until the gate
+	// closes. Resends of already-admitted work are answered as usual.
+	brownout bool
+	// retired guards the live-session count: set on the first of
+	// done/ended, so a session frees its MaxSessions slot exactly once.
+	retired bool
 }
 
 // protocolViolation marks receive-loop errors that are the peer's fault.
@@ -109,6 +123,19 @@ type Server struct {
 	qIns *queue.Instruments
 	tr   *obs.Tracer
 
+	// Overload control plane. gate is the hysteresis admission gate (nil
+	// when neither ShedDepth nor ShedLatencyP95 is set), svcLat the
+	// service-latency histogram feeding its p95 input (always non-nil:
+	// registry-backed under Obs, standalone otherwise), gapRTT the
+	// inter-message-gap estimator behind StragglerAuto.
+	gate   *overload.Gate
+	svcLat *obs.Histogram
+	gapRTT *overload.RTTEstimator
+	// effCoalesce is the live PopBatch cap: BatchCoalesce normally,
+	// BrownoutCoalesce while the shed gate is open. Workers read it per
+	// iteration without taking s.mu.
+	effCoalesce atomic.Int32
+
 	ctx    context.Context
 	cancel context.CancelFunc
 	// wg tracks the supervisor and janitor; workerWG tracks the pool
@@ -128,11 +155,21 @@ type Server struct {
 	// mode only (the pool tracks its own counter under pool.mu).
 	ckptDue int
 
-	mu          sync.Mutex
-	cond        *sync.Cond
-	sessions    map[int]*session
-	tokens      *mathx.RNG
-	joined      int
+	mu       sync.Mutex
+	cond     *sync.Cond
+	sessions map[int]*session
+	tokens   *mathx.RNG
+	joined   int
+	// live counts sessions still holding an admission slot (joined,
+	// neither done nor ended) — the MaxSessions denominator.
+	live int
+	// refused counts joins bounced by admission control; shed counts
+	// queued activations expired past WorkDeadline; degraded mirrors the
+	// shed gate's open state; brownouts counts closed→open transitions.
+	refused     int
+	shed        int
+	degraded    bool
+	brownouts   int
 	steps       int
 	rejected    int
 	checkpoints int
@@ -164,6 +201,9 @@ func NewServer(srv *core.Server, cfg Config) (*Server, error) {
 	case "", OverflowPark, OverflowReject:
 	default:
 		return nil, fmt.Errorf("cluster: unknown overflow mode %q (want park or reject)", cfg.Overflow)
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
 	safe, ok := srv.Queue.(*queue.Safe)
 	if !ok {
@@ -203,6 +243,29 @@ func NewServer(srv *core.Server, cfg Config) (*Server, error) {
 			srv.Instr = core.NewServerInstruments(cfg.Obs)
 		}
 	}
+	if cfg.ShedDepth > 0 || cfg.ShedLatencyP95 > 0 {
+		gate, err := overload.NewGate(overload.GateConfig{
+			MaxDepth: cfg.ShedDepth, MaxLatency: cfg.ShedLatencyP95,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.gate = gate
+	}
+	// The service-latency histogram feeds the gate's p95 input and the
+	// RetryAfter hint, so it must exist even without a registry; under
+	// Obs it is also exported as stsl_service_seconds.
+	if cfg.Obs != nil {
+		s.svcLat = cfg.Obs.Histogram("stsl_service_seconds", nil)
+	} else {
+		s.svcLat = new(obs.Histogram)
+	}
+	s.gapRTT = overload.NewRTTEstimator(time.Millisecond, 2500*time.Millisecond)
+	bc := cfg.BatchCoalesce
+	if bc < 1 {
+		bc = 1
+	}
+	s.effCoalesce.Store(int32(bc))
 	if cfg.Workers > 1 {
 		if cfg.NewReplica == nil {
 			return nil, fmt.Errorf("cluster: Workers=%d needs a NewReplica factory", cfg.Workers)
@@ -263,9 +326,11 @@ func (s *Server) Start(ctx context.Context) error {
 	// Session tokens need to be unguessable across server restarts, not
 	// cryptographically strong; wall-clock seeding is enough.
 	s.tokens = mathx.NewRNG(uint64(time.Now().UnixNano()) | 1)
+	// ctx is assigned under the same lock that publishes started, so
+	// Health() can read both consistently from any goroutine.
+	s.ctx, s.cancel = context.WithCancel(ctx)
 	s.mu.Unlock()
 
-	s.ctx, s.cancel = context.WithCancel(ctx)
 	s.startWall = time.Now()
 	s.now = s.cfg.Now
 	if s.now == nil {
@@ -295,7 +360,10 @@ func (s *Server) Start(ctx context.Context) error {
 	// quiescent, and folds the replicas into the primary for Core().
 	s.wg.Add(1)
 	go s.supervise()
-	if s.cfg.StragglerTimeout > 0 || s.cfg.ResumeGrace > 0 {
+	// The janitor also drives shed-gate recovery: with no arrivals and an
+	// idle worker nothing else would feed the gate, and an open gate
+	// would never close after the storm that tripped it drains.
+	if s.cfg.StragglerTimeout != 0 || s.cfg.ResumeGrace > 0 || s.gate != nil {
 		s.wg.Add(1)
 		go s.janitor()
 	}
@@ -318,10 +386,6 @@ func (s *Server) worker(id int, rep *core.Server) {
 	if pooled {
 		defer s.pool.exit()
 	}
-	batchMax := s.cfg.BatchCoalesce
-	if batchMax < 1 {
-		batchMax = 1
-	}
 	// telemetry gates every clock read on the hot path: with Obs and
 	// Tracer unset the loop runs exactly as before, one bool check per
 	// stage.
@@ -341,7 +405,18 @@ func (s *Server) worker(id int, rep *core.Server) {
 		}
 		var items []queue.Item
 		for {
-			items = s.q.PopBatch(s.now(), batchMax)
+			// The batch cap is read per draw: brownout widens it while the
+			// shed gate is open so the backlog drains in fewer passes.
+			batchMax := int(s.effCoalesce.Load())
+			if s.cfg.WorkDeadline > 0 {
+				var dead []queue.Item
+				items, dead = s.q.PopBatchDeadline(s.now(), batchMax)
+				for _, it := range dead {
+					s.shedExpired(it)
+				}
+			} else {
+				items = s.q.PopBatch(s.now(), batchMax)
+			}
 			if len(items) > 0 {
 				break
 			}
@@ -430,6 +505,11 @@ func (s *Server) worker(id int, rep *core.Server) {
 // the pool counter (which may arm a sync barrier) at Workers > 1, the
 // classic per-step checkpoint check otherwise.
 func (s *Server) accountSteps(pooled bool, n int) {
+	if s.gate != nil {
+		// Post-serve gate refresh: brownout must track the backlog as the
+		// worker drains it, not only at janitor ticks.
+		s.refreshGate()
+	}
 	if pooled {
 		wantCkpt := s.cfg.Checkpoint != nil && s.cfg.CheckpointEvery > 0
 		s.pool.account(n, wantCkpt, s.cfg.CheckpointEvery)
@@ -532,13 +612,25 @@ func (s *Server) deliver(it queue.Item, reply *transport.Message, now time.Durat
 		parked = sess.parked
 	}
 	s.mu.Unlock()
+	// Service latency — enqueue to gradient ready — is the admission
+	// gate's p95 input and the basis of the RetryAfter hint.
+	s.svcLat.Observe(it.Staleness(s.now()).Seconds())
 	if sess == nil {
 		return // client left before its item was served
 	}
 	if parked {
 		return // no live carrier; the cached reply waits for the resume
 	}
-	if err := conn.Send(reply); err != nil {
+	if err := s.sendTimed(conn, reply); err != nil {
+		if errors.Is(err, os.ErrDeadlineExceeded) {
+			// A stalled reader: the client is alive but not draining its
+			// side, so its TCP window filled and the send overran
+			// SendTimeout. Parking would leave the cached reply waiting on
+			// a wedged peer; evict so the worker that serves everyone is
+			// never blocked on it again.
+			s.evict(sess.id, fmt.Errorf("cluster: client %d stalled reading its reply for %v", sess.id, s.cfg.SendTimeout))
+			return
+		}
 		if s.cfg.ResumeGrace > 0 {
 			// The carrier died between enqueue and reply. The receive
 			// loop will park the session, and the cached reply covers
@@ -552,6 +644,166 @@ func (s *Server) deliver(it queue.Item, reply *transport.Message, now time.Durat
 			sess.err = fmt.Errorf("cluster: send gradient to client %d: %w", sess.id, err)
 		}
 		s.mu.Unlock()
+	}
+}
+
+// sendTimed sends one worker-originated message, bounding the write
+// with Config.SendTimeout when the carrier supports write deadlines. A
+// deadline overrun leaves the carrier's buffered framing state
+// undefined, so callers must treat the connection as dead afterwards.
+func (s *Server) sendTimed(conn transport.Conn, m *transport.Message) error {
+	type writeDeadliner interface{ SetWriteDeadline(time.Time) error }
+	if s.cfg.SendTimeout > 0 {
+		if wd, ok := conn.(writeDeadliner); ok {
+			_ = wd.SetWriteDeadline(time.Now().Add(s.cfg.SendTimeout))
+			err := conn.Send(m)
+			_ = wd.SetWriteDeadline(time.Time{})
+			return err
+		}
+	}
+	return conn.Send(m)
+}
+
+// shedExpired finishes one deadline-shed item: its client has been
+// waiting longer than WorkDeadline, so instead of a model pass it gets
+// a RefusalExpired notice telling it to resend (the adaptive-timeout
+// client will already be about to). The dedup watermark is rolled back
+// under the lock so the resend is admitted rather than mistaken for a
+// duplicate of the batch that was never trained on.
+func (s *Server) shedExpired(it queue.Item) {
+	s.mu.Lock()
+	s.shed++
+	sess := s.sessions[it.ClientID()]
+	var conn transport.Conn
+	parked := true
+	if sess != nil {
+		sess.pending.Add(-1)
+		sess.lastActive.Store(int64(s.now()))
+		if sess.maxAdmitted == it.Msg.Seq {
+			// Lock-step means the shed seq still holds the watermark
+			// unless a newer admission already superseded it.
+			sess.maxAdmitted = it.Msg.Seq - 1
+		}
+		conn, parked = sess.conn, sess.parked
+	}
+	hint := s.retryAfterHint()
+	s.mu.Unlock()
+	if sess == nil || parked || conn == nil {
+		return
+	}
+	_ = s.sendTimed(conn, &transport.Message{
+		Type: transport.MsgControl, ClientID: it.ClientID(), Seq: it.Msg.Seq,
+		Note: core.ExpiredNote, Code: transport.RefusalExpired,
+		RetryAfter: hint, SentAt: s.now(),
+	})
+}
+
+// retryAfterHint is the backoff hint attached to refusals and sheds:
+// the configured floor, raised to twice the observed p95 service
+// latency so a refused client's retry lands after the backlog it was
+// refused over has had time to drain, capped at 2s.
+func (s *Server) retryAfterHint() time.Duration {
+	hint := s.cfg.RetryAfterHint
+	if p95 := time.Duration(2 * s.svcLat.Quantile(0.95) * float64(time.Second)); p95 > hint {
+		hint = p95
+	}
+	if hint > 2*time.Second {
+		hint = 2 * time.Second
+	}
+	return hint
+}
+
+// refreshGate feeds the admission gate its live inputs — queue depth
+// and p95 service latency — and applies the brownout transition when
+// the open state flips. Callers must not hold s.mu.
+func (s *Server) refreshGate() bool {
+	if s.gate == nil {
+		return false
+	}
+	p95 := time.Duration(s.svcLat.Quantile(0.95) * float64(time.Second))
+	open := s.gate.Update(s.now(), s.q.Len(), p95)
+	s.mu.Lock()
+	if open != s.degraded {
+		s.setDegradedLocked(open)
+	}
+	s.mu.Unlock()
+	return open
+}
+
+// setDegradedLocked flips the brownout machinery with the shed gate:
+// widen the effective coalesce so workers drain the backlog in bigger
+// passes, and park the newest quarter of live training sessions — the
+// least sunk progress — behind RetryLater bounces until the gate
+// closes, when both levers revert automatically. Caller must hold s.mu.
+func (s *Server) setDegradedLocked(open bool) {
+	s.degraded = open
+	if !open {
+		bc := s.cfg.BatchCoalesce
+		if bc < 1 {
+			bc = 1
+		}
+		s.effCoalesce.Store(int32(bc))
+		for _, sess := range s.sessions {
+			sess.brownout = false
+		}
+		return
+	}
+	s.brownouts++
+	s.effCoalesce.Store(int32(s.cfg.BrownoutCoalesce))
+	var live []*session
+	for _, sess := range s.sessions {
+		if !sess.retired && !sess.parked {
+			live = append(live, sess)
+		}
+	}
+	if len(live) < 2 {
+		return // a lone session is the only source of progress; keep it
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i].joinOrder > live[j].joinOrder })
+	n := (len(live) + 3) / 4
+	if n >= len(live) {
+		n = len(live) - 1
+	}
+	for _, sess := range live[:n] {
+		sess.brownout = true
+		s.lifecycle("session.brownout", sess.id, "")
+	}
+}
+
+// admissionLocked decides whether a fresh session may join right now:
+// refused past the MaxSessions cap or while the shed gate is open.
+// Caller must hold s.mu.
+func (s *Server) admissionLocked() (transport.RefusalCode, string) {
+	if s.cfg.MaxSessions > 0 && s.live >= s.cfg.MaxSessions {
+		return transport.RefusalOverloaded, "session cap reached"
+	}
+	if s.degraded {
+		return transport.RefusalOverloaded, "load shed"
+	}
+	return transport.RefusalNone, ""
+}
+
+// refuse sends a structured admission refusal and counts it. Caller
+// must hold s.mu; refuse unlocks it.
+func (s *Server) refuse(conn transport.Conn, clientID int, code transport.RefusalCode, why string) {
+	s.refused++
+	hint := s.retryAfterHint()
+	s.lifecycle("session.refuse", clientID, why)
+	s.mu.Unlock()
+	_ = conn.Send(&transport.Message{
+		Type: transport.MsgControl, ClientID: clientID,
+		Note: core.RefusedNote + ": " + why, Code: code,
+		RetryAfter: hint, SentAt: s.now(),
+	})
+}
+
+// retireLocked frees a session's admission slot exactly once — on the
+// first of done/ended — so MaxSessions counts only sessions that can
+// still contribute work. Caller must hold s.mu.
+func (s *Server) retireLocked(sess *session) {
+	if !sess.retired {
+		sess.retired = true
+		s.live--
 	}
 }
 
@@ -600,6 +852,7 @@ func (s *Server) evict(clientID int, cause error) {
 			// recorded when its receive loop ends.
 			sess.ended = true
 			sess.parked = false
+			s.retireLocked(sess)
 			s.lifecycle("session.evict", clientID, cause.Error())
 		}
 		conn = sess.conn
@@ -627,6 +880,13 @@ func (s *Server) janitor() {
 	if period < 5*time.Millisecond {
 		period = 5 * time.Millisecond
 	}
+	if s.cfg.StragglerTimeout == StragglerAuto || s.gate != nil {
+		// Adaptive deadlines and shed-gate recovery both need a steady
+		// cadence independent of the configured constants.
+		if period > 25*time.Millisecond {
+			period = 25 * time.Millisecond
+		}
+	}
 	t := time.NewTicker(period)
 	defer t.Stop()
 	for {
@@ -635,7 +895,11 @@ func (s *Server) janitor() {
 			return
 		case <-t.C:
 		}
+		if s.gate != nil {
+			s.refreshGate()
+		}
 		now := s.now()
+		strag := s.stragglerDeadline()
 		var drop []*session
 		var conns []transport.Conn
 		s.mu.Lock()
@@ -651,19 +915,20 @@ func (s *Server) janitor() {
 					// No receive loop remains to record the end.
 					sess.ended = true
 					sess.parked = false
+					s.retireLocked(sess)
 					s.lifecycle("session.evict", sess.id, "resume grace expired")
 					drop = append(drop, sess)
 					conns = append(conns, sess.conn)
 				}
 				continue
 			}
-			if s.cfg.StragglerTimeout <= 0 || sess.pending.Load() > 0 {
+			if strag <= 0 || sess.pending.Load() > 0 {
 				// A session with queued work is waiting on the server,
 				// not the other way round.
 				continue
 			}
 			idle := now - time.Duration(sess.lastActive.Load())
-			if idle > s.cfg.StragglerTimeout {
+			if idle > strag {
 				sess.err = fmt.Errorf("cluster: client %d dropped as straggler after %v silence",
 					sess.id, idle.Round(time.Millisecond))
 				sess.closed.Store(true)
@@ -680,6 +945,27 @@ func (s *Server) janitor() {
 			s.q.Deactivate(sess.id)
 		}
 	}
+}
+
+// stragglerDeadline resolves the live straggler timeout: the configured
+// constant, or — with StragglerAuto — 8× the smoothed inter-message gap
+// (RFC 6298 style, fed by every received message), clamped to
+// [250ms, 20s]. Before any traffic the estimator sits at its ceiling,
+// so the adaptive deadline starts conservative and tightens as real
+// cadence data arrives.
+func (s *Server) stragglerDeadline() time.Duration {
+	d := s.cfg.StragglerTimeout
+	if d != StragglerAuto {
+		return d
+	}
+	d = 8 * s.gapRTT.Timeout()
+	if d < 250*time.Millisecond {
+		d = 250 * time.Millisecond
+	}
+	if d > 20*time.Second {
+		d = 20 * time.Second
+	}
+	return d
 }
 
 // Attach hands a freshly accepted connection to the server. The session
@@ -713,11 +999,11 @@ func (s *Server) sessionLoop(conn transport.Conn) {
 	defer stop()
 
 	// A connection that never introduces itself is a pre-join straggler
-	// the janitor cannot see (it only scans joined sessions), so the
-	// handshake wait gets its own timeout bound.
+	// the janitor cannot see (it only scans joined sessions) — the
+	// slow-loris pattern — so the handshake wait gets its own timeout.
 	var joinTimer *time.Timer
-	if s.cfg.StragglerTimeout > 0 {
-		joinTimer = time.AfterFunc(s.cfg.StragglerTimeout, func() { conn.Close() })
+	if d := s.stragglerDeadline(); d > 0 {
+		joinTimer = time.AfterFunc(d, func() { conn.Close() })
 	}
 	first, err := conn.Recv()
 	if joinTimer != nil {
@@ -732,6 +1018,11 @@ func (s *Server) sessionLoop(conn transport.Conn) {
 			Type: transport.MsgControl, Note: core.AbortNote + ": expected join", SentAt: s.now(),
 		})
 		return
+	}
+	// Admission decisions want a fresh view of the gate, not one from the
+	// last arrival or janitor tick.
+	if s.gate != nil {
+		s.refreshGate()
 	}
 	var sess *session
 	if first.Note == core.ResumeNote {
@@ -763,6 +1054,8 @@ func (s *Server) registerLocked(id int, conn transport.Conn) *session {
 	sess.lastActive.Store(int64(s.now()))
 	s.sessions[id] = sess
 	s.joined++
+	s.live++
+	sess.joinOrder = s.joined
 	s.lifecycle("session.join", id, "")
 	s.cond.Broadcast()
 	return sess
@@ -787,10 +1080,21 @@ func (s *Server) join(conn transport.Conn, first *transport.Message) *session {
 		})
 		return nil
 	}
+	displacing := exists && !old.ended
+	if !displacing {
+		// Admission control applies only to joins that would consume a
+		// new slot; displacing a parked incarnation swaps slots 1:1 and
+		// must survive overload — it is how a wedged client recovers.
+		if code, why := s.admissionLocked(); code != transport.RefusalNone {
+			s.refuse(conn, first.ClientID, code, why)
+			return nil
+		}
+	}
 	var oldConn transport.Conn
-	if exists && !old.ended {
+	if displacing {
 		old.ended = true
 		old.parked = false
+		s.retireLocked(old)
 		oldConn = old.conn
 	}
 	sess := s.registerLocked(first.ClientID, conn)
@@ -817,6 +1121,13 @@ func (s *Server) resume(conn transport.Conn, first *transport.Message) *session 
 	s.mu.Lock()
 	sess, ok := s.sessions[first.ClientID]
 	if !ok || sess.ended {
+		// Resume-as-fresh-join consumes a new slot, so it faces the same
+		// admission control as a join. A genuine resume below does not:
+		// its slot is already held.
+		if code, why := s.admissionLocked(); code != transport.RefusalNone {
+			s.refuse(conn, first.ClientID, code, why)
+			return nil
+		}
 		sess = s.registerLocked(first.ClientID, conn)
 		s.mu.Unlock()
 		return sess
@@ -856,7 +1167,17 @@ func (s *Server) receive(sess *session, conn transport.Conn) error {
 		if err != nil {
 			return err
 		}
-		sess.lastActive.Store(int64(s.now()))
+		if s.cfg.StragglerTimeout == StragglerAuto {
+			// Feed the adaptive straggler deadline with the session's
+			// inter-message gap (or time since its last serve — deliver
+			// also restarts the clock, which is the cadence that matters).
+			now := s.now()
+			if prev := sess.lastActive.Swap(int64(now)); time.Duration(prev) < now {
+				s.gapRTT.Observe(now - time.Duration(prev))
+			}
+		} else {
+			sess.lastActive.Store(int64(s.now()))
+		}
 		switch msg.Type {
 		case transport.MsgActivation:
 			if msg.ClientID != sess.id {
@@ -873,6 +1194,7 @@ func (s *Server) receive(sess *session, conn transport.Conn) error {
 			if msg.Note == core.DoneNote {
 				s.mu.Lock()
 				sess.done = true
+				s.retireLocked(sess)
 				s.cond.Broadcast()
 				s.mu.Unlock()
 				s.q.Deactivate(sess.id)
@@ -905,6 +1227,20 @@ func (s *Server) admit(sess *session, conn transport.Conn, msg *transport.Messag
 		}
 		return nil
 	}
+	if sess.brownout {
+		// The shed gate parked this session: bounce the new batch with a
+		// RetryLater hint before claiming the seq, so the mandated resend
+		// is admitted normally once the gate closes. The note reuses
+		// RejectedNote — a pre-refusal client treats it as ordinary
+		// backpressure and resends after its fixed pause.
+		hint := s.retryAfterHint()
+		s.mu.Unlock()
+		return conn.Send(&transport.Message{
+			Type: transport.MsgControl, ClientID: sess.id, Seq: msg.Seq,
+			Note: core.RejectedNote, Code: transport.RefusalRetryLater,
+			RetryAfter: hint, SentAt: s.now(),
+		})
+	}
 	prev := sess.maxAdmitted
 	sess.maxAdmitted = msg.Seq
 	s.mu.Unlock()
@@ -920,6 +1256,9 @@ func (s *Server) admit(sess *session, conn transport.Conn, msg *transport.Messag
 	}
 
 	it := queue.Item{Msg: msg, ArrivedAt: s.now()}
+	if s.cfg.WorkDeadline > 0 {
+		it.Deadline = it.ArrivedAt + s.cfg.WorkDeadline
+	}
 	// Count the work as pending before it becomes poppable, so the
 	// janitor never sees a gap between push and accounting.
 	sess.pending.Add(1)
@@ -997,6 +1336,7 @@ func (s *Server) finishSession(sess *session, conn transport.Conn, err error) {
 	wasEnded := sess.ended
 	sess.ended = true
 	sess.parked = false
+	s.retireLocked(sess)
 	if sess.err == nil {
 		sess.err = err
 	}
@@ -1126,6 +1466,9 @@ func (s *Server) Snapshot() Snapshot {
 		Workers:           len(s.replicas),
 		ServerSteps:       s.steps,
 		Rejected:          s.rejected,
+		Refused:           s.refused,
+		Shed:              s.shed,
+		Degraded:          s.degraded,
 		Checkpoints:       s.checkpoints,
 		LastLoss:          s.lastLoss,
 		Syncs:             s.syncs,

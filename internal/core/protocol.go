@@ -33,6 +33,16 @@ const (
 	ResumeNote = "resume"
 	// AbortNote tells a client the server is shutting down.
 	AbortNote = "abort"
+	// RefusedNote prefixes an admission-control refusal of a join or
+	// resume-as-fresh-join: the server is at its session cap or its shed
+	// gate is open. The transport-level refusal code carries the
+	// machine-readable class and RetryAfter the backoff hint; the note
+	// stays human-readable for logs and legacy decoders.
+	RefusedNote = "refused"
+	// ExpiredNote tells a client its queued activation was shed past its
+	// enqueue deadline without being served; the client should resend it
+	// (the server rolled its dedup watermark back to admit the resend).
+	ExpiredNote = "expired"
 )
 
 // RunClient drives an end-system over a real connection for the given

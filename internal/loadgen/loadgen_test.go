@@ -1,0 +1,131 @@
+package loadgen
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// count arrivals in [lo, hi).
+func within(arr []time.Duration, lo, hi time.Duration) int {
+	n := 0
+	for _, t := range arr {
+		if t >= lo && t < hi {
+			n++
+		}
+	}
+	return n
+}
+
+func TestArrivalsValidation(t *testing.T) {
+	cases := []Config{
+		{},
+		{Shape: ShapePoisson, Rate: 0, Duration: time.Second},
+		{Shape: ShapePoisson, Rate: 10, Duration: 0},
+		{Shape: "bursty", Rate: 10, Duration: time.Second},
+		{Shape: ShapeDiurnal, Rate: 10, Duration: time.Second, Floor: 1.5},
+	}
+	for i, cfg := range cases {
+		if _, err := Arrivals(cfg); err == nil {
+			t.Errorf("case %d: Arrivals(%+v) accepted invalid config", i, cfg)
+		}
+	}
+	if _, err := ParseShape("nope"); err == nil {
+		t.Error("ParseShape accepted unknown shape")
+	}
+}
+
+func TestPoissonTrace(t *testing.T) {
+	cfg := Config{Shape: ShapePoisson, Rate: 200, Duration: 10 * time.Second, Seed: 7}
+	arr, err := Arrivals(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean 2000 arrivals, σ = √2000 ≈ 45; ±5σ is a once-per-3.5M-runs
+	// flake bound, and the seed is fixed anyway.
+	mean := cfg.Rate * cfg.Duration.Seconds()
+	if dev := math.Abs(float64(len(arr)) - mean); dev > 5*math.Sqrt(mean) {
+		t.Fatalf("got %d arrivals, want %g±%g", len(arr), mean, 5*math.Sqrt(mean))
+	}
+	for i, at := range arr {
+		if at < 0 || at >= cfg.Duration {
+			t.Fatalf("arrival %d at %v outside [0, %v)", i, at, cfg.Duration)
+		}
+		if i > 0 && at < arr[i-1] {
+			t.Fatalf("arrivals not sorted: [%d]=%v < [%d]=%v", i, at, i-1, arr[i-1])
+		}
+	}
+}
+
+// TestDeterminism: the same Config must yield the identical trace — the
+// property that makes a chaos run replayable from its seed.
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Shape: ShapeFlash, Rate: 50, Duration: 5 * time.Second, Seed: 42}
+	a, err := Arrivals(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Arrivals(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	cfg.Seed = 43
+	c, _ := Arrivals(cfg)
+	same := len(a) == len(c)
+	for i := 0; same && i < len(a); i++ {
+		same = a[i] == c[i]
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestFlashCrowdDensity(t *testing.T) {
+	cfg := Config{
+		Shape: ShapeFlash, Rate: 100, Duration: 12 * time.Second, Seed: 3,
+		SpikeAt: 4 * time.Second, SpikeFor: 2 * time.Second, SpikeX: 8,
+	}
+	arr, err := Arrivals(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inSpike := within(arr, cfg.SpikeAt, cfg.SpikeAt+cfg.SpikeFor)
+	base := within(arr, 0, cfg.SpikeAt)
+	// Per-second densities: spike ≈ 800/s over 2s, base ≈ 100/s over 4s.
+	spikeRate := float64(inSpike) / cfg.SpikeFor.Seconds()
+	baseRate := float64(base) / cfg.SpikeAt.Seconds()
+	if spikeRate < 4*baseRate {
+		t.Fatalf("spike density %.1f/s not clearly above base %.1f/s (want ≥4×)", spikeRate, baseRate)
+	}
+	wantSpike := cfg.Rate * cfg.SpikeX * cfg.SpikeFor.Seconds()
+	if dev := math.Abs(float64(inSpike) - wantSpike); dev > 5*math.Sqrt(wantSpike) {
+		t.Fatalf("spike window has %d arrivals, want %g±%g", inSpike, wantSpike, 5*math.Sqrt(wantSpike))
+	}
+}
+
+func TestDiurnalModulation(t *testing.T) {
+	cfg := Config{
+		Shape: ShapeDiurnal, Rate: 400, Duration: 10 * time.Second, Seed: 11,
+		Period: 10 * time.Second, Floor: 0.1,
+	}
+	arr, err := Arrivals(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trough at the edges, peak mid-trace: the central fifth must be
+	// several times denser than the first fifth.
+	fifth := cfg.Duration / 5
+	trough := within(arr, 0, fifth)
+	peak := within(arr, 2*fifth, 3*fifth)
+	if peak < 3*trough {
+		t.Fatalf("diurnal peak (%d) not clearly denser than trough (%d)", peak, trough)
+	}
+}

@@ -19,6 +19,12 @@ type AdminConfig struct {
 	// typically a superset of the runtime's metric snapshot). nil serves
 	// a minimal liveness object.
 	Statusz func() any
+	// Healthz supplies /healthz: ok maps to HTTP 200, !ok to 503, and
+	// the payload is served as JSON either way — so load balancers and
+	// probes can gate on the status code while operators read the
+	// detail. nil serves a minimal {"state":"live"} 200 (liveness only,
+	// no readiness signal).
+	Healthz func() (ok bool, payload any)
 }
 
 // NewAdminMux builds the admin HTTP handler:
@@ -40,7 +46,20 @@ func NewAdminMux(cfg AdminConfig) *http.ServeMux {
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprint(w, "stsl admin endpoints:\n  /metrics\n  /statusz\n  /trace\n  /debug/pprof/\n")
+		fmt.Fprint(w, "stsl admin endpoints:\n  /healthz\n  /metrics\n  /statusz\n  /trace\n  /debug/pprof/\n")
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		ok, payload := true, any(map[string]any{"state": "live"})
+		if cfg.Healthz != nil {
+			ok, payload = cfg.Healthz()
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if !ok {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(payload)
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

@@ -98,14 +98,53 @@ func TestAdminEndpoints(t *testing.T) {
 }
 
 // TestAdminEmptyConfig: every endpoint must degrade gracefully with no
-// registry, tracer, or statusz wired.
+// registry, tracer, statusz, or healthz wired.
 func TestAdminEmptyConfig(t *testing.T) {
 	srv := httptest.NewServer(NewAdminMux(AdminConfig{}))
 	defer srv.Close()
-	for _, path := range []string{"/metrics", "/statusz", "/trace"} {
+	for _, path := range []string{"/healthz", "/metrics", "/statusz", "/trace"} {
 		if code, _, _ := get(t, srv, path); code != http.StatusOK {
 			t.Fatalf("%s status %d with empty config", path, code)
 		}
+	}
+}
+
+// TestAdminHealthz: the healthz hook's ok flag must drive the status code
+// (200 vs 503) while the payload is served as JSON either way — that is
+// the contract load balancers and probes gate on.
+func TestAdminHealthz(t *testing.T) {
+	ok := true
+	cfg := AdminConfig{Healthz: func() (bool, any) {
+		return ok, map[string]any{"state": map[bool]string{true: "ready", false: "degraded"}[ok]}
+	}}
+	srv := httptest.NewServer(NewAdminMux(cfg))
+	defer srv.Close()
+
+	code, body, hdr := get(t, srv, "/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("healthy /healthz status %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Fatalf("/healthz content type %q", ct)
+	}
+	var payload map[string]any
+	if err := json.Unmarshal([]byte(body), &payload); err != nil {
+		t.Fatalf("/healthz not JSON: %v\n%s", err, body)
+	}
+	if payload["state"] != "ready" {
+		t.Fatalf("/healthz payload wrong: %v", payload)
+	}
+
+	ok = false
+	code, body, _ = get(t, srv, "/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("degraded /healthz status %d, want 503", code)
+	}
+	if err := json.Unmarshal([]byte(body), &payload); err != nil {
+		t.Fatalf("degraded /healthz not JSON: %v\n%s", err, body)
+	}
+	if payload["state"] != "degraded" {
+		t.Fatalf("degraded /healthz payload wrong: %v", payload)
 	}
 }
 

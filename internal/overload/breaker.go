@@ -1,0 +1,124 @@
+package overload
+
+import "time"
+
+// BreakerState is the circuit breaker's position.
+type BreakerState uint8
+
+const (
+	// BreakerClosed passes traffic; failures are being counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen refuses traffic until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen passes a probe; its outcome closes or re-opens.
+	BreakerHalfOpen
+)
+
+// String implements fmt.Stringer.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// BreakerConfig parameterises a Breaker. Zero values take defaults.
+type BreakerConfig struct {
+	// Threshold is the count of consecutive failures that trips the
+	// breaker open (default 4).
+	Threshold int
+	// Cooldown is the first open period; each subsequent trip doubles it
+	// (default 50ms).
+	Cooldown time.Duration
+	// MaxCooldown caps the doubling (default 5s).
+	MaxCooldown time.Duration
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold <= 0 {
+		c.Threshold = 4
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 50 * time.Millisecond
+	}
+	if c.MaxCooldown <= 0 {
+		c.MaxCooldown = 5 * time.Second
+	}
+	return c
+}
+
+// Breaker is a client-side circuit breaker over server refusals: after
+// Threshold consecutive failures it opens and all attempts are refused
+// locally until the cooldown elapses; the next attempt is a half-open
+// probe whose outcome closes the breaker or re-opens it with a doubled
+// cooldown. A server RetryAfter hint passed to Failure extends the
+// cooldown — the breaker never schedules a probe earlier than the server
+// asked for.
+//
+// Time is injected; not safe for concurrent use.
+type Breaker struct {
+	cfg         BreakerConfig
+	state       BreakerState
+	consecutive int
+	trips       int
+	openUntil   time.Duration
+}
+
+// NewBreaker constructs a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults()}
+}
+
+// Allow reports whether an attempt may proceed now. An open breaker whose
+// cooldown has elapsed transitions to half-open and allows the probe.
+func (b *Breaker) Allow(now time.Duration) bool {
+	if b.state == BreakerOpen {
+		if now < b.openUntil {
+			return false
+		}
+		b.state = BreakerHalfOpen
+	}
+	return true
+}
+
+// Failure records a refused or failed attempt. hint is the server's
+// RetryAfter (0 when none); an open period is never shorter than it.
+func (b *Breaker) Failure(now, hint time.Duration) {
+	b.consecutive++
+	if b.state != BreakerHalfOpen && b.consecutive < b.cfg.Threshold {
+		return
+	}
+	cool := b.cfg.Cooldown << uint(min(b.trips, 16))
+	if cool > b.cfg.MaxCooldown {
+		cool = b.cfg.MaxCooldown
+	}
+	if cool < hint {
+		cool = hint
+	}
+	b.trips++
+	b.state = BreakerOpen
+	b.openUntil = now + cool
+}
+
+// Success records a served attempt: the breaker closes and all escalation
+// state resets.
+func (b *Breaker) Success() {
+	b.state = BreakerClosed
+	b.consecutive = 0
+	b.trips = 0
+	b.openUntil = 0
+}
+
+// State reports the breaker's position (telemetry and tests).
+func (b *Breaker) State() BreakerState { return b.state }
+
+// OpenUntil reports when the current open period ends (0 when never
+// tripped); callers use it to sleep out the cooldown instead of spinning
+// on Allow.
+func (b *Breaker) OpenUntil() time.Duration { return b.openUntil }

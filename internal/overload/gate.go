@@ -1,0 +1,135 @@
+package overload
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// GateConfig parameterises the admission gate. The gate is disabled (all
+// Updates keep it closed) unless at least one trip input is set.
+type GateConfig struct {
+	// MaxDepth opens the gate when queue depth reaches it (0 disables
+	// the depth input).
+	MaxDepth int
+	// RecoverDepth closes the gate once depth falls to it or below
+	// (default MaxDepth/2). Hysteresis: strictly less than MaxDepth, or
+	// the gate would flap on every pop/push cycle at the boundary.
+	RecoverDepth int
+	// MaxLatency opens the gate when p95 service latency reaches it
+	// (0 disables the latency input).
+	MaxLatency time.Duration
+	// RecoverLatency closes the gate once p95 falls to it or below
+	// (default MaxLatency/2).
+	RecoverLatency time.Duration
+	// MinHold keeps the gate open at least this long after it trips, so
+	// one lucky sample cannot close it mid-storm (default 50ms).
+	MinHold time.Duration
+}
+
+// Enabled reports whether any trip input is configured.
+func (c GateConfig) Enabled() bool { return c.MaxDepth > 0 || c.MaxLatency > 0 }
+
+func (c GateConfig) withDefaults() GateConfig {
+	if c.MaxDepth > 0 && c.RecoverDepth == 0 {
+		c.RecoverDepth = c.MaxDepth / 2
+	}
+	if c.MaxLatency > 0 && c.RecoverLatency == 0 {
+		c.RecoverLatency = c.MaxLatency / 2
+	}
+	if c.MinHold == 0 {
+		c.MinHold = 50 * time.Millisecond
+	}
+	return c
+}
+
+// validate rejects configurations that could never recover or would
+// flap, with errors descriptive enough to fix the flag that caused them.
+func (c GateConfig) validate() error {
+	if c.MaxDepth < 0 {
+		return fmt.Errorf("overload: gate MaxDepth must be >= 0, got %d", c.MaxDepth)
+	}
+	if c.MaxLatency < 0 {
+		return fmt.Errorf("overload: gate MaxLatency must be >= 0, got %v", c.MaxLatency)
+	}
+	if c.RecoverDepth < 0 || c.RecoverLatency < 0 || c.MinHold < 0 {
+		return fmt.Errorf("overload: gate recovery thresholds must be >= 0 (RecoverDepth=%d RecoverLatency=%v MinHold=%v)",
+			c.RecoverDepth, c.RecoverLatency, c.MinHold)
+	}
+	if c.MaxDepth > 0 && c.RecoverDepth >= c.MaxDepth {
+		return fmt.Errorf("overload: gate RecoverDepth %d must be below MaxDepth %d (hysteresis)",
+			c.RecoverDepth, c.MaxDepth)
+	}
+	if c.MaxLatency > 0 && c.RecoverLatency >= c.MaxLatency {
+		return fmt.Errorf("overload: gate RecoverLatency %v must be below MaxLatency %v (hysteresis)",
+			c.RecoverLatency, c.MaxLatency)
+	}
+	return nil
+}
+
+// Gate is the load-shedding decision: a two-state machine (closed =
+// admit, open = shed) over queue depth and p95 service latency, with
+// hysteresis — it trips at the Max thresholds and recovers only once
+// every configured input has fallen back to its Recover threshold and
+// MinHold has elapsed. The cluster server updates it at admission time
+// and on janitor ticks, refuses joins (and brownout-parks sessions)
+// while it is open, and recovers automatically when the inputs drain.
+//
+// Safe for concurrent use.
+type Gate struct {
+	mu          sync.Mutex
+	cfg         GateConfig
+	open        bool
+	openedAt    time.Duration
+	transitions int
+}
+
+// NewGate validates cfg and constructs a closed gate.
+func NewGate(cfg GateConfig) (*Gate, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Gate{cfg: cfg}, nil
+}
+
+// Update feeds the current inputs and returns whether the gate is open
+// after applying them.
+func (g *Gate) Update(now time.Duration, depth int, p95 time.Duration) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !g.cfg.Enabled() {
+		return false
+	}
+	overloaded := (g.cfg.MaxDepth > 0 && depth >= g.cfg.MaxDepth) ||
+		(g.cfg.MaxLatency > 0 && p95 >= g.cfg.MaxLatency)
+	if !g.open {
+		if overloaded {
+			g.open = true
+			g.openedAt = now
+			g.transitions++
+		}
+		return g.open
+	}
+	recovered := (g.cfg.MaxDepth == 0 || depth <= g.cfg.RecoverDepth) &&
+		(g.cfg.MaxLatency == 0 || p95 <= g.cfg.RecoverLatency)
+	if recovered && now-g.openedAt >= g.cfg.MinHold {
+		g.open = false
+		g.transitions++
+	}
+	return g.open
+}
+
+// Open reports the gate's position without feeding inputs.
+func (g *Gate) Open() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.open
+}
+
+// Transitions counts state changes (tests assert trip/recover cycles).
+func (g *Gate) Transitions() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.transitions
+}

@@ -1,0 +1,100 @@
+package overload
+
+import (
+	"sync"
+	"time"
+)
+
+// RTTEstimator tracks a smoothed round-trip (or inter-arrival) time and
+// its variance with the TCP retransmission-timeout recurrence (RFC 6298):
+//
+//	SRTT   ← 7/8·SRTT + 1/8·sample
+//	RTTVAR ← 3/4·RTTVAR + 1/4·|SRTT − sample|
+//	RTO    =  SRTT + 4·RTTVAR, clamped to [Min, Max]
+//
+// The cluster uses it twice: RunClient feeds gradient round trips so its
+// wait timeout adapts to the server's actual service latency instead of a
+// fixed worst case, and the server feeds per-session inter-message gaps
+// so the straggler janitor's deadline derives from how fast healthy
+// clients actually talk (Config.StragglerAuto).
+//
+// Safe for concurrent use — receive loops across sessions share one
+// estimator.
+type RTTEstimator struct {
+	mu      sync.Mutex
+	srtt    time.Duration
+	rttvar  time.Duration
+	samples int
+	min     time.Duration
+	max     time.Duration
+}
+
+// NewRTTEstimator constructs an estimator whose Timeout is clamped to
+// [min, max]. Non-positive bounds default to 1ms and 30s. Before the
+// first sample, Timeout reports max — the conservative choice for a
+// deadline.
+func NewRTTEstimator(min, max time.Duration) *RTTEstimator {
+	if min <= 0 {
+		min = time.Millisecond
+	}
+	if max <= 0 {
+		max = 30 * time.Second
+	}
+	if max < min {
+		max = min
+	}
+	return &RTTEstimator{min: min, max: max}
+}
+
+// Observe feeds one sample. Non-positive samples are ignored.
+func (e *RTTEstimator) Observe(sample time.Duration) {
+	if sample <= 0 {
+		return
+	}
+	e.mu.Lock()
+	if e.samples == 0 {
+		e.srtt = sample
+		e.rttvar = sample / 2
+	} else {
+		diff := e.srtt - sample
+		if diff < 0 {
+			diff = -diff
+		}
+		e.rttvar = (3*e.rttvar + diff) / 4
+		e.srtt = (7*e.srtt + sample) / 8
+	}
+	e.samples++
+	e.mu.Unlock()
+}
+
+// Timeout returns SRTT + 4·RTTVAR clamped to [min, max]; max before any
+// samples exist.
+func (e *RTTEstimator) Timeout() time.Duration {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.samples == 0 {
+		return e.max
+	}
+	rto := e.srtt + 4*e.rttvar
+	if rto < e.min {
+		rto = e.min
+	}
+	if rto > e.max {
+		rto = e.max
+	}
+	return rto
+}
+
+// SRTT reports the smoothed sample mean (0 before any samples).
+func (e *RTTEstimator) SRTT() time.Duration {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.srtt
+}
+
+// Samples reports how many observations have been folded in.
+func (e *RTTEstimator) Samples() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.samples
+}

@@ -24,6 +24,12 @@ type Instruments struct {
 	// critical section, so the counter can never drift from the refusals
 	// it describes.
 	Rejected *obs.Counter
+	// Expired counts items shed past their enqueue deadline
+	// (stsl_queue_expired_total). Incremented inside
+	// Safe.PopBatchDeadline's critical section. The occupancy invariant
+	// is enqueued − dequeued − expired = depth: an expired item leaves
+	// the queue without ever counting as served.
+	Expired *obs.Counter
 	// Wait is the per-item queue-wait distribution, observed at pop
 	// (stsl_queue_wait_seconds) — the live measurement of the paper's
 	// staleness concern.
@@ -42,6 +48,7 @@ func NewInstruments(reg *obs.Registry, policy string) *Instruments {
 		Requeued: reg.Counter("stsl_queue_requeued_total", l),
 		Parked:   reg.Counter("stsl_queue_parked_total", l),
 		Rejected: reg.Counter("stsl_queue_rejected_total", l),
+		Expired:  reg.Counter("stsl_queue_expired_total", l),
 		Wait:     reg.Histogram("stsl_queue_wait_seconds", l),
 		Depth:    reg.Gauge("stsl_queue_depth", l),
 	}

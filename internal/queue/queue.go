@@ -21,6 +21,12 @@ type Item struct {
 	Msg *transport.Message
 	// ArrivedAt is the server-clock arrival time.
 	ArrivedAt time.Duration
+	// Deadline, when positive, is the server-clock instant past which the
+	// item should be shed rather than trained on: its client has long
+	// since timed out and resent, so serving it would spend a model pass
+	// on an abandoned batch. 0 = no deadline. Enforced by
+	// Safe.PopBatchDeadline under the queue's critical section.
+	Deadline time.Duration
 }
 
 // ClientID returns the originating end-system's id.
@@ -28,6 +34,9 @@ func (it Item) ClientID() int { return it.Msg.ClientID }
 
 // Staleness returns how long the item has waited as of now.
 func (it Item) Staleness(now time.Duration) time.Duration { return now - it.ArrivedAt }
+
+// Expired reports whether the item's enqueue deadline has passed.
+func (it Item) Expired(now time.Duration) bool { return it.Deadline > 0 && now > it.Deadline }
 
 // Policy is a scheduling discipline over queued items.
 //

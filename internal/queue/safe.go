@@ -193,6 +193,63 @@ func (s *Safe) PopBatch(now time.Duration, max int) []Item {
 	return items
 }
 
+// PopBatchDeadline is PopBatch with deadline shedding: items whose
+// enqueue Deadline has passed are filtered out of the draw under the same
+// critical section that popped them, counted as Expired, and returned
+// separately so the caller can notify their owners (the cluster worker
+// sends the client a resend notice). When an entire draw turns out to be
+// expired backlog the policy is drawn again, so a burst of abandoned work
+// cannot return an empty fresh batch while serviceable items wait behind
+// it.
+//
+// Expired items count toward Instruments.Expired only — never Dequeued or
+// Wait — preserving the occupancy invariant enqueued − dequeued − expired
+// = depth.
+func (s *Safe) PopBatchDeadline(now time.Duration, max int) (fresh, expired []Item) {
+	s.mu.Lock()
+	for {
+		items := s.inner.PopBatch(now, max)
+		if len(items) == 0 {
+			break
+		}
+		for _, it := range items {
+			if it.Expired(now) {
+				expired = append(expired, it)
+			} else {
+				fresh = append(fresh, it)
+			}
+		}
+		if len(fresh) > 0 || s.inner.Len() == 0 {
+			break
+		}
+	}
+	if s.ins != nil {
+		if len(expired) > 0 {
+			s.ins.Expired.Add(int64(len(expired)))
+		}
+		if len(fresh) > 0 {
+			s.ins.Dequeued.Add(int64(len(fresh)))
+			for _, it := range fresh {
+				s.ins.Wait.Observe(it.Staleness(now).Seconds())
+			}
+		}
+		if len(fresh)+len(expired) > 0 {
+			s.observeDepthLocked()
+		}
+	}
+	remaining := s.inner.Len()
+	s.mu.Unlock()
+	if len(fresh)+len(expired) > 0 {
+		signal(s.popped)
+		if remaining > 0 {
+			// Same cascade as Pop: keep the push edge armed while items
+			// remain so every blocked consumer in a pool gets its turn.
+			signal(s.pushed)
+		}
+	}
+	return fresh, expired
+}
+
 // Requeue returns already-popped items to the policy in one critical
 // section, preserving their original arrival times so staleness-ordered
 // disciplines restore each item's true priority (FIFO appends at the

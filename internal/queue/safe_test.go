@@ -504,3 +504,61 @@ func TestSafeCounterOwnership(t *testing.T) {
 			ins.Rejected.Value(), ins.Parked.Value())
 	}
 }
+
+// TestSafePopBatchDeadline: expired items are shed under the pop's
+// critical section — returned separately, counted as Expired (never
+// Dequeued), and an all-expired draw redraws so fresh work behind the
+// backlog is not starved.
+func TestSafePopBatchDeadline(t *testing.T) {
+	reg := obs.NewRegistry()
+	ins := NewInstruments(reg, "fifo")
+	q := NewSafe(NewFIFO())
+	q.SetInstruments(ins)
+
+	item := func(seq int, deadline time.Duration) Item {
+		return Item{
+			Msg:      &transport.Message{Type: transport.MsgControl, ClientID: seq, Seq: seq},
+			Deadline: deadline,
+		}
+	}
+	// Three expired (deadline 10), then two live (deadline 100, and none).
+	for i := 0; i < 3; i++ {
+		q.Push(item(i, 10))
+	}
+	q.Push(item(3, 100))
+	q.Push(item(4, 0))
+
+	// Draw of 2 at now=50: both picks are expired, so the draw repeats
+	// and still returns fresh work.
+	fresh, expired := q.PopBatchDeadline(50, 2)
+	if len(expired) != 3 {
+		t.Fatalf("expired %d items, want 3", len(expired))
+	}
+	if len(fresh) != 1 || fresh[0].Msg.Seq != 3 {
+		t.Fatalf("fresh = %+v, want the seq-3 item", fresh)
+	}
+	if got := ins.Expired.Value(); got != 3 {
+		t.Errorf("Expired counter = %d, want 3", got)
+	}
+	if got := ins.Dequeued.Value(); got != 1 {
+		t.Errorf("Dequeued counter = %d, want 1 (expired items are not served)", got)
+	}
+
+	// The no-deadline item never expires.
+	fresh, expired = q.PopBatchDeadline(time.Hour, 4)
+	if len(fresh) != 1 || len(expired) != 0 || fresh[0].Msg.Seq != 4 {
+		t.Fatalf("deadline-free item mishandled: fresh=%v expired=%v", fresh, expired)
+	}
+
+	// Occupancy invariant: enqueued − dequeued − expired = depth.
+	depth := ins.Enqueued.Value() - ins.Dequeued.Value() - ins.Expired.Value()
+	if depth != 0 || q.Len() != 0 {
+		t.Errorf("occupancy invariant broken: computed %d, actual %d", depth, q.Len())
+	}
+
+	// Empty queue: both slices empty, no counter movement.
+	fresh, expired = q.PopBatchDeadline(0, 4)
+	if len(fresh) != 0 || len(expired) != 0 {
+		t.Errorf("empty queue returned items: fresh=%v expired=%v", fresh, expired)
+	}
+}

@@ -3,6 +3,7 @@ package transport
 import (
 	"bytes"
 	"testing"
+	"time"
 
 	"github.com/stsl/stsl/internal/tensor"
 )
@@ -33,6 +34,12 @@ func corpusMessages(tb testing.TB) []*Message {
 		{Type: MsgActivation, ClientID: 5, Seq: 9, Epoch: 2, SentAt: 3456,
 			Payload: act32, Labels: []int{1, 3}},
 		{Type: MsgGradient, ClientID: 5, Seq: 9, Epoch: 2, SentAt: 4567, Payload: grad32},
+		// MSG2 frames: structured refusals carrying a code and a
+		// RetryAfter hint in the extended header.
+		{Type: MsgControl, ClientID: 9, Note: "refused: overloaded",
+			Code: RefusalOverloaded, RetryAfter: 25 * time.Millisecond},
+		{Type: MsgControl, ClientID: 9, Seq: 41, Note: "rejected",
+			Code: RefusalExpired, RetryAfter: 3 * time.Millisecond},
 	}
 }
 
@@ -56,8 +63,9 @@ func FuzzDecode(f *testing.F) {
 		raw := encode(f, m)
 		f.Add(raw)
 		// Truncations at structural boundaries: header, payload header,
-		// the TSL2 dtype byte (34), mid-data, labels, note length.
-		for _, cut := range []int{1, 4, 29, 31, 34, len(raw) / 2, len(raw) - 1} {
+		// the TSL2 dtype byte (34), the MSG2 refusal extension (31–38),
+		// mid-data, labels, note length.
+		for _, cut := range []int{1, 4, 29, 31, 34, 38, len(raw) / 2, len(raw) - 1} {
 			if cut > 0 && cut < len(raw) {
 				f.Add(raw[:cut])
 			}
@@ -77,6 +85,10 @@ func FuzzDecode(f *testing.F) {
 	badDT := encode(f, corpusMessages(f)[6])
 	badDT[34] = 0x7f
 	f.Add(badDT)
+	// An MSG2 refusal whose code byte is not a defined code.
+	badCode := encode(f, corpusMessages(f)[8])
+	badCode[30] = 0x7f
+	f.Add(badCode)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := Decode(bytes.NewReader(data))

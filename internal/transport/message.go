@@ -58,6 +58,44 @@ func (t MsgType) String() string {
 	}
 }
 
+// RefusalCode classifies a structured refusal: a control reply that says
+// "no" to an admission and tells the client how to respond. Codes ride a
+// self-describing extended frame (MSG2) that is emitted only when set, so
+// every code-free message keeps the legacy MSG1 bytes exactly.
+type RefusalCode uint8
+
+// Refusal codes. Values are part of the wire format; do not reorder.
+const (
+	// RefusalNone marks an ordinary message (never serialised — a zero
+	// code with a zero RetryAfter encodes as a legacy MSG1 frame).
+	RefusalNone RefusalCode = iota
+	// RefusalOverloaded refuses a join: the server is at MaxSessions or
+	// its shed gate is open. Back off (at least RetryAfter) and rejoin.
+	RefusalOverloaded
+	// RefusalRetryLater bounces one activation transiently — brownout
+	// parking, not session death. Back off RetryAfter and resend.
+	RefusalRetryLater
+	// RefusalExpired reports a queued activation was shed past its
+	// enqueue deadline, not trained on. Resend it.
+	RefusalExpired
+)
+
+// String implements fmt.Stringer.
+func (c RefusalCode) String() string {
+	switch c {
+	case RefusalNone:
+		return "none"
+	case RefusalOverloaded:
+		return "overloaded"
+	case RefusalRetryLater:
+		return "retry-later"
+	case RefusalExpired:
+		return "expired"
+	default:
+		return fmt.Sprintf("RefusalCode(%d)", uint8(c))
+	}
+}
+
 // Message is one protocol datagram.
 type Message struct {
 	Type     MsgType
@@ -77,6 +115,13 @@ type Message struct {
 	Labels []int
 	// Note carries control text.
 	Note string
+	// Code classifies a structured refusal (overload, brownout, deadline
+	// shed). RefusalNone on ordinary traffic. A non-zero Code (or
+	// RetryAfter) selects the extended MSG2 frame on the wire.
+	Code RefusalCode
+	// RetryAfter is the server's backoff hint on a refusal: the client
+	// should not retry sooner. 0 means no hint.
+	RetryAfter time.Duration
 	// WireSize, when positive, overrides the simulated wire size in
 	// bytes — set by senders that apply payload compression so the
 	// network model charges the compressed size. It is advisory and not
@@ -117,16 +162,34 @@ func (m *Message) Validate() error {
 	default:
 		return fmt.Errorf("transport: unknown message type %d", m.Type)
 	}
+	if m.Code > RefusalExpired {
+		return fmt.Errorf("transport: unknown refusal code %d", uint8(m.Code))
+	}
+	if m.RetryAfter < 0 {
+		return fmt.Errorf("transport: negative RetryAfter %v", m.RetryAfter)
+	}
 	return nil
 }
 
-const msgMagic uint32 = 0x4d534731 // "MSG1"
+const (
+	msgMagic uint32 = 0x4d534731 // "MSG1": the legacy frame
+	// msgMagic2 tags the extended frame carrying the refusal code and
+	// RetryAfter hint. Same self-describing-magic pattern as the tensor
+	// codec's TSL1/TSL2: no negotiation, the frame announces its own
+	// layout, and senders emit MSG2 only when the extension fields are
+	// set — so every pre-refusal message stays byte-identical to MSG1.
+	msgMagic2 uint32 = 0x4d534732 // "MSG2"
+)
 
 // maxLabels bounds decoded label slices against corrupted headers.
 const maxLabels = 1 << 24
 
-// msgHdrLen is the fixed framing header size in bytes.
-const msgHdrLen = 30
+// Fixed framing header sizes in bytes. MSG2 appends a refusal code byte
+// and a uint64 RetryAfter to the MSG1 layout.
+const (
+	msgHdrLen  = 30
+	msgHdrLen2 = msgHdrLen + 9
+)
 
 // frameChunk sizes the pooled framing scratch: big enough for the header,
 // the note length word, and a useful run of labels per Write call.
@@ -154,7 +217,14 @@ func (m *Message) Encode(w io.Writer) error {
 	defer framePool.Put(bufp)
 	hdr := *bufp
 
-	binary.LittleEndian.PutUint32(hdr[0:], msgMagic)
+	// The extension fields select the frame: code-free messages must stay
+	// byte-identical MSG1 so pre-refusal peers and recorded streams keep
+	// decoding unchanged.
+	magic, hdrLen := msgMagic, msgHdrLen
+	if m.Code != RefusalNone || m.RetryAfter != 0 {
+		magic, hdrLen = msgMagic2, msgHdrLen2
+	}
+	binary.LittleEndian.PutUint32(hdr[0:], magic)
 	hdr[4] = uint8(m.Type)
 	binary.LittleEndian.PutUint32(hdr[5:], uint32(m.ClientID))
 	binary.LittleEndian.PutUint32(hdr[9:], uint32(m.Seq))
@@ -165,7 +235,11 @@ func (m *Message) Encode(w io.Writer) error {
 		hdr[25] = 1
 	}
 	binary.LittleEndian.PutUint32(hdr[26:], uint32(len(m.Labels)))
-	if _, err := w.Write(hdr[:msgHdrLen]); err != nil {
+	if hdrLen == msgHdrLen2 {
+		hdr[30] = uint8(m.Code)
+		binary.LittleEndian.PutUint64(hdr[31:], uint64(m.RetryAfter))
+	}
+	if _, err := w.Write(hdr[:hdrLen]); err != nil {
 		return fmt.Errorf("transport: write header: %w", err)
 	}
 	if m.Payload != nil {
@@ -231,8 +305,9 @@ func DecodeInto(r io.Reader, m *Message) error {
 		}
 		return fmt.Errorf("transport: read header: %w", err)
 	}
-	if got := binary.LittleEndian.Uint32(buf[0:]); got != msgMagic {
-		return fmt.Errorf("transport: bad magic %#x", got)
+	magic := binary.LittleEndian.Uint32(buf[0:])
+	if magic != msgMagic && magic != msgMagic2 {
+		return fmt.Errorf("transport: bad magic %#x", magic)
 	}
 	m.Type = MsgType(buf[4])
 	m.ClientID = int(int32(binary.LittleEndian.Uint32(buf[5:])))
@@ -241,6 +316,15 @@ func DecodeInto(r io.Reader, m *Message) error {
 	m.SentAt = time.Duration(binary.LittleEndian.Uint64(buf[17:]))
 	m.Note = ""
 	m.WireSize = 0
+	m.Code = RefusalNone
+	m.RetryAfter = 0
+	if magic == msgMagic2 {
+		if _, err := io.ReadFull(r, buf[msgHdrLen:msgHdrLen2]); err != nil {
+			return fmt.Errorf("transport: read refusal header: %w", err)
+		}
+		m.Code = RefusalCode(buf[30])
+		m.RetryAfter = time.Duration(binary.LittleEndian.Uint64(buf[31:]))
+	}
 	// A flipped flag bit must read as bad framing, not as a silently
 	// dropped payload followed by a misleading Validate failure.
 	var hasPayload bool

@@ -2,10 +2,12 @@ package transport
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"io"
 	"strings"
 	"testing"
+	"time"
 
 	"github.com/stsl/stsl/internal/tensor"
 )
@@ -78,6 +80,82 @@ func TestTSL2MessageRoundTrip(t *testing.T) {
 	for i, v := range payload.Data() {
 		if want := float64(float32(v)); got.Payload.Data()[i] != want {
 			t.Errorf("elem %d: %v, want f32-rounded %v", i, got.Payload.Data()[i], want)
+		}
+	}
+}
+
+// TestRefusalRoundTrip: a message carrying a refusal code and RetryAfter
+// selects the MSG2 frame, costs exactly the 9-byte extension, and decodes
+// back field-for-field.
+func TestRefusalRoundTrip(t *testing.T) {
+	plain := &Message{Type: MsgControl, ClientID: 7, Seq: 3, Note: "refused: overloaded"}
+	refusal := &Message{Type: MsgControl, ClientID: 7, Seq: 3, Note: "refused: overloaded",
+		Code: RefusalOverloaded, RetryAfter: 250 * time.Millisecond}
+
+	var bPlain, bRef bytes.Buffer
+	if err := plain.Encode(&bPlain); err != nil {
+		t.Fatal(err)
+	}
+	if err := refusal.Encode(&bRef); err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.LittleEndian.Uint32(bRef.Bytes()); got != 0x4d534732 {
+		t.Fatalf("refusal frame magic %#x, want MSG2", got)
+	}
+	if diff := bRef.Len() - bPlain.Len(); diff != 9 {
+		t.Fatalf("refusal extension costs %d bytes, want 9", diff)
+	}
+
+	got, err := Decode(&bRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Code != RefusalOverloaded || got.RetryAfter != 250*time.Millisecond || got.Note != refusal.Note {
+		t.Fatalf("round trip lost refusal fields: %+v", got)
+	}
+}
+
+// TestLegacyFrameUnchanged: any message without refusal fields must emit
+// the MSG1 magic — pre-refusal decoders and recorded streams keep working
+// byte-for-byte.
+func TestLegacyFrameUnchanged(t *testing.T) {
+	for i, m := range corpusMessages(t)[:8] { // the pre-MSG2 corpus
+		frame := encode(t, m)
+		if got := binary.LittleEndian.Uint32(frame); got != 0x4d534731 {
+			t.Fatalf("corpus message %d emitted magic %#x, want legacy MSG1", i, got)
+		}
+	}
+}
+
+// TestRefusalFieldsResetOnReuse: decoding a legacy frame into a Message
+// that previously held a refusal must clear the extension fields.
+func TestRefusalFieldsResetOnReuse(t *testing.T) {
+	var m Message
+	refusal := &Message{Type: MsgControl, Code: RefusalRetryLater, RetryAfter: time.Second}
+	if err := DecodeInto(bytes.NewReader(encode(t, refusal)), &m); err != nil {
+		t.Fatal(err)
+	}
+	if err := DecodeInto(bytes.NewReader(encode(t, corpusMessages(t)[2])), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Code != RefusalNone || m.RetryAfter != 0 {
+		t.Fatalf("refusal fields leaked across reuse: code=%v retryAfter=%v", m.Code, m.RetryAfter)
+	}
+}
+
+// TestRefusalBadCodeRejected: an undefined code byte is bad framing, and
+// a truncated extension is truncation — never a silent partial decode.
+func TestRefusalBadCodeRejected(t *testing.T) {
+	frame := encode(t, &Message{Type: MsgControl, Code: RefusalExpired, RetryAfter: time.Millisecond})
+	bad := append([]byte{}, frame...)
+	bad[30] = 0x7f
+	if _, err := Decode(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "refusal code") {
+		t.Errorf("undefined code: err = %v, want refusal-code rejection", err)
+	}
+	for _, cut := range []int{31, 35, 38} {
+		_, err := Decode(bytes.NewReader(frame[:cut]))
+		if err == nil || err == io.EOF {
+			t.Errorf("cut=%d: err = %v, want non-EOF truncation error", cut, err)
 		}
 	}
 }

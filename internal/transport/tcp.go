@@ -111,6 +111,14 @@ func (c *tcpConn) Recv() (*Message, error) {
 	return m, nil
 }
 
+// SetWriteDeadline bounds subsequent Sends, forwarding to the carrier
+// net.Conn. A Send that overruns the deadline fails with an error that
+// matches errors.Is(err, os.ErrDeadlineExceeded); the buffered writer's
+// state is undefined afterwards, so the connection must be closed. The
+// cluster worker uses this to evict a stalled reader instead of wedging
+// every other session behind its TCP backpressure.
+func (c *tcpConn) SetWriteDeadline(t time.Time) error { return c.nc.SetWriteDeadline(t) }
+
 // Close implements Conn.
 func (c *tcpConn) Close() error {
 	c.closeOnce.Do(func() { c.closeErr = c.nc.Close() })
