@@ -33,19 +33,23 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:9000", "server address")
-		id      = flag.Int("id", 0, "end-system id (unique per client)")
-		cut     = flag.Int("cut", 1, "split point (must match the server)")
-		scale   = flag.String("scale", "small", "model scale: tiny|small|paper")
-		seed    = flag.Uint64("seed", 1, "server weight seed")
-		local   = flag.Uint64("local-seed", 0, "private lower-layer seed (0 = derive from id)")
-		steps   = flag.Int("steps", 100, "batches to contribute")
-		batch   = flag.Int("batch", 0, "batch size (0 = scale default)")
-		lr      = flag.Float64("lr", 0.05, "learning rate")
-		timeout = flag.Duration("grad-timeout", time.Minute, "max wait for any gradient (0 = forever)")
-		retry   = flag.Int("retry", 0, "reconnect attempts after a lost connection (0 = fail immediately); reconnects resume the session and resend the in-flight batch")
-		retryBk = flag.Duration("retry-backoff", 250*time.Millisecond, "pause before each reconnect attempt")
-		dtName  = flag.String("dtype", "float64", "compute and wire precision: float64|float32 (float32 halves wire bytes via TSL2 frames; must match the server)")
+		addr        = flag.String("addr", "127.0.0.1:9000", "server address")
+		id          = flag.Int("id", 0, "end-system id (unique per client)")
+		cut         = flag.Int("cut", 1, "split point (must match the server)")
+		scale       = flag.String("scale", "small", "model scale: tiny|small|paper")
+		seed        = flag.Uint64("seed", 1, "server weight seed")
+		local       = flag.Uint64("local-seed", 0, "private lower-layer seed (0 = derive from id)")
+		steps       = flag.Int("steps", 100, "batches to contribute")
+		batch       = flag.Int("batch", 0, "batch size (0 = scale default)")
+		lr          = flag.Float64("lr", 0.05, "learning rate")
+		timeout     = flag.Duration("grad-timeout", time.Minute, "max wait for any gradient (0 = forever)")
+		retry       = flag.Int("retry", 0, "reconnect attempts after a lost connection (0 = fail immediately); reconnects resume the session and resend the in-flight batch")
+		retryBk     = flag.Duration("retry-backoff", 250*time.Millisecond, "pause before each reconnect attempt")
+		dtName      = flag.String("dtype", "float64", "compute and wire precision: float64|float32 (float32 halves wire bytes via TSL2 frames; must match the server)")
+		cksum       = flag.Bool("checksum", false, "send CRC32C-checksummed wire frames (self-describing; a plain server interoperates)")
+		poison      = flag.String("poison", "", "emulate a hostile/broken client: nan (upload NaN activations) or scale (norm-bomb uploads) — for exercising the server's -sanitize quarantine")
+		poisonAfter = flag.Int("poison-after", 0, "clean activation uploads before poisoning starts")
+		poisonScale = flag.Float64("poison-scale", 1e6, "multiplier for -poison scale")
 	)
 	flag.Parse()
 
@@ -95,19 +99,49 @@ func main() {
 	lower.SetDType(dtype)
 	es.WireDType = dtype
 
+	var mode transport.HostileMode
+	switch *poison {
+	case "":
+		mode = transport.PoisonNone
+	case "nan":
+		mode = transport.PoisonNaN
+	case "scale":
+		mode = transport.PoisonScale
+	default:
+		fatal(fmt.Errorf("unknown -poison mode %q (want nan or scale)", *poison))
+	}
+	// dress wraps each dialed carrier with the poison emulation and the
+	// checksum setting, so reconnects behave like the first connection.
+	dress := func(c transport.Conn) transport.Conn {
+		if mode != transport.PoisonNone {
+			c = transport.NewHostileCarrier(c, mode, *poisonAfter, *poisonScale)
+		}
+		if *cksum {
+			transport.SetChecksum(c, true)
+		}
+		return c
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	conn, err := transport.Dial(*addr)
+	rawConn, err := transport.Dial(*addr)
 	if err != nil {
 		fatal(err)
 	}
+	conn := dress(rawConn)
 	defer conn.Close()
 	fmt.Printf("stsl-endsystem %d: connected to %s, cut=%d, %d steps\n", *id, *addr, *cut, *steps)
 	clientCfg := cluster.ClientConfig{
 		Steps: *steps, GradTimeout: *timeout,
 	}
 	if *retry > 0 {
-		clientCfg.Dial = func() (transport.Conn, error) { return transport.Dial(*addr) }
+		clientCfg.Dial = func() (transport.Conn, error) {
+			c, err := transport.Dial(*addr)
+			if err != nil {
+				return nil, err
+			}
+			return dress(c), nil
+		}
 		clientCfg.MaxReconnects = *retry
 		clientCfg.ReconnectBackoff = *retryBk
 	}

@@ -55,6 +55,7 @@ import (
 	"github.com/stsl/stsl/internal/nn"
 	"github.com/stsl/stsl/internal/obs"
 	"github.com/stsl/stsl/internal/opt"
+	"github.com/stsl/stsl/internal/paramsync"
 	"github.com/stsl/stsl/internal/queue"
 	"github.com/stsl/stsl/internal/tensor"
 	"github.com/stsl/stsl/internal/transport"
@@ -89,6 +90,9 @@ func main() {
 		adminAddr    = flag.String("admin-addr", "", "admin HTTP listener: /metrics (Prometheus), /statusz (JSON), /trace, /debug/pprof. Serves operational internals — bind loopback (e.g. 127.0.0.1:9090) unless the network is trusted. Empty = off")
 		dtypeName    = flag.String("dtype", "float64", "compute and wire precision: float64|float32 (float32 halves wire bytes via TSL2 frames; must match the end-systems)")
 		weights      = flag.String("weights", "", "path to write learned server weights (optional)")
+		checksum     = flag.Bool("checksum", false, "send CRC32C-checksummed wire frames (self-describing — plain peers interoperate; corrupted inbound frames are detected either way)")
+		aggregate    = flag.String("aggregate", "average", "replica aggregation rule at sync barriers: average|trimmed|clipped (robust rules bound what poisoned replicas can do; only with -workers > 1)")
+		sanitize     = flag.Bool("sanitize", false, "screen inbound activations for NaN/Inf and norm outliers; clients that repeatedly send garbage are quarantined")
 	)
 	flag.Parse()
 	if *resume && *ckptDir == "" {
@@ -129,7 +133,14 @@ func main() {
 	if *stragglerAut {
 		stragglerTimeout = cluster.StragglerAuto
 	}
+	aggMethod, err := paramsync.ParseMethod(*aggregate)
+	if err != nil {
+		fatal(err)
+	}
 	clusterCfg := cluster.Config{
+		Checksum:         *checksum,
+		Aggregate:        aggMethod,
+		Sanitize:         *sanitize,
 		QueueCap:         *queueCap,
 		Overflow:         cluster.Overflow(*overflow),
 		StragglerTimeout: stragglerTimeout,

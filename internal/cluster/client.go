@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/stsl/stsl/internal/core"
@@ -109,6 +110,9 @@ type ClientResult struct {
 	// should NOT retry together — the join-storm chaos test asserts the
 	// decorrelated jitter spreads these out.
 	JoinAttempts []time.Duration
+	// CorruptFrames counts inbound frames this client's receive pump
+	// rejected on a CRC32C mismatch (and recovered from by resending).
+	CorruptFrames int
 }
 
 // refusedError is a handshake rejection: the server answered, and the
@@ -163,7 +167,7 @@ type pump struct {
 	once sync.Once
 }
 
-func startPump(conn transport.Conn) *pump {
+func startPump(conn transport.Conn, corrupt *atomic.Int64) *pump {
 	p := &pump{
 		conn: conn,
 		in:   make(chan *transport.Message, 4),
@@ -174,6 +178,16 @@ func startPump(conn transport.Conn) *pump {
 		for {
 			msg, err := conn.Recv()
 			if err != nil {
+				if errors.Is(err, transport.ErrChecksum) {
+					// A corrupted frame, caught by its CRC trailer with the
+					// stream still in sync: count and keep receiving. The
+					// adaptive wait window resends the in-flight batch if
+					// the lost frame was its gradient.
+					if corrupt != nil {
+						corrupt.Add(1)
+					}
+					continue
+				}
 				select {
 				case p.errc <- err:
 				case <-p.done:
@@ -254,11 +268,13 @@ func RunClient(ctx context.Context, es *core.EndSystem, conn transport.Conn, cfg
 
 	res := &ClientResult{}
 	var token int // session credential from the welcome; 0 before join
+	var corruptFrames atomic.Int64
+	defer func() { res.CorruptFrames = int(corruptFrames.Load()) }()
 
 	// The current pump, shared with the ctx hook so a blocked Send/Recv
 	// on whichever carrier is live unblocks when the caller gives up.
 	var mu sync.Mutex
-	p := startPump(conn)
+	p := startPump(conn, &corruptFrames)
 	setPump := func(np *pump) {
 		mu.Lock()
 		p = np
@@ -423,7 +439,7 @@ func RunClient(ctx context.Context, es *core.EndSystem, conn transport.Conn, cfg
 		if err != nil {
 			return connLostError{fmt.Errorf("cluster: client %d redial: %w", es.ID, err)}
 		}
-		np := startPump(c)
+		np := startPump(c, &corruptFrames)
 		setPump(np)
 		return hello(np)
 	}
@@ -449,7 +465,7 @@ func RunClient(ctx context.Context, es *core.EndSystem, conn transport.Conn, cfg
 				lastErr = err
 				continue
 			}
-			np := startPump(c)
+			np := startPump(c, &corruptFrames)
 			setPump(np)
 			if err := hello(np); err != nil {
 				var ref refusedError

@@ -58,6 +58,7 @@ import (
 
 	"github.com/stsl/stsl/internal/core"
 	"github.com/stsl/stsl/internal/obs"
+	"github.com/stsl/stsl/internal/paramsync"
 )
 
 // StragglerAuto, as Config.StragglerTimeout, derives the straggler
@@ -214,6 +215,40 @@ type Config struct {
 	// latency so refused clients retry after the backlog they were
 	// refused over has had time to drain. 0 defaults to 25ms.
 	RetryAfterHint time.Duration
+
+	// Checksum, when set, enables CRC32C-checksummed wire framing on
+	// every connection handed to Attach (via transport.SetChecksum), so
+	// server-originated frames carry integrity trailers. Decoding needs
+	// no negotiation — the checksummed frame is self-describing — so a
+	// checksumming server interoperates with plain clients and vice
+	// versa; corrupted inbound frames are detected either way.
+	Checksum bool
+	// Aggregate selects the rule combining replica parameters at sync
+	// barriers (and at the final fold): plain FedAvg average (the zero
+	// value), coordinate-wise trimmed mean, or norm-clipped average. The
+	// robust rules bound what a minority of poisoned replicas can do to
+	// the consensus; see internal/paramsync.
+	Aggregate paramsync.Method
+	// Sanitize arms the activation sanitizer: every inbound activation
+	// payload is screened for NaN/Inf and norm outliers before it can
+	// reach the scheduling queue, and clients that repeatedly send
+	// garbage are quarantined (session aborted, id blocklisted). See
+	// sanitize.go for the envelope and suspicion mechanics.
+	Sanitize bool
+	// SuspicionLimit is the suspicion score at which a client is
+	// quarantined (0 defaults to 3). Non-finite payloads jump straight
+	// to the limit; norm outliers add 1 each and decay on clean traffic.
+	SuspicionLimit float64
+	// NormWindow is the size of the fleet-wide rolling window of
+	// accepted activation norms behind outlier detection (0 defaults
+	// to 64).
+	NormWindow int
+	// NormFactor is the outlier threshold in standard deviations: a
+	// payload norm beyond mean + NormFactor·std (and more than twice the
+	// mean) is rejected (0 defaults to 8 — deliberately loose; the
+	// sanitizer is a tripwire for order-of-magnitude bombs, not a
+	// similarity filter).
+	NormFactor float64
 }
 
 // validate rejects nonsensical knob values at construction with a
@@ -235,6 +270,15 @@ func (c Config) validate() error {
 	}
 	if c.BrownoutCoalesce < 0 {
 		return fmt.Errorf("cluster: BrownoutCoalesce must be >= 0 (0 = 4×BatchCoalesce), got %d", c.BrownoutCoalesce)
+	}
+	if c.SuspicionLimit < 0 {
+		return fmt.Errorf("cluster: SuspicionLimit must be >= 0 (0 = default 3), got %v", c.SuspicionLimit)
+	}
+	if c.NormWindow < 0 {
+		return fmt.Errorf("cluster: NormWindow must be >= 0 (0 = default 64), got %d", c.NormWindow)
+	}
+	if c.NormFactor < 0 {
+		return fmt.Errorf("cluster: NormFactor must be >= 0 (0 = default 8), got %v", c.NormFactor)
 	}
 	for _, d := range []struct {
 		name string
@@ -276,6 +320,15 @@ func (c Config) withDefaults() Config {
 		if c.BrownoutCoalesce < 4 {
 			c.BrownoutCoalesce = 4
 		}
+	}
+	if c.SuspicionLimit == 0 {
+		c.SuspicionLimit = 3
+	}
+	if c.NormWindow == 0 {
+		c.NormWindow = 64
+	}
+	if c.NormFactor == 0 {
+		c.NormFactor = 8
 	}
 	return c
 }

@@ -25,6 +25,15 @@ type instruments struct {
 	refusals  *obs.Counter
 	brownouts *obs.Counter
 
+	// corruptFrames counts inbound frames rejected by their CRC32C
+	// trailer (stsl_corrupt_frames_total); quarantines counts clients
+	// blocklisted by the activation sanitizer (stsl_quarantined_total).
+	corruptFrames *obs.Counter
+	quarantines   *obs.Counter
+
+	// reg backs the lazily created per-client suspicion gauges.
+	reg *obs.Registry
+
 	// workers holds one per-stage histogram set per model replica.
 	workers []workerInstruments
 
@@ -68,6 +77,10 @@ func newInstruments(reg *obs.Registry, workers int) *instruments {
 		workers:     make([]workerInstruments, workers),
 		syncSeconds: reg.Histogram("stsl_sync_seconds", nil),
 		divergence:  reg.Gauge("stsl_replica_divergence", nil),
+
+		corruptFrames: reg.Counter("stsl_corrupt_frames_total", nil),
+		quarantines:   reg.Counter("stsl_quarantined_total", nil),
+		reg:           reg,
 	}
 	for i := range ins.workers {
 		lbl := obs.Labels{"replica": strconv.Itoa(i)}
@@ -78,6 +91,13 @@ func newInstruments(reg *obs.Registry, workers int) *instruments {
 		}
 	}
 	return ins
+}
+
+// suspicionGauge is the per-client suspicion score series
+// (stsl_client_suspicion{client="N"}), created on first use — only
+// clients the sanitizer has actually scored appear in /metrics.
+func (ins *instruments) suspicionGauge(client int) *obs.Gauge {
+	return ins.reg.Gauge("stsl_client_suspicion", obs.Labels{"client": strconv.Itoa(client)})
 }
 
 // lifecycle records one session transition: a counter bump and a trace
@@ -100,6 +120,8 @@ func (s *Server) lifecycle(kind string, client int, note string) {
 			ins.refusals.Inc()
 		case "session.brownout":
 			ins.brownouts.Inc()
+		case "session.quarantine":
+			ins.quarantines.Inc()
 		}
 	}
 	s.tr.Event(kind, client, -1, note)

@@ -45,6 +45,19 @@ type Snapshot struct {
 	// measured at the most recent sync barrier, just before averaging
 	// erased it. 0 until the first sync, and always 0 at Workers = 1.
 	ReplicaDivergence float64
+	// CorruptFrames counts inbound frames whose CRC32C trailer did not
+	// match the payload — corruption that was detected and dropped (the
+	// client's resend recovers the message) instead of trained on.
+	CorruptFrames int
+	// Quarantined counts client ids blocklisted by the activation
+	// sanitizer: their payloads carried NaN/Inf or repeatedly fell
+	// outside the fleet's norm envelope.
+	Quarantined int
+	// PoolErr is the terminal worker-pool failure, if any ("" while
+	// healthy): a replica sync that could not produce finite parameters.
+	// A server with PoolErr set refuses new sessions with RetryLater and
+	// has already checkpointed its healthy replicas.
+	PoolErr string
 	// Checkpoints counts checkpoints written by the worker so far.
 	Checkpoints int
 	// CheckpointErr is the most recent checkpoint failure ("" while
@@ -100,8 +113,12 @@ func (s Snapshot) String() string {
 	if s.Workers > 1 {
 		pool = fmt.Sprintf(" workers=%d syncs=%d div=%.3g", s.Workers, s.Syncs, s.ReplicaDivergence)
 	}
-	return fmt.Sprintf("steps=%d (%.1f/s life, %.1f/s now) depth=%d/%d rejected=%d%s%s loss=%.4f per-client[%s]",
-		s.ServerSteps, s.StepsPerSec, s.StepsPerSecWindow, s.QueueDepth, s.MaxQueueDepth, s.Rejected, pool, ckpt, s.LastLoss,
+	integrity := ""
+	if s.CorruptFrames > 0 || s.Quarantined > 0 {
+		integrity = fmt.Sprintf(" corrupt=%d quar=%d", s.CorruptFrames, s.Quarantined)
+	}
+	return fmt.Sprintf("steps=%d (%.1f/s life, %.1f/s now) depth=%d/%d rejected=%d%s%s%s loss=%.4f per-client[%s]",
+		s.ServerSteps, s.StepsPerSec, s.StepsPerSecWindow, s.QueueDepth, s.MaxQueueDepth, s.Rejected, pool, ckpt, integrity, s.LastLoss,
 		strings.Join(parts, " "))
 }
 

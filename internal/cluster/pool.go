@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
@@ -133,8 +134,14 @@ func (s *Server) syncIfDue() {
 
 	// Exclusive model access: every other live worker is parked above.
 	if s.ctx.Err() == nil {
-		s.syncReplicas()
-		if doCkpt {
+		if err := s.syncReplicas(); err != nil {
+			// A sync that cannot produce finite parameters is terminal for
+			// the pool — but a contained failure, not a crash: failPool
+			// checkpoints the healthy replicas and cancels the server
+			// context. The barrier still opens below so the parked workers
+			// wake and observe the dying context.
+			s.failPool(err)
+		} else if doCkpt {
 			s.checkpoint()
 		}
 	}
@@ -149,27 +156,36 @@ func (s *Server) syncIfDue() {
 	p.mu.Unlock()
 }
 
-// syncReplicas performs one FedAvg parameter average across the pool:
-// the replica-divergence gauge is read first (the drift the barrier is
-// about to erase), the uniform average lands in the primary, and the
-// result fans out so every replica leaves the barrier identical. Called
-// only with exclusive access to all replicas — by the barrier's last
-// arriver, or by the supervisor after the pool drained.
-func (s *Server) syncReplicas() {
+// syncReplicas performs one parameter aggregation across the pool using
+// the configured rule (FedAvg average by default; trimmed mean or
+// clipped average for Byzantine tolerance): the replica-divergence gauge
+// is read first (the drift the barrier is about to erase), the aggregate
+// lands in the primary, and the result fans out so every replica leaves
+// the barrier identical — which also heals a replica that went
+// non-finite, since the robust rules drop poisoned sets before
+// averaging. An error (plain Average refusing a NaN replica, or every
+// replica poisoned) means the pool cannot continue: the caller converts
+// it into a contained shutdown via failPool. Called only with exclusive
+// access to all replicas — by the barrier's last arriver, or by the
+// supervisor after the pool drained.
+func (s *Server) syncReplicas() error {
 	start := time.Now()
 	sets := make([][]*nn.Param, len(s.replicas))
 	for i, rep := range s.replicas {
 		sets[i] = rep.Stack.Params()
 	}
 	div := paramsync.Divergence(sets)
-	if err := paramsync.Average(sets[0], sets, nil); err != nil {
-		// Replicas are built structurally identical at NewServer; a
-		// mismatch mid-run is a programming error, not an input fault.
-		panic(fmt.Sprintf("cluster: replica sync: %v", err))
+	if math.IsNaN(div) || math.IsInf(div, 0) {
+		// A poisoned replica makes the RMS spread meaningless; don't
+		// export NaN through the gauge.
+		div = 0
+	}
+	if err := paramsync.Aggregate(s.cfg.Aggregate, sets[0], sets, nil); err != nil {
+		return fmt.Errorf("cluster: replica sync (%v): %w", s.cfg.Aggregate, err)
 	}
 	for _, set := range sets[1:] {
 		if err := paramsync.Copy(set, sets[0]); err != nil {
-			panic(fmt.Sprintf("cluster: replica fan-out: %v", err))
+			return fmt.Errorf("cluster: replica fan-out: %w", err)
 		}
 	}
 	d := time.Since(start)
@@ -183,4 +199,5 @@ func (s *Server) syncReplicas() {
 	s.syncs++
 	s.lastDiv = div
 	s.mu.Unlock()
+	return nil
 }

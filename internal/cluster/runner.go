@@ -57,6 +57,26 @@ type RunnerConfig struct {
 	// RetryBackoff is the pause before each reconnect attempt
 	// (default 5ms).
 	RetryBackoff time.Duration
+	// Checksum enables CRC32C-checksummed framing on both directions:
+	// every client carrier and (via Cluster.Checksum) every server-side
+	// conn sends self-describing checksummed frames, so corruption
+	// injected anywhere on the path is detected rather than decoded.
+	// Meaningful only on transports with a wire format (pipe, tcp); the
+	// in-memory pair transport passes messages by pointer.
+	Checksum bool
+	// ServerFaults assigns the server side of client i's connection a
+	// fault schedule: the accepted conn is wrapped in a
+	// transport.FaultCarrier before Attach, so injected corruption and
+	// truncation hit the server's receive path. Like Faults, the
+	// schedule persists across that client's reconnects. On the TCP
+	// transport accepted conns are matched to schedules in accept order,
+	// which equals client order only until the first reconnect.
+	ServerFaults func(client int) simnet.FaultSchedule
+	// WrapClient, when non-nil, wraps client i's fully assembled carrier
+	// (outermost, above any FaultCarrier) on every dial — the hook the
+	// hostile-fleet chaos suite uses to install transport.HostileCarrier
+	// poisoners on selected clients. Return conn unchanged for the rest.
+	WrapClient func(client int, conn transport.Conn) transport.Conn
 }
 
 // RunnerResult summarises a live run, shaped for side-by-side comparison
@@ -75,6 +95,9 @@ type RunnerResult struct {
 	// Reconnects counts redial attempts across all clients — the churn
 	// the run absorbed.
 	Reconnects int
+	// CorruptFrames counts CRC-rejected frames detected by the *clients*
+	// (server-side detections are in Snapshot.CorruptFrames).
+	CorruptFrames int
 	// Snapshot is the server's final metrics snapshot.
 	Snapshot Snapshot
 }
@@ -117,6 +140,9 @@ func Run(ctx context.Context, dep *core.Deployment, cfg RunnerConfig) (*RunnerRe
 		// server, so a multi-worker run needs only the Workers knob.
 		serverCfg.NewReplica = dep.NewServerReplica
 	}
+	if cfg.Checksum {
+		serverCfg.Checksum = true
+	}
 
 	srv, err := NewServer(dep.Server, serverCfg)
 	if err != nil {
@@ -128,7 +154,23 @@ func Run(ctx context.Context, dep *core.Deployment, cfg RunnerConfig) (*RunnerRe
 		return nil, err
 	}
 
-	dial, cleanup, err := dialers(srv, cfg.Transport, len(dep.Clients))
+	// Server-side fault schedules are minted once per client and reused
+	// across reconnects, mirroring the client-side Faults contract.
+	var serverScheds []simnet.FaultSchedule
+	if cfg.ServerFaults != nil {
+		serverScheds = make([]simnet.FaultSchedule, len(dep.Clients))
+		for i := range serverScheds {
+			serverScheds[i] = cfg.ServerFaults(i)
+		}
+	}
+	serverWrap := func(i int, c transport.Conn) transport.Conn {
+		if i >= 0 && i < len(serverScheds) && serverScheds[i] != nil {
+			c = transport.NewFaultCarrier(c, serverScheds[i])
+		}
+		return c
+	}
+
+	dial, cleanup, err := dialers(srv, cfg.Transport, serverWrap)
 	if err != nil {
 		cancel()
 		_ = srv.Shutdown(context.Background())
@@ -156,7 +198,13 @@ func Run(ctx context.Context, dep *core.Deployment, cfg RunnerConfig) (*RunnerRe
 				return nil, err
 			}
 			if sched != nil {
-				return transport.NewFaultCarrier(c, sched), nil
+				c = transport.NewFaultCarrier(c, sched)
+			}
+			if cfg.WrapClient != nil {
+				c = cfg.WrapClient(i, c)
+			}
+			if cfg.Checksum {
+				transport.SetChecksum(c, true)
 			}
 			return c, nil
 		}
@@ -200,6 +248,7 @@ func Run(ctx context.Context, dep *core.Deployment, cfg RunnerConfig) (*RunnerRe
 			result.StepsPerClient[o.idx] = o.res.Steps
 			result.Rejected += o.res.Rejected
 			result.Reconnects += o.res.Reconnects
+			result.CorruptFrames += o.res.CorruptFrames
 		}
 	}
 	// All client goroutines have returned, so the server either has n
@@ -234,20 +283,23 @@ func Run(ctx context.Context, dep *core.Deployment, cfg RunnerConfig) (*RunnerRe
 
 // dialers builds a per-client dial function over the chosen transport —
 // callable repeatedly, which is what lets a churned client reconnect to
-// the same server. cleanup releases any listener.
-func dialers(srv *Server, tr Transport, n int) (func(i int) (transport.Conn, error), func(), error) {
+// the same server. cleanup releases any listener. serverWrap decorates
+// the server side of each new connection before Attach (fault injection
+// on the server's receive path); for pair/pipe it sees the dialing
+// client's index, for TCP the accept ordinal.
+func dialers(srv *Server, tr Transport, serverWrap func(int, transport.Conn) transport.Conn) (func(i int) (transport.Conn, error), func(), error) {
 	cleanup := func() {}
 	switch tr {
 	case TransportPair:
-		return func(int) (transport.Conn, error) {
+		return func(i int) (transport.Conn, error) {
 			client, server := transport.NewPair(1)
-			srv.Attach(server)
+			srv.Attach(serverWrap(i, server))
 			return client, nil
 		}, cleanup, nil
 	case TransportPipe:
-		return func(int) (transport.Conn, error) {
+		return func(i int) (transport.Conn, error) {
 			clientNC, serverNC := net.Pipe()
-			srv.Attach(transport.NewTCPConn(serverNC))
+			srv.Attach(serverWrap(i, transport.NewTCPConn(serverNC)))
 			return transport.NewTCPConn(clientNC), nil
 		}, cleanup, nil
 	case TransportTCP:
@@ -259,7 +311,18 @@ func dialers(srv *Server, tr Transport, n int) (func(i int) (transport.Conn, err
 			lis.Instrument(transport.NewConnInstruments(srv.cfg.Obs))
 		}
 		cleanup = func() { lis.Close() }
-		go srv.ServeListener(lis)
+		go func() {
+			// A private accept loop instead of ServeListener so accepted
+			// conns pass through serverWrap; cleanup (deferred by Run)
+			// closes the listener and ends it.
+			for i := 0; ; i++ {
+				conn, err := lis.Accept()
+				if err != nil {
+					return
+				}
+				srv.Attach(serverWrap(i, conn))
+			}
+		}()
 		return func(int) (transport.Conn, error) {
 			return transport.Dial(lis.Addr())
 		}, cleanup, nil

@@ -131,6 +131,9 @@ type Server struct {
 	gate   *overload.Gate
 	svcLat *obs.Histogram
 	gapRTT *overload.RTTEstimator
+	// san screens activation payloads for NaN/Inf and norm outliers
+	// before they can reach the queue; nil when Config.Sanitize is off.
+	san *sanitizer
 	// effCoalesce is the live PopBatch cap: BatchCoalesce normally,
 	// BrownoutCoalesce while the shed gate is open. Workers read it per
 	// iteration without taking s.mu.
@@ -184,6 +187,19 @@ type Server struct {
 	losses  *metrics.LossCurve
 	syncs   int
 	lastDiv float64
+	// corruptFrames counts inbound frames whose CRC32C trailer did not
+	// match — detected, dropped, and recovered by the client's resend.
+	corruptFrames int
+	// quarantined blocklists client ids the sanitizer ruled hostile:
+	// their sessions were aborted and any rejoin or resume is refused
+	// for the server's lifetime (an evicted-but-retrying poisoner would
+	// otherwise rejoin and continue).
+	quarantined map[int]string
+	// poolErr is the terminal worker-pool failure (a replica sync that
+	// could not produce finite parameters); once set the server refuses
+	// new sessions with RetryLater and shuts down after persisting the
+	// healthy replicas.
+	poolErr error
 	started bool
 	// rateSamples backs Snapshot's windowed throughput (see
 	// observeStepLocked).
@@ -227,13 +243,17 @@ func NewServer(srv *core.Server, cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:      cfg,
-		core:     srv,
-		replicas: []*core.Server{srv},
-		q:        safe,
-		tr:       cfg.Tracer,
-		sessions: make(map[int]*session),
-		losses:   losses,
+		cfg:         cfg,
+		core:        srv,
+		replicas:    []*core.Server{srv},
+		q:           safe,
+		tr:          cfg.Tracer,
+		sessions:    make(map[int]*session),
+		quarantined: make(map[int]string),
+		losses:      losses,
+	}
+	if cfg.Sanitize {
+		s.san = newSanitizer(cfg.NormWindow, cfg.NormFactor, cfg.SuspicionLimit)
 	}
 	if cfg.Obs != nil {
 		s.ins = newInstruments(cfg.Obs, cfg.Workers)
@@ -534,7 +554,16 @@ func (s *Server) supervise() {
 		s.checkpoint()
 	}
 	if len(s.replicas) > 1 {
-		s.syncReplicas()
+		if err := s.syncReplicas(); err != nil {
+			// Too late to shed load — the pool is already drained — so
+			// just record the failure for Snapshot/Health. The final
+			// checkpoint above already excluded poisoned replicas.
+			s.mu.Lock()
+			if s.poolErr == nil {
+				s.poolErr = err
+			}
+			s.mu.Unlock()
+		}
 	}
 }
 
@@ -561,13 +590,53 @@ func (s *Server) maybeCheckpoint(n int) {
 // Snapshot.Checkpoints; a failing sink shows up as CheckpointErr with
 // the counter frozen.
 func (s *Server) checkpoint() {
-	err := s.cfg.Checkpoint(s.replicas)
+	// Only finite replicas are persisted: a checkpoint containing NaN
+	// weights restores into a poisoned server, which is exactly the
+	// outcome the verified checkpoint chain exists to prevent. After a
+	// partial pool failure this saves the healthy majority's progress.
+	healthy := make([]*core.Server, 0, len(s.replicas))
+	for _, rep := range s.replicas {
+		if paramsync.Finite(rep.Stack.Params()) {
+			healthy = append(healthy, rep)
+		}
+	}
+	var err error
+	if len(healthy) == 0 {
+		err = fmt.Errorf("cluster: checkpoint skipped, every replica is poisoned: %w", paramsync.ErrNonFinite)
+	} else {
+		err = s.cfg.Checkpoint(healthy)
+	}
 	s.mu.Lock()
 	if err == nil {
 		s.checkpoints++
 	}
 	s.ckptErr = err
 	s.mu.Unlock()
+}
+
+// failPool converts a replica-sync failure into a contained shutdown:
+// the error is recorded once (admission refuses new sessions with
+// RetryLater from here on), the healthy replicas are checkpointed while
+// model ownership is still exclusive, and the server context is
+// cancelled so workers and sessions wind down. Callers hold exclusive
+// model access (barrier last-arriver or the supervisor). This replaces
+// the old panic: one poisoned sync must degrade the service, not crash
+// the process serving every healthy client's final checkpoint.
+func (s *Server) failPool(cause error) {
+	s.mu.Lock()
+	already := s.poolErr != nil
+	if !already {
+		s.poolErr = cause
+	}
+	s.mu.Unlock()
+	if already {
+		return
+	}
+	s.tr.Event("pool.fail", -1, -1, cause.Error())
+	if s.cfg.Checkpoint != nil {
+		s.checkpoint()
+	}
+	s.cancel()
 }
 
 // deliver finishes one served item: per-session bookkeeping, eviction on
@@ -774,6 +843,12 @@ func (s *Server) setDegradedLocked(open bool) {
 // refused past the MaxSessions cap or while the shed gate is open.
 // Caller must hold s.mu.
 func (s *Server) admissionLocked() (transport.RefusalCode, string) {
+	if s.poolErr != nil {
+		// The model pool failed terminally; a session admitted now could
+		// never be served. RetryLater (rather than a dropped connection)
+		// lets a retry-enabled client survive an operator restart.
+		return transport.RefusalRetryLater, "model pool failed"
+	}
 	if s.cfg.MaxSessions > 0 && s.live >= s.cfg.MaxSessions {
 		return transport.RefusalOverloaded, "session cap reached"
 	}
@@ -832,6 +907,44 @@ func (s *Server) processBatch(rep *core.Server, items []queue.Item, now time.Dur
 		}
 	}()
 	return rep.ProcessBatch(items, now)
+}
+
+// noteCorruptFrame records one inbound frame rejected by its CRC32C
+// trailer: the snapshot counter, the stsl_corrupt_frames_total series,
+// and a trace event naming the session it arrived on.
+func (s *Server) noteCorruptFrame(clientID int) {
+	s.mu.Lock()
+	s.corruptFrames++
+	s.mu.Unlock()
+	if s.ins != nil {
+		s.ins.corruptFrames.Inc()
+	}
+	s.tr.Event("frame.corrupt", clientID, -1, "crc32c mismatch")
+}
+
+// quarantine terminally ends a hostile session and blocklists its client
+// id. Eviction alone is not enough: an evicted client with retry enabled
+// rejoins and resumes poisoning, so the blocklist makes the ruling stick
+// for the server's lifetime. The abort note tells a well-behaved client
+// whose hardware went bad why it is being turned away.
+func (s *Server) quarantine(sess *session, conn transport.Conn, why string) error {
+	err := fmt.Errorf("cluster: client %d quarantined: %s", sess.id, why)
+	s.mu.Lock()
+	s.quarantined[sess.id] = why
+	if sess.err == nil {
+		// A recorded error keeps finishSession from parking the session:
+		// quarantine must end it, not hold its slot open for a resume.
+		sess.err = err
+	}
+	sess.closed.Store(true)
+	s.mu.Unlock()
+	s.lifecycle("session.quarantine", sess.id, why)
+	_ = conn.Send(&transport.Message{
+		Type: transport.MsgControl, ClientID: sess.id,
+		Note: core.AbortNote + ": quarantined: " + why, SentAt: s.now(),
+	})
+	s.q.Deactivate(sess.id)
+	return err
 }
 
 // evict terminates one client's session after a processing failure,
@@ -972,6 +1085,12 @@ func (s *Server) stragglerDeadline() time.Duration {
 // goroutine performs the join (or resume) handshake and then pumps
 // activations into the scheduling queue until the client leaves.
 func (s *Server) Attach(conn transport.Conn) {
+	if s.cfg.Checksum {
+		// Inbound decoding is self-describing; this only upgrades the
+		// server's own sends to checksummed framing (no-op on carriers
+		// without a wire format).
+		transport.SetChecksum(conn, true)
+	}
 	s.wg.Add(1)
 	go s.sessionLoop(conn)
 }
@@ -1071,6 +1190,14 @@ func (s *Server) registerLocked(id int, conn transport.Conn) *session {
 // dedup-safe serve path.
 func (s *Server) join(conn transport.Conn, first *transport.Message) *session {
 	s.mu.Lock()
+	if why, bad := s.quarantined[first.ClientID]; bad {
+		s.mu.Unlock()
+		_ = conn.Send(&transport.Message{
+			Type: transport.MsgControl, ClientID: first.ClientID,
+			Note: core.AbortNote + ": quarantined: " + why, SentAt: s.now(),
+		})
+		return nil
+	}
 	old, exists := s.sessions[first.ClientID]
 	if exists && !old.ended && !old.parked {
 		s.mu.Unlock()
@@ -1119,6 +1246,10 @@ func (s *Server) resume(conn transport.Conn, first *transport.Message) *session 
 		return nil
 	}
 	s.mu.Lock()
+	if why, bad := s.quarantined[first.ClientID]; bad {
+		s.mu.Unlock()
+		return abort("quarantined: " + why)
+	}
 	sess, ok := s.sessions[first.ClientID]
 	if !ok || sess.ended {
 		// Resume-as-fresh-join consumes a new slot, so it faces the same
@@ -1165,6 +1296,16 @@ func (s *Server) receive(sess *session, conn transport.Conn) error {
 	for {
 		msg, err := conn.Recv()
 		if err != nil {
+			if errors.Is(err, transport.ErrChecksum) {
+				// The CRC trailer caught a corrupted frame. Framing
+				// survived — the stream is positioned at the next frame —
+				// so count it and keep receiving: the client's adaptive
+				// resend recovers the message and dedup keeps the batch
+				// exactly-once. Closing the connection here would turn a
+				// detected single-frame fault into a full reconnect.
+				s.noteCorruptFrame(sess.id)
+				continue
+			}
 			return err
 		}
 		if s.cfg.StragglerTimeout == StragglerAuto {
@@ -1215,6 +1356,31 @@ func (s *Server) receive(sess *session, conn transport.Conn) error {
 // of an already-served seq is answered from the reply cache, a duplicate
 // of a still-queued seq is dropped (its reply is coming).
 func (s *Server) admit(sess *session, conn transport.Conn, msg *transport.Message) error {
+	if s.san != nil && msg.Payload != nil {
+		// The sanitizer runs before the dedup claim, outside s.mu: a
+		// bounced payload leaves its seq unclaimed, so the client's
+		// mandated resend of the same poison is screened again and
+		// escalates suspicion instead of slipping through as a duplicate.
+		verdict, score, why := s.san.check(sess.id, msg.Payload.Data())
+		if s.ins != nil && (score > 0 || verdict != sanitizeOK) {
+			s.ins.suspicionGauge(sess.id).Set(score)
+		}
+		switch verdict {
+		case sanitizeQuarantine:
+			return s.quarantine(sess, conn, why)
+		case sanitizeReject:
+			// Below the quarantine threshold the payload is still never
+			// queued — poison must not reach a replica — but the session
+			// survives: bounce with a RetryLater hint, reusing the
+			// backpressure note a pre-refusal client already understands.
+			s.tr.Event("session.suspect", sess.id, msg.Seq, why)
+			return conn.Send(&transport.Message{
+				Type: transport.MsgControl, ClientID: sess.id, Seq: msg.Seq,
+				Note: core.RejectedNote, Code: transport.RefusalRetryLater,
+				RetryAfter: s.retryAfterHint(), SentAt: s.now(),
+			})
+		}
+	}
 	s.mu.Lock()
 	if msg.Seq <= sess.maxAdmitted {
 		var cached *transport.Message
@@ -1473,11 +1639,16 @@ func (s *Server) Snapshot() Snapshot {
 		LastLoss:          s.lastLoss,
 		Syncs:             s.syncs,
 		ReplicaDivergence: s.lastDiv,
+		CorruptFrames:     s.corruptFrames,
+		Quarantined:       len(s.quarantined),
 		Clients:           s.snapshotClients(),
 		StepsPerSecWindow: s.windowRateLocked(now),
 	}
 	if s.ckptErr != nil {
 		snap.CheckpointErr = s.ckptErr.Error()
+	}
+	if s.poolErr != nil {
+		snap.PoolErr = s.poolErr.Error()
 	}
 	s.mu.Unlock()
 	snap.Uptime = now.Sub(s.startWall)

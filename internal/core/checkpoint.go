@@ -2,11 +2,27 @@ package core
 
 import (
 	"bufio"
+	"bytes"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"github.com/stsl/stsl/internal/tensor"
 )
+
+// ErrCheckpointCorrupt reports a checkpoint whose bytes cannot be
+// trusted: a payload shorter than its header promises (torn write) or a
+// CRC32C mismatch (bit rot). Restore logic matches it with errors.Is to
+// fall back to an older verified generation instead of refusing to
+// boot. Verification happens before any weight is mutated, so a corrupt
+// checkpoint leaves the server exactly as it was.
+var ErrCheckpointCorrupt = errors.New("core: checkpoint corrupt")
+
+// ckptCRCTable is the CRC32C (Castagnoli) table shared with the wire
+// codec's checksummed frames — one polynomial for the whole integrity
+// layer.
+var ckptCRCTable = crc32.MakeTable(crc32.Castagnoli)
 
 // SaveState writes the server's own training state — the step counter
 // followed by the shared stack's weights — so a restarted server process
@@ -26,30 +42,45 @@ func (s *Server) SaveState(w io.Writer) error {
 	return nil
 }
 
-// SavePoolState writes a worker pool's training state: the checkpoint
-// format is versioned by replica count, so a restore knows how many
-// stacks follow and can average them. A single replica degenerates to
-// the legacy STSLSRV1 format — a workers=1 server keeps producing
-// checkpoints any older reader understands. The recorded step count is
-// the pool total (every replica's contribution).
+// SavePoolState writes a worker pool's training state in the current
+// (STSLPOOL2) checkpoint format: a header carrying the replica count,
+// pool step total, generation chain metadata, and the payload's length
+// and CRC32C, followed by the replica weight stacks. Readers verify the
+// CRC before trusting a byte, so torn writes and bit rot are detected
+// instead of silently restored. Legacy STSLSRV1/STSLPOOL1 checkpoints
+// still load (LoadState recognises all three headers); this writer is
+// gen-chain position zero — use SavePoolStateGen to record lineage.
 func SavePoolState(w io.Writer, replicas []*Server) error {
+	return SavePoolStateGen(w, replicas, 0, 0)
+}
+
+// SavePoolStateGen is SavePoolState recording the checkpoint's position
+// in a generation chain: gen is this checkpoint's generation number and
+// parent the generation it was taken from, so an auditor (or a restore
+// that distrusts mtimes) can reconstruct lineage from the files alone.
+func SavePoolStateGen(w io.Writer, replicas []*Server, gen, parent int) error {
 	if len(replicas) == 0 {
 		return fmt.Errorf("core: pool state needs at least one replica")
-	}
-	if len(replicas) == 1 {
-		return replicas[0].SaveState(w)
 	}
 	total := 0
 	for _, rep := range replicas {
 		total += rep.steps
 	}
-	if _, err := fmt.Fprintf(w, "STSLPOOL1 workers=%d steps=%d\n", len(replicas), total); err != nil {
-		return fmt.Errorf("core: pool state header: %w", err)
-	}
+	// The payload is buffered first: the header must promise the exact
+	// length and CRC of what follows, which streaming cannot know yet.
+	var payload bytes.Buffer
 	for i, rep := range replicas {
-		if err := rep.Stack.SaveWeights(w); err != nil {
+		if err := rep.Stack.SaveWeights(&payload); err != nil {
 			return fmt.Errorf("core: pool state replica %d weights: %w", i, err)
 		}
+	}
+	sum := crc32.Checksum(payload.Bytes(), ckptCRCTable)
+	if _, err := fmt.Fprintf(w, "STSLPOOL2 workers=%d steps=%d gen=%d parent=%d len=%d crc=%08x\n",
+		len(replicas), total, gen, parent, payload.Len(), sum); err != nil {
+		return fmt.Errorf("core: pool state header: %w", err)
+	}
+	if _, err := w.Write(payload.Bytes()); err != nil {
+		return fmt.Errorf("core: pool state payload: %w", err)
 	}
 	return nil
 }
@@ -79,6 +110,51 @@ func (s *Server) LoadState(r io.Reader) error {
 		s.steps = steps
 		return nil
 	}
+	var gen, parent, plen int
+	var sum uint32
+	if n, _ := fmt.Sscanf(header, "STSLPOOL2 workers=%d steps=%d gen=%d parent=%d len=%d crc=%x",
+		&workers, &steps, &gen, &parent, &plen, &sum); n == 6 {
+		if workers <= 0 {
+			return fmt.Errorf("core: pool state has non-positive worker count %d", workers)
+		}
+		if steps < 0 {
+			return fmt.Errorf("core: pool state has negative step count %d", steps)
+		}
+		if plen < 0 {
+			return fmt.Errorf("core: pool state has negative payload length %d", plen)
+		}
+		// The whole payload is read and CRC-verified before a single
+		// weight is touched: a corrupt checkpoint must leave the server
+		// untouched so the caller can fall back to an older generation.
+		// LimitReader bounds the read by the stream's real size even if
+		// a corrupted header announces an absurd length.
+		var payload bytes.Buffer
+		got, err := io.Copy(&payload, io.LimitReader(br, int64(plen)))
+		if err != nil {
+			return fmt.Errorf("core: read pool state payload: %w", err)
+		}
+		if got != int64(plen) {
+			return fmt.Errorf("core: pool state payload %d of %d bytes (torn write): %w",
+				got, plen, ErrCheckpointCorrupt)
+		}
+		if s := crc32.Checksum(payload.Bytes(), ckptCRCTable); s != sum {
+			return fmt.Errorf("core: pool state crc32c %08x, header says %08x: %w",
+				s, sum, ErrCheckpointCorrupt)
+		}
+		pr := bytes.NewReader(payload.Bytes())
+		if workers == 1 {
+			if err := s.Stack.LoadWeights(pr); err != nil {
+				return fmt.Errorf("core: restore server weights: %w", err)
+			}
+			s.steps = steps
+			return nil
+		}
+		if err := s.loadAveraged(pr, workers); err != nil {
+			return err
+		}
+		s.steps = steps
+		return nil
+	}
 	if n, _ := fmt.Sscanf(header, "STSLPOOL1 workers=%d steps=%d", &workers, &steps); n == 2 {
 		if workers <= 0 {
 			return fmt.Errorf("core: pool state has non-positive worker count %d", workers)
@@ -86,29 +162,37 @@ func (s *Server) LoadState(r io.Reader) error {
 		if steps < 0 {
 			return fmt.Errorf("core: pool state has negative step count %d", steps)
 		}
-		// Average the N stacks through accumulator tensors: each stack
-		// is loaded into s.Stack in turn (the only structural twin we
-		// hold) and folded into the accumulators at weight 1/N.
-		params := s.Stack.Params()
-		accs := make([]*tensor.Tensor, len(params))
-		for i, p := range params {
-			accs[i] = tensor.New(p.Value.Shape()...)
-		}
-		for k := 0; k < workers; k++ {
-			if err := s.Stack.LoadWeights(br); err != nil {
-				return fmt.Errorf("core: restore pool replica %d weights: %w", k, err)
-			}
-			for i, p := range params {
-				accs[i].AXPY(1/float64(workers), p.Value)
-			}
-		}
-		for i, p := range params {
-			p.Value.CopyFrom(accs[i])
+		if err := s.loadAveraged(br, workers); err != nil {
+			return err
 		}
 		s.steps = steps
 		return nil
 	}
 	return fmt.Errorf("core: unrecognised server state header %q", header)
+}
+
+// loadAveraged reads workers consecutive weight stacks from r and
+// restores their uniform FedAvg average into s.Stack: each stack is
+// loaded into s.Stack in turn (the only structural twin we hold) and
+// folded into accumulator tensors at weight 1/N.
+func (s *Server) loadAveraged(r io.Reader, workers int) error {
+	params := s.Stack.Params()
+	accs := make([]*tensor.Tensor, len(params))
+	for i, p := range params {
+		accs[i] = tensor.New(p.Value.Shape()...)
+	}
+	for k := 0; k < workers; k++ {
+		if err := s.Stack.LoadWeights(r); err != nil {
+			return fmt.Errorf("core: restore pool replica %d weights: %w", k, err)
+		}
+		for i, p := range params {
+			accs[i].AXPY(1/float64(workers), p.Value)
+		}
+	}
+	for i, p := range params {
+		p.Value.CopyFrom(accs[i])
+	}
+	return nil
 }
 
 // SaveCheckpoint writes every weight in the deployment — the shared

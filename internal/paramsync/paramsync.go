@@ -27,6 +27,12 @@ func Copy(dst, src []*nn.Param) error {
 	if len(dst) != len(src) {
 		return fmt.Errorf("paramsync: copy %d params into %d", len(src), len(dst))
 	}
+	// Refuse to propagate poison: fanning a NaN out to every replica is
+	// how one bad sync kills a whole pool. The check runs before any
+	// write so a rejected copy leaves dst untouched.
+	if !setFinite(src) {
+		return fmt.Errorf("paramsync: copy source: %w", ErrNonFinite)
+	}
 	for i := range dst {
 		dst[i].Value.CopyFrom(src[i].Value)
 	}
@@ -59,9 +65,15 @@ func Average(dst []*nn.Param, sets [][]*nn.Param, weights []float64) error {
 			return fmt.Errorf("paramsync: weights sum to %v, want positive", total)
 		}
 	}
-	for _, set := range sets {
+	for si, set := range sets {
 		if len(set) != len(dst) {
 			return fmt.Errorf("paramsync: averaging %d params into %d", len(set), len(dst))
+		}
+		// A single NaN would poison every coordinate of the mean; plain
+		// Average refuses rather than blending it in (the robust
+		// variants in robust.go drop poisoned sets instead).
+		if !setFinite(set) {
+			return fmt.Errorf("paramsync: set %d: %w", si, ErrNonFinite)
 		}
 	}
 	for pi := range dst {

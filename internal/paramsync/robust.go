@@ -1,0 +1,263 @@
+// Robust aggregation variants. Plain Average is exactly as Byzantine-
+// tolerant as an arithmetic mean — one NaN poisons every coordinate and
+// one huge update drags the consensus arbitrarily far. The variants here
+// bound a minority of hostile or broken sets: TrimmedMean discards the
+// coordinate-wise extremes before averaging, ClippedAverage shrinks each
+// set's deviation from a robust center to a multiple of the median
+// deviation. Both drop sets containing non-finite values entirely — a
+// NaN update carries no usable information at any weight.
+package paramsync
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/stsl/stsl/internal/nn"
+	"github.com/stsl/stsl/internal/tensor"
+)
+
+// ErrNonFinite reports parameter values that are NaN or ±Inf where
+// finite numbers are required: a source set handed to Copy/Average, or
+// every candidate set of a robust aggregation.
+var ErrNonFinite = errors.New("paramsync: non-finite parameter values")
+
+// Method selects the aggregation rule used when replica (or client)
+// parameter sets are combined.
+type Method uint8
+
+const (
+	// MethodAverage is the plain weighted mean — exact FedAvg, fastest,
+	// zero Byzantine tolerance (guarded: it refuses non-finite inputs).
+	MethodAverage Method = iota
+	// MethodTrimmed is the coordinate-wise trimmed mean: per coordinate,
+	// the k highest and k lowest values are discarded before averaging.
+	// Tolerates up to k hostile sets per coordinate; ignores weights
+	// (rank statistics have no natural weighting).
+	MethodTrimmed
+	// MethodClipped averages deviations from the coordinate-wise median
+	// after clipping each set's deviation norm to a multiple of the
+	// median deviation — outliers still vote, but with bounded pull.
+	MethodClipped
+)
+
+// String implements fmt.Stringer; the inverse of ParseMethod.
+func (m Method) String() string {
+	switch m {
+	case MethodAverage:
+		return "average"
+	case MethodTrimmed:
+		return "trimmed"
+	case MethodClipped:
+		return "clipped"
+	default:
+		return fmt.Sprintf("Method(%d)", uint8(m))
+	}
+}
+
+// ParseMethod maps a CLI/config spelling onto a Method.
+func ParseMethod(s string) (Method, error) {
+	switch s {
+	case "", "average", "mean", "fedavg":
+		return MethodAverage, nil
+	case "trimmed", "trimmed-mean":
+		return MethodTrimmed, nil
+	case "clipped", "clip":
+		return MethodClipped, nil
+	default:
+		return 0, fmt.Errorf("paramsync: unknown aggregation method %q (want average, trimmed, or clipped)", s)
+	}
+}
+
+// Aggregate combines the parameter sets into dst with the selected rule.
+// It is the single entry point the cluster pool and checkpoint restore
+// use, so switching a deployment to a robust rule is one config knob.
+func Aggregate(m Method, dst []*nn.Param, sets [][]*nn.Param, weights []float64) error {
+	switch m {
+	case MethodAverage:
+		return Average(dst, sets, weights)
+	case MethodTrimmed:
+		return TrimmedMean(dst, sets)
+	case MethodClipped:
+		return ClippedAverage(dst, sets, weights)
+	default:
+		return fmt.Errorf("paramsync: unknown aggregation method %v", m)
+	}
+}
+
+// Finite reports whether every value of every parameter in the set is
+// finite — how the cluster excludes a poisoned replica from checkpoints
+// before persisting the healthy ones.
+func Finite(set []*nn.Param) bool { return setFinite(set) }
+
+// setFinite reports whether every value of every parameter is finite.
+func setFinite(set []*nn.Param) bool {
+	for _, p := range set {
+		for _, v := range p.Value.Data() {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// finiteSets filters out sets containing non-finite values, validating
+// structure against dst along the way. The returned index slice maps
+// surviving positions back to the originals (for weights).
+func finiteSets(dst []*nn.Param, sets [][]*nn.Param) ([][]*nn.Param, []int, error) {
+	if len(sets) == 0 {
+		return nil, nil, fmt.Errorf("paramsync: aggregation of zero parameter sets")
+	}
+	valid := make([][]*nn.Param, 0, len(sets))
+	idx := make([]int, 0, len(sets))
+	for si, set := range sets {
+		if len(set) != len(dst) {
+			return nil, nil, fmt.Errorf("paramsync: aggregating %d params into %d", len(set), len(dst))
+		}
+		if setFinite(set) {
+			valid = append(valid, set)
+			idx = append(idx, si)
+		}
+	}
+	if len(valid) == 0 {
+		return nil, nil, fmt.Errorf("paramsync: every candidate set is poisoned: %w", ErrNonFinite)
+	}
+	return valid, idx, nil
+}
+
+// TrimmedMean writes the coordinate-wise trimmed mean of the finite
+// sets into dst (dst may alias a set). With n surviving sets the
+// max(1, n/4) highest and lowest values per coordinate are discarded
+// when n ≥ 3; below that there is nothing to trim and it degenerates to
+// the plain mean of the survivors.
+func TrimmedMean(dst []*nn.Param, sets [][]*nn.Param) error {
+	valid, _, err := finiteSets(dst, sets)
+	if err != nil {
+		return err
+	}
+	n := len(valid)
+	k := 0
+	if n >= 3 {
+		k = n / 4
+		if k < 1 {
+			k = 1
+		}
+	}
+	vals := make([]float64, n)
+	for pi := range dst {
+		acc := tensor.New(valid[0][pi].Value.Shape()...)
+		ad := acc.Data()
+		for i := range ad {
+			for si, set := range valid {
+				vals[si] = set[pi].Value.Data()[i]
+			}
+			sort.Float64s(vals)
+			sum := 0.0
+			for _, v := range vals[k : n-k] {
+				sum += v
+			}
+			ad[i] = sum / float64(n-2*k)
+		}
+		dst[pi].Value.CopyFrom(acc)
+	}
+	return nil
+}
+
+// ClippedAverage writes a norm-clipped weighted mean into dst: the
+// center is the coordinate-wise median of the finite sets, each set's
+// deviation from it is scaled down to at most clipFactor× the median
+// deviation norm, and the scaled deviations are weight-averaged back
+// onto the center. A lone norm-bomb set keeps its vote direction but
+// loses its magnitude. nil weights means uniform; weights of dropped
+// (non-finite) sets are excluded from the normalisation.
+func ClippedAverage(dst []*nn.Param, sets [][]*nn.Param, weights []float64) error {
+	if weights != nil && len(weights) != len(sets) {
+		return fmt.Errorf("paramsync: %d weights for %d parameter sets", len(weights), len(sets))
+	}
+	valid, idx, err := finiteSets(dst, sets)
+	if err != nil {
+		return err
+	}
+	n := len(valid)
+	w := make([]float64, n)
+	total := 0.0
+	for vi, si := range idx {
+		w[vi] = 1
+		if weights != nil {
+			if weights[si] < 0 {
+				return fmt.Errorf("paramsync: negative weight %v", weights[si])
+			}
+			w[vi] = weights[si]
+		}
+		total += w[vi]
+	}
+	if total <= 0 {
+		return fmt.Errorf("paramsync: weights of finite sets sum to %v, want positive", total)
+	}
+
+	// Coordinate-wise median center.
+	center := make([]*tensor.Tensor, len(dst))
+	vals := make([]float64, n)
+	for pi := range dst {
+		center[pi] = tensor.New(valid[0][pi].Value.Shape()...)
+		cd := center[pi].Data()
+		for i := range cd {
+			for si, set := range valid {
+				vals[si] = set[pi].Value.Data()[i]
+			}
+			sort.Float64s(vals)
+			if n%2 == 1 {
+				cd[i] = vals[n/2]
+			} else {
+				cd[i] = (vals[n/2-1] + vals[n/2]) / 2
+			}
+		}
+	}
+
+	// Per-set deviation norms from the center, and their median.
+	devNorm := make([]float64, n)
+	for si, set := range valid {
+		var sq float64
+		for pi := range dst {
+			cd := center[pi].Data()
+			sd := set[pi].Value.Data()
+			for i, c := range cd {
+				d := sd[i] - c
+				sq += d * d
+			}
+		}
+		devNorm[si] = math.Sqrt(sq)
+	}
+	sorted := append([]float64(nil), devNorm...)
+	sort.Float64s(sorted)
+	medDev := sorted[n/2]
+	if n%2 == 0 {
+		medDev = (sorted[n/2-1] + sorted[n/2]) / 2
+	}
+
+	const clipFactor = 2.0
+	bound := clipFactor * medDev
+	for pi := range dst {
+		acc := tensor.New(valid[0][pi].Value.Shape()...)
+		acc.CopyFrom(center[pi])
+		ad := acc.Data()
+		cd := center[pi].Data()
+		for si, set := range valid {
+			scale := w[si] / total
+			if devNorm[si] > bound {
+				// bound == 0 (median set identical to the center) fully
+				// zeroes an outlier's pull rather than leaving it
+				// unclipped.
+				scale *= bound / devNorm[si]
+			}
+			sd := set[pi].Value.Data()
+			for i := range ad {
+				ad[i] += scale * (sd[i] - cd[i])
+			}
+		}
+		dst[pi].Value.CopyFrom(acc)
+	}
+	return nil
+}

@@ -1,0 +1,217 @@
+package paramsync
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/stsl/stsl/internal/nn"
+)
+
+func TestParseMethod(t *testing.T) {
+	cases := map[string]Method{
+		"": MethodAverage, "average": MethodAverage, "mean": MethodAverage, "fedavg": MethodAverage,
+		"trimmed": MethodTrimmed, "trimmed-mean": MethodTrimmed,
+		"clipped": MethodClipped, "clip": MethodClipped,
+	}
+	for s, want := range cases {
+		got, err := ParseMethod(s)
+		if err != nil || got != want {
+			t.Errorf("ParseMethod(%q) = %v, %v; want %v", s, got, err, want)
+		}
+		if s != "" && s != "mean" && s != "fedavg" && s != "trimmed-mean" && s != "clip" {
+			if got.String() != s {
+				t.Errorf("Method(%q).String() = %q", s, got.String())
+			}
+		}
+	}
+	if _, err := ParseMethod("krum"); err == nil {
+		t.Error("ParseMethod accepted an unknown rule")
+	}
+}
+
+func TestFinite(t *testing.T) {
+	if !Finite(set(1, 2, 3)) {
+		t.Error("finite set reported non-finite")
+	}
+	if Finite(set(1, math.NaN(), 3)) {
+		t.Error("NaN set reported finite")
+	}
+	if Finite(set(1, math.Inf(-1), 3)) {
+		t.Error("Inf set reported finite")
+	}
+}
+
+// TestAverageRejectsNonFinite: the guarded plain mean refuses to fold a
+// NaN or Inf set in — the error is typed so callers can distinguish
+// poisoning from structural misuse.
+func TestAverageRejectsNonFinite(t *testing.T) {
+	dst := set(0, 0)
+	err := Average(dst, [][]*nn.Param{set(1, 2), set(math.NaN(), 2)}, nil)
+	if !errors.Is(err, ErrNonFinite) {
+		t.Fatalf("Average on NaN set: %v, want ErrNonFinite", err)
+	}
+	err = Average(dst, [][]*nn.Param{set(1, math.Inf(1))}, nil)
+	if !errors.Is(err, ErrNonFinite) {
+		t.Fatalf("Average on Inf set: %v, want ErrNonFinite", err)
+	}
+}
+
+// TestCopyRejectsNonFinite: restoring or fanning out poisoned parameters
+// is never silent.
+func TestCopyRejectsNonFinite(t *testing.T) {
+	if err := Copy(set(0, 0), set(1, math.NaN())); !errors.Is(err, ErrNonFinite) {
+		t.Fatalf("Copy of NaN set: want ErrNonFinite")
+	}
+	dst := set(7, 7)
+	if err := Copy(dst, set(1, math.Inf(1))); !errors.Is(err, ErrNonFinite) {
+		t.Fatal("Copy of Inf set: want ErrNonFinite")
+	}
+	if dst[0].Value.Data()[0] != 7 {
+		t.Fatal("rejected Copy mutated dst")
+	}
+}
+
+// TestTrimmedMeanDropsNaNSet: a NaN set is excluded entirely; the result
+// is the mean of the survivors.
+func TestTrimmedMeanDropsNaNSet(t *testing.T) {
+	dst := set(0, 0)
+	sets := [][]*nn.Param{set(1, 2), set(3, 4), set(math.NaN(), math.NaN())}
+	if err := TrimmedMean(dst, sets); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []float64{2, 3} {
+		if got := dst[0].Value.Data()[i]; math.Abs(got-want) > 1e-12 {
+			t.Fatalf("dst[%d] = %v, want %v", i, got, want)
+		}
+	}
+}
+
+// TestTrimmedMeanBoundsNormBomb: with n ≥ 3 surviving sets, a lone
+// hostile set scaled by 1e6 is trimmed per coordinate — the result stays
+// within the honest sets' range.
+func TestTrimmedMeanBoundsNormBomb(t *testing.T) {
+	dst := set(0, 0)
+	honest := [][]*nn.Param{set(1, -1), set(1.2, -0.8), set(0.8, -1.2)}
+	sets := append(append([][]*nn.Param{}, honest...), set(1e6, -1e6))
+	if err := TrimmedMean(dst, sets); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range dst[0].Value.Data() {
+		if math.Abs(v) > 2 {
+			t.Fatalf("coordinate %d = %v escaped the honest range — the bomb was averaged in", i, v)
+		}
+	}
+	// Close to the clean mean: trimming (k=1 of 4) drops the bomb and one
+	// honest extreme per coordinate.
+	if v := dst[0].Value.Data()[0]; math.Abs(v-1) > 0.25 {
+		t.Fatalf("trimmed[0] = %v, want ≈ 1", v)
+	}
+}
+
+// TestTrimmedMeanAllPoisoned: when every candidate carries NaN there is
+// nothing to aggregate — typed error, not a NaN result.
+func TestTrimmedMeanAllPoisoned(t *testing.T) {
+	err := TrimmedMean(set(0), [][]*nn.Param{set(math.NaN()), set(math.Inf(1))})
+	if !errors.Is(err, ErrNonFinite) {
+		t.Fatalf("all-poisoned trim: %v, want ErrNonFinite", err)
+	}
+}
+
+// TestTrimmedMeanSmallN: with fewer than 3 sets nothing is trimmed; the
+// rule degenerates to the plain mean of the survivors.
+func TestTrimmedMeanSmallN(t *testing.T) {
+	dst := set(0)
+	if err := TrimmedMean(dst, [][]*nn.Param{set(1), set(3)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := dst[0].Value.Data()[0]; math.Abs(got-2) > 1e-12 {
+		t.Fatalf("2-set trim = %v, want plain mean 2", got)
+	}
+}
+
+// TestClippedAverageBoundsNormBomb: the bomb keeps its vote direction
+// but its pull is clipped to 2× the median deviation — the result lands
+// near the honest consensus instead of at the bomb.
+func TestClippedAverageBoundsNormBomb(t *testing.T) {
+	dst := set(0, 0)
+	sets := [][]*nn.Param{set(1, -1), set(1.1, -0.9), set(0.9, -1.1), set(1e6, -1e6)}
+	if err := ClippedAverage(dst, sets, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range dst[0].Value.Data() {
+		if math.Abs(v) > 2 {
+			t.Fatalf("coordinate %d = %v — the bomb's magnitude survived clipping", i, v)
+		}
+	}
+	if v := dst[0].Value.Data()[0]; math.Abs(v-1) > 0.5 {
+		t.Fatalf("clipped[0] = %v, want ≈ 1", v)
+	}
+}
+
+// TestClippedAverageZeroMedianDeviation: when the median set sits exactly
+// on the center (bound = 0), an outlier's pull is zeroed entirely rather
+// than divided by zero or left unclipped.
+func TestClippedAverageZeroMedianDeviation(t *testing.T) {
+	dst := set(0)
+	sets := [][]*nn.Param{set(5), set(5), set(5), set(1e9)}
+	if err := ClippedAverage(dst, sets, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := dst[0].Value.Data()[0]; math.Abs(got-5) > 1e-9 {
+		t.Fatalf("zero-deviation clip = %v, want the consensus 5", got)
+	}
+}
+
+// TestClippedAverageDropsNaNWeight: a dropped (non-finite) set's weight
+// leaves the normalisation too, so the survivors' weights renormalise.
+func TestClippedAverageDropsNaNWeight(t *testing.T) {
+	dst := set(0)
+	sets := [][]*nn.Param{set(2), set(4), set(math.NaN())}
+	if err := ClippedAverage(dst, sets, []float64{1, 1, 100}); err != nil {
+		t.Fatal(err)
+	}
+	if got := dst[0].Value.Data()[0]; math.Abs(got-3) > 1e-9 {
+		t.Fatalf("clipped avg = %v, want 3 (NaN set and its weight dropped)", got)
+	}
+}
+
+// TestAggregateDispatch: the single entry point routes to each rule and
+// rejects an undefined method.
+func TestAggregateDispatch(t *testing.T) {
+	for _, m := range []Method{MethodAverage, MethodTrimmed, MethodClipped} {
+		dst := set(0)
+		if err := Aggregate(m, dst, [][]*nn.Param{set(2), set(4)}, nil); err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if got := dst[0].Value.Data()[0]; math.Abs(got-3) > 1e-9 {
+			t.Fatalf("%v = %v, want 3", m, got)
+		}
+	}
+	if err := Aggregate(Method(99), set(0), [][]*nn.Param{set(1)}, nil); err == nil {
+		t.Fatal("Aggregate accepted an undefined method")
+	}
+}
+
+// TestRobustAliasesDst: like Average, the robust rules must tolerate dst
+// aliasing a source set — the pool aggregates into replica 0 in place.
+func TestRobustAliasesDst(t *testing.T) {
+	a, b, c := set(1, 4), set(3, 6), set(2, 5)
+	if err := TrimmedMean(a, [][]*nn.Param{a, b, c}); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []float64{2, 5} {
+		if got := a[0].Value.Data()[i]; math.Abs(got-want) > 1e-12 {
+			t.Fatalf("aliased trim[%d] = %v, want %v", i, got, want)
+		}
+	}
+	a2, b2 := set(1, 4), set(3, 6)
+	if err := ClippedAverage(a2, [][]*nn.Param{a2, b2}, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []float64{2, 5} {
+		if got := a2[0].Value.Data()[i]; math.Abs(got-want) > 1e-12 {
+			t.Fatalf("aliased clip[%d] = %v, want %v", i, got, want)
+		}
+	}
+}

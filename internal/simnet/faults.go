@@ -37,6 +37,11 @@ const (
 	// FaultDuplicate delivers (or transmits) the message twice — the
 	// at-least-once artefact a retransmitting network produces.
 	FaultDuplicate
+	// FaultCorrupt flips one bit of the message's wire encoding — the
+	// silent-data-corruption class (faulty NIC, bad RAM on a relay, a
+	// cosmic ray on a long-haul link) that checksummed framing exists to
+	// catch. FaultDecision.Bits seeds which bit flips.
+	FaultCorrupt
 )
 
 // String implements fmt.Stringer for test output.
@@ -52,6 +57,8 @@ func (a FaultAction) String() string {
 		return "delay"
 	case FaultDuplicate:
 		return "duplicate"
+	case FaultCorrupt:
+		return "corrupt"
 	default:
 		return "unknown"
 	}
@@ -62,6 +69,11 @@ type FaultDecision struct {
 	Action FaultAction
 	// Delay is the injected stall when Action is FaultDelay.
 	Delay time.Duration
+	// Bits is a seeded random word carried with FaultCorrupt; the
+	// carrier maps it onto the encoded frame length to pick the flipped
+	// bit, keeping the corruption deterministic per seed without the
+	// schedule needing to know frame sizes.
+	Bits uint64
 }
 
 // FaultSchedule decides, operation by operation, which faults a carrier
@@ -101,6 +113,14 @@ type FaultPlan struct {
 	DupEveryRecvs int
 	// DupProb duplicates any delivery with this probability.
 	DupProb float64
+	// CorruptEverySends flips a bit in every Nth outgoing frame
+	// (0 = never).
+	CorruptEverySends int
+	// CorruptEveryRecvs flips a bit in every Nth delivery (0 = never).
+	CorruptEveryRecvs int
+	// CorruptProb flips a bit in any operation (either direction) with
+	// this probability.
+	CorruptProb float64
 	// DelayProb stalls any operation (either direction) with this
 	// probability, for Delay.
 	DelayProb float64
@@ -152,6 +172,14 @@ func (f *Faults) Next(op FaultOp) FaultDecision {
 		f.sends++
 		severProb := f.plan.SeverProb > 0 && f.sendRNG.Float64() < f.plan.SeverProb
 		delayProb := f.plan.DelayProb > 0 && f.sendRNG.Float64() < f.plan.DelayProb
+		corruptProb := f.plan.CorruptProb > 0 && f.sendRNG.Float64() < f.plan.CorruptProb
+		// The bit word is drawn on every send once any corrupt rule is
+		// configured — not only when one fires — so rule interleaving
+		// never shifts the stream.
+		var bits uint64
+		if f.plan.CorruptProb > 0 || f.plan.CorruptEverySends > 0 {
+			bits = f.sendRNG.Uint64()
+		}
 		switch {
 		case f.severAt[n]:
 			return FaultDecision{Action: FaultSever}
@@ -159,8 +187,12 @@ func (f *Faults) Next(op FaultOp) FaultDecision {
 			return FaultDecision{Action: FaultSever}
 		case f.plan.TruncateEverySends > 0 && n > 0 && n%f.plan.TruncateEverySends == 0:
 			return FaultDecision{Action: FaultTruncate}
+		case f.plan.CorruptEverySends > 0 && n > 0 && n%f.plan.CorruptEverySends == 0:
+			return FaultDecision{Action: FaultCorrupt, Bits: bits}
 		case severProb:
 			return FaultDecision{Action: FaultSever}
+		case corruptProb:
+			return FaultDecision{Action: FaultCorrupt, Bits: bits}
 		case delayProb || (f.plan.DelayEveryOps > 0 && n > 0 && n%f.plan.DelayEveryOps == 0):
 			return FaultDecision{Action: FaultDelay, Delay: f.plan.Delay}
 		}
@@ -169,11 +201,20 @@ func (f *Faults) Next(op FaultOp) FaultDecision {
 		f.recvs++
 		dupProb := f.plan.DupProb > 0 && f.recvRNG.Float64() < f.plan.DupProb
 		delayProb := f.plan.DelayProb > 0 && f.recvRNG.Float64() < f.plan.DelayProb
+		corruptProb := f.plan.CorruptProb > 0 && f.recvRNG.Float64() < f.plan.CorruptProb
+		var bits uint64
+		if f.plan.CorruptProb > 0 || f.plan.CorruptEveryRecvs > 0 {
+			bits = f.recvRNG.Uint64()
+		}
 		switch {
 		case f.plan.DupEveryRecvs > 0 && n > 0 && n%f.plan.DupEveryRecvs == 0:
 			return FaultDecision{Action: FaultDuplicate}
+		case f.plan.CorruptEveryRecvs > 0 && n > 0 && n%f.plan.CorruptEveryRecvs == 0:
+			return FaultDecision{Action: FaultCorrupt, Bits: bits}
 		case dupProb:
 			return FaultDecision{Action: FaultDuplicate}
+		case corruptProb:
+			return FaultDecision{Action: FaultCorrupt, Bits: bits}
 		case delayProb || (f.plan.DelayEveryOps > 0 && n > 0 && n%f.plan.DelayEveryOps == 0):
 			return FaultDecision{Action: FaultDelay, Delay: f.plan.Delay}
 		}

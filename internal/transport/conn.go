@@ -3,6 +3,7 @@ package transport
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 )
 
 // ErrClosed is returned by operations on a closed connection.
@@ -25,6 +26,12 @@ type Conn interface {
 type chanConn struct {
 	send chan<- *Message
 	recv <-chan *Message
+
+	// checksum records the Checksummer setting. Messages cross by
+	// pointer — there is no wire to corrupt or protect — so the flag
+	// changes nothing here; it exists so wrappers (FaultCarrier's
+	// corrupt emulation) and tests can observe the configured framing.
+	checksum atomic.Bool
 
 	mu       sync.Mutex
 	closed   bool
@@ -98,6 +105,10 @@ func (c *chanConn) Recv() (*Message, error) {
 		return nil, ErrClosed
 	}
 }
+
+// SetChecksum implements Checksummer. See the checksum field: a no-op
+// beyond recording the preference.
+func (c *chanConn) SetChecksum(on bool) { c.checksum.Store(on) }
 
 // Close implements Conn.
 func (c *chanConn) Close() error {

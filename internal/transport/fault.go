@@ -1,8 +1,11 @@
 package transport
 
 import (
+	"bytes"
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/stsl/stsl/internal/simnet"
@@ -31,12 +34,23 @@ var ErrTruncated = fmt.Errorf("transport: frame truncated: %w", ErrClosed)
 //   - Delay: the operation completes after a stall.
 //   - Duplicate: a sent message is transmitted twice, or a received
 //     message is delivered again on the next Recv.
+//   - Corrupt: the message is encoded to wire bytes, one seeded bit is
+//     flipped, and the result decoded — exactly what a silently
+//     corrupting link does to a frame. The outcome depends on where the
+//     bit lands and whether checksummed framing is on (SetChecksum):
+//     a detected flip surfaces as ErrChecksum on Recv (the connection
+//     survives; the caller skips the frame) or a silent drop on Send
+//     (the peer never sees it — the sender's resend recovers); a flip
+//     that breaks the framing itself severs, like truncation; and an
+//     undetected flip delivers the corrupted message, which is the
+//     silent-poisoning case the semantic sanitizer exists to catch.
 //
 // Send and Recv keep the Conn contract (safe from two goroutines); each
 // direction serialises under its own lock, matching the TCP carrier.
 type FaultCarrier struct {
-	inner Conn
-	sched simnet.FaultSchedule
+	inner    Conn
+	sched    simnet.FaultSchedule
+	checksum atomic.Bool
 
 	sendMu sync.Mutex
 
@@ -69,6 +83,23 @@ func (c *FaultCarrier) Send(m *Message) error {
 		if err := c.inner.Send(m); err != nil {
 			return err
 		}
+	case simnet.FaultCorrupt:
+		mc, err := c.corrupt(m, d.Bits)
+		switch {
+		case errors.Is(err, ErrChecksum):
+			// The checksum caught the flip. On the real wire the
+			// *receiver* detects and drops the frame; the observable
+			// effect at the sender is a message that never arrives, so
+			// the emulation drops it silently and lets the sender's
+			// resend machinery recover.
+			return nil
+		case err != nil:
+			// The flip broke the framing itself; a stream could not
+			// resync past it, so the link dies like a truncation.
+			c.inner.Close()
+			return ErrTruncated
+		}
+		return c.inner.Send(mc)
 	}
 	return c.inner.Send(m)
 }
@@ -99,8 +130,49 @@ func (c *FaultCarrier) Recv() (*Message, error) {
 		sleep(d.Delay)
 	case simnet.FaultDuplicate:
 		c.dup = m
+	case simnet.FaultCorrupt:
+		mc, cerr := c.corrupt(m, d.Bits)
+		switch {
+		case errors.Is(cerr, ErrChecksum):
+			// Detected corruption: the frame is dropped but the stream
+			// is intact. The caller counts it and reads on.
+			return nil, cerr
+		case cerr != nil:
+			c.inner.Close()
+			return nil, ErrTruncated
+		}
+		return mc, nil
 	}
 	return m, nil
+}
+
+// corrupt round-trips m through its wire encoding with one bit flipped,
+// returning the decoded (corrupted) message, ErrChecksum when the
+// checksummed framing detected the flip, or the decode error when the
+// flip destroyed the framing.
+func (c *FaultCarrier) corrupt(m *Message, bits uint64) (*Message, error) {
+	var buf bytes.Buffer
+	var err error
+	if c.checksum.Load() {
+		err = m.EncodeChecksummed(&buf)
+	} else {
+		err = m.Encode(&buf)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("transport: corrupt encode: %w", err)
+	}
+	raw := buf.Bytes()
+	bit := bits % uint64(len(raw)*8)
+	raw[bit/8] ^= 1 << (bit % 8)
+	return Decode(bytes.NewReader(raw))
+}
+
+// SetChecksum implements Checksummer: it switches the corrupt
+// emulation's framing and forwards to the inner carrier when that
+// supports it too.
+func (c *FaultCarrier) SetChecksum(on bool) {
+	c.checksum.Store(on)
+	SetChecksum(c.inner, on)
 }
 
 // Close implements Conn.

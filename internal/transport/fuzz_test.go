@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 	"time"
 
@@ -89,6 +90,18 @@ func FuzzDecode(f *testing.F) {
 	badCode := encode(f, corpusMessages(f)[8])
 	badCode[30] = 0x7f
 	f.Add(badCode)
+	// MSGC seeds: valid checksummed frames, trailer truncations, and a
+	// CRC mismatch — the fuzzer mutates from wire bytes the checksummed
+	// codec actually produces.
+	for _, m := range corpusMessages(f) {
+		raw := encodeChecksummed(f, m)
+		f.Add(raw)
+		f.Add(raw[:len(raw)-4]) // trailer cut off entirely
+		f.Add(raw[:len(raw)-2]) // trailer torn mid-word
+		bad := append([]byte(nil), raw...)
+		bad[len(bad)-1] ^= 0xff // trailer disagrees with the body
+		f.Add(bad)
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := Decode(bytes.NewReader(data))
@@ -113,6 +126,29 @@ func FuzzDecode(f *testing.F) {
 		if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
 			t.Fatalf("round trip changed the wire bytes:\n first: %+v\nsecond: %+v", m, m2)
 		}
+		// Checksummed round trip: the MSGC framing of any decodable
+		// message must decode back, and a single bit flipped anywhere in
+		// the frame must be rejected — that is the whole point of the
+		// trailer. The flipped bit is derived from the input so each
+		// corpus entry probes a different position deterministically.
+		var cbuf bytes.Buffer
+		if err := m.EncodeChecksummed(&cbuf); err != nil {
+			t.Fatalf("decoded message failed to encode checksummed: %v", err)
+		}
+		cframe := cbuf.Bytes()
+		if _, err := Decode(bytes.NewReader(cframe)); err != nil {
+			t.Fatalf("checksummed re-encode failed to decode: %v", err)
+		}
+		var seed uint64
+		for _, b := range data {
+			seed = seed*131 + uint64(b)
+		}
+		bit := int(seed % uint64(len(cframe)*8))
+		mut := append([]byte(nil), cframe...)
+		mut[bit/8] ^= 1 << (bit % 8)
+		if _, err := Decode(bytes.NewReader(mut)); err == nil {
+			t.Fatalf("single bit flip at %d of a checksummed frame decoded successfully", bit)
+		}
 	})
 }
 
@@ -124,10 +160,20 @@ func FuzzDecodeStream(f *testing.F) {
 	msgs := corpusMessages(f)
 	f.Add(encode(f, msgs[0]), encode(f, msgs[2]))
 	f.Add(encode(f, msgs[1]), []byte{0xde, 0xad})
+	// Mixed framings on one stream: checksummed then legacy, legacy then
+	// checksummed, and a CRC-mismatched frame ahead of a valid one (the
+	// decoder must stay positioned to read the second).
+	f.Add(encodeChecksummed(f, msgs[0]), encode(f, msgs[2]))
+	f.Add(encode(f, msgs[2]), encodeChecksummed(f, msgs[1]))
+	badFirst := encodeChecksummed(f, msgs[0])
+	badFirst[len(badFirst)-1] ^= 0xff
+	f.Add(badFirst, encodeChecksummed(f, msgs[2]))
 	f.Fuzz(func(t *testing.T, first, second []byte) {
 		r := bytes.NewReader(append(append([]byte{}, first...), second...))
 		for i := 0; i < 2; i++ {
-			if _, err := Decode(r); err != nil {
+			// ErrChecksum leaves the stream positioned at the next frame
+			// — a receive loop skips and reads on, so the fuzzer does too.
+			if _, err := Decode(r); err != nil && !errors.Is(err, ErrChecksum) {
 				return
 			}
 		}

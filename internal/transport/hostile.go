@@ -1,0 +1,84 @@
+package transport
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// HostileMode selects how a HostileCarrier poisons outgoing activations.
+type HostileMode uint8
+
+const (
+	// PoisonNone leaves traffic untouched.
+	PoisonNone HostileMode = iota
+	// PoisonNaN replaces every payload element with NaN — the broken
+	// client whose local training diverged (or whose accelerator is
+	// faulty) and now uploads garbage every step.
+	PoisonNaN
+	// PoisonScale multiplies every payload element by Scale — the
+	// norm-bomb client whose finite but enormous updates would dominate
+	// any naive average.
+	PoisonScale
+)
+
+// HostileCarrier wraps a Conn to emulate a Byzantine or broken client:
+// after AfterSends well-behaved activation uploads it starts poisoning
+// every subsequent one according to Mode. The poison is applied to a
+// clone, so the client's own compute state is untouched — the client
+// keeps running the protocol faithfully (resends, handshakes, done),
+// which is exactly what makes semantic poisoning nastier than a crash:
+// nothing at the transport level looks wrong. The chaos suite and the
+// stsl-endsystem -poison flag share this wrapper so the server's
+// quarantine is exercised by the same code path in tests and live.
+type HostileCarrier struct {
+	inner Conn
+	mode  HostileMode
+	after int
+	scale float64
+	sends atomic.Int64
+}
+
+// NewHostileCarrier wraps conn. after is the number of activation
+// uploads sent clean before the poisoning starts (letting the server's
+// norm envelope warm up on honest traffic, as a real client that
+// degrades mid-run would); scale is the PoisonScale multiplier.
+func NewHostileCarrier(conn Conn, mode HostileMode, after int, scale float64) *HostileCarrier {
+	return &HostileCarrier{inner: conn, mode: mode, after: after, scale: scale}
+}
+
+// Send implements Conn, poisoning activation payloads once the clean
+// grace is spent.
+func (c *HostileCarrier) Send(m *Message) error {
+	if c.mode == PoisonNone || m.Type != MsgActivation || m.Payload == nil {
+		return c.inner.Send(m)
+	}
+	if int(c.sends.Add(1)) <= c.after {
+		return c.inner.Send(m)
+	}
+	pm := *m
+	pm.Payload = m.Payload.Clone()
+	data := pm.Payload.Data()
+	switch c.mode {
+	case PoisonNaN:
+		for i := range data {
+			data[i] = math.NaN()
+		}
+	case PoisonScale:
+		for i := range data {
+			data[i] *= c.scale
+		}
+	}
+	return c.inner.Send(&pm)
+}
+
+// Recv implements Conn.
+func (c *HostileCarrier) Recv() (*Message, error) { return c.inner.Recv() }
+
+// Close implements Conn.
+func (c *HostileCarrier) Close() error { return c.inner.Close() }
+
+// SetChecksum implements Checksummer by forwarding: a hostile client
+// still frames its poison correctly.
+func (c *HostileCarrier) SetChecksum(on bool) { SetChecksum(c.inner, on) }
+
+var _ Conn = (*HostileCarrier)(nil)

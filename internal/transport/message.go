@@ -293,11 +293,21 @@ func Decode(r io.Reader) (*Message, error) {
 // nothing at steady state. All fields of m are overwritten; callers that
 // retain the previous payload or labels must decode into a fresh Message.
 func DecodeInto(r io.Reader, m *Message) error {
+	return decodeInto(r, m, true)
+}
+
+// decodeInto is DecodeInto with the checksummed-frame dispatch made
+// explicit: the outer decoder of an MSGC frame re-enters with
+// allowChecksum=false so a corrupted stream cannot nest frames.
+func decodeInto(r io.Reader, m *Message, allowChecksum bool) error {
 	bufp := framePool.Get().(*[]byte)
 	defer framePool.Put(bufp)
 	buf := *bufp
 
-	n, err := io.ReadFull(r, buf[:msgHdrLen])
+	// The magic is read alone so the checksummed variant can hand the
+	// rest of the stream to a CRC-teeing reader before any header byte
+	// is consumed.
+	n, err := io.ReadFull(r, buf[:4])
 	if err != nil {
 		if n == 0 && err == io.EOF {
 			// Clean close at the frame boundary: not a decode failure.
@@ -306,8 +316,22 @@ func DecodeInto(r io.Reader, m *Message) error {
 		return fmt.Errorf("transport: read header: %w", err)
 	}
 	magic := binary.LittleEndian.Uint32(buf[0:])
+	if magic == msgMagicC {
+		if !allowChecksum {
+			return errors.New("transport: nested checksummed frame")
+		}
+		return decodeChecksummed(r, m)
+	}
 	if magic != msgMagic && magic != msgMagic2 {
 		return fmt.Errorf("transport: bad magic %#x", magic)
+	}
+	if _, err := io.ReadFull(r, buf[4:msgHdrLen]); err != nil {
+		if err == io.EOF {
+			// The stream ended after the magic: a torn header, not a
+			// clean close.
+			err = io.ErrUnexpectedEOF
+		}
+		return fmt.Errorf("transport: read header: %w", err)
 	}
 	m.Type = MsgType(buf[4])
 	m.ClientID = int(int32(binary.LittleEndian.Uint32(buf[5:])))

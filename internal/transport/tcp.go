@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -14,8 +15,9 @@ import (
 // Send and Recv each take their own lock, so full-duplex use from two
 // goroutines is safe.
 type tcpConn struct {
-	nc  net.Conn
-	ins *ConnInstruments
+	nc       net.Conn
+	ins      *ConnInstruments
+	checksum atomic.Bool
 
 	sendMu sync.Mutex
 	w      *bufio.Writer
@@ -65,7 +67,13 @@ func (c *tcpConn) Send(m *Message) error {
 	if c.ins != nil {
 		start = time.Now()
 	}
-	if err := m.Encode(c.w); err != nil {
+	var err error
+	if c.checksum.Load() {
+		err = m.EncodeChecksummed(c.w)
+	} else {
+		err = m.Encode(c.w)
+	}
+	if err != nil {
 		return err
 	}
 	if err := c.w.Flush(); err != nil {
@@ -110,6 +118,11 @@ func (c *tcpConn) Recv() (*Message, error) {
 	}
 	return m, nil
 }
+
+// SetChecksum implements Checksummer: subsequent Sends emit checksummed
+// (MSGC) frames. Recv verifies checksummed frames unconditionally — the
+// frame is self-describing — so the two directions need no agreement.
+func (c *tcpConn) SetChecksum(on bool) { c.checksum.Store(on) }
 
 // SetWriteDeadline bounds subsequent Sends, forwarding to the carrier
 // net.Conn. A Send that overruns the deadline fails with an error that
